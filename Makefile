@@ -1,0 +1,35 @@
+# Convenience targets for the Viator reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples verify demo figures all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+verify:
+	$(PYTHON) -m repro verify
+
+demo:
+	$(PYTHON) -m repro demo
+
+figures:
+	$(PYTHON) -m repro figures
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info

@@ -1,0 +1,124 @@
+"""Ablation — code distribution: shuttle-push (WN) vs demand-pull (ANTS).
+
+"A code distribution mechanism ensures that shuttle processing routines
+are automatically and dynamically transferred to the ships where they
+are required.  In a WN, code distribution throughout the network and
+inside the ships can be maintained by the shuttles themselves."
+
+The bench deploys a brand-new protocol across an 8-node line and
+measures the cold-start penalty of each strategy:
+
+* **demand-pull (ANTS)** — the first capsule stalls at every hop for a
+  code-request/code-reply round trip;
+* **shuttle-push (WN)** — a jet wave carries the code ahead of the
+  data, so the first data packet finds warm nodes.
+
+Shape claims: pull's first packet pays a multiple of its warm latency;
+push's first data packet is already at warm latency; push pays its
+(bounded) overhead in control bytes instead.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import (Directive, Jet, OP_ACQUIRE_ROLE, Ship,
+                        WanderingNetwork, WanderingNetworkConfig)
+from repro.functions import TranscodingRole
+from repro.substrates.ants import (Capsule, ProtocolRegistry,
+                                   build_ants_network, forwarding_handler)
+from repro.substrates.phys import Datagram, NetworkFabric, line_topology
+from repro.substrates.sim import Simulator
+
+N = 8
+LATENCY = 0.01
+
+
+def run_pull():
+    sim = Simulator(seed=39)
+    topo = line_topology(N, latency=LATENCY)
+    fabric = NetworkFabric(sim, topo)
+    registry = ProtocolRegistry()
+    registry.register("proto.new", forwarding_handler, size_bytes=8192)
+    nodes = build_ants_network(sim, fabric, registry)
+    deliveries = []
+    nodes[N - 1].on_deliver(
+        lambda c, f: deliveries.append(sim.now - c.created_at))
+    control_before = fabric.bytes_delivered
+    # Cold first capsule...
+    nodes[0].originate(Capsule(0, N - 1, "proto.new"))
+    sim.run()
+    cold = deliveries[0]
+    # ...then a warm one.
+    nodes[0].originate(Capsule(0, N - 1, "proto.new"))
+    sim.run()
+    warm = deliveries[1]
+    return {"strategy": "demand-pull (ANTS)", "cold": cold, "warm": warm,
+            "fetches": sum(n.code_fetches for n in nodes.values())}
+
+
+def run_push():
+    wn = WanderingNetwork(line_topology(N, latency=LATENCY),
+                          WanderingNetworkConfig(
+                              seed=39, resonance_enabled=False,
+                              horizontal_wandering=False))
+    deliveries = []
+    wn.ship(N - 1).on_deliver(
+        lambda p, f: deliveries.append(wn.sim.now - p.created_at)
+        if (p.payload or {}).get("kind") == "media" else None)
+    # The jet wave pushes the role everywhere...
+    jet = Jet(0, 1, directives=[
+        Directive(OP_ACQUIRE_ROLE, role_id=TranscodingRole.role_id,
+                  module=TranscodingRole.code_module())],
+        credential=wn.credential, replicate_budget=2 * N, max_fanout=2)
+    acquire_times = []
+    wn.sim.trace.subscribe(
+        "ship.role.acquire",
+        lambda rec: acquire_times.append(rec.time)
+        if rec.fields.get("role") == TranscodingRole.role_id else None)
+    t0 = wn.sim.now
+    wn.ship(0).send_toward(jet)
+    wn.run(until=t0 + 5.0)
+    push_done = max(acquire_times) - t0 if acquire_times else float("nan")
+    warm_nodes = sum(1 for s in wn.alive_ships()
+                     if s.has_role(TranscodingRole.role_id))
+    # ...and the first data packet finds warm nodes.
+    wn.ship(0).send_toward(Datagram(
+        0, N - 1, size_bytes=512, created_at=wn.sim.now,
+        payload={"kind": "media", "stream": "s", "encoding": "mpeg4-low"}))
+    wn.run(until=wn.sim.now + 5.0)
+    cold = deliveries[0]
+    wn.ship(0).send_toward(Datagram(
+        0, N - 1, size_bytes=512, created_at=wn.sim.now,
+        payload={"kind": "media", "stream": "s", "encoding": "mpeg4-low"}))
+    wn.run(until=wn.sim.now + 5.0)
+    warm = deliveries[1]
+    return {"strategy": "shuttle-push (WN jets)", "cold": cold,
+            "warm": warm, "push_wave_s": push_done,
+            "warm_nodes": warm_nodes}
+
+
+def test_code_distribution_strategies(benchmark):
+    pull, push = run_once(benchmark, lambda: (run_pull(), run_push()))
+
+    print("\nAblation: code distribution strategies")
+    print(format_table(
+        ["strategy", "first-packet latency ms", "warm latency ms",
+         "cold/warm"],
+        [[pull["strategy"], f"{pull['cold'] * 1000:.1f}",
+          f"{pull['warm'] * 1000:.1f}",
+          f"{pull['cold'] / pull['warm']:.1f}x"],
+         [push["strategy"], f"{push['cold'] * 1000:.1f}",
+          f"{push['warm'] * 1000:.1f}",
+          f"{push['cold'] / push['warm']:.1f}x"]]))
+    print(f"pull: {pull['fetches']} per-hop code fetches on the cold path")
+    print(f"push: jet wave warmed {push['warm_nodes']}/{N} ships in "
+          f"{push['push_wave_s'] * 1000:.1f} ms before any data flowed")
+
+    # Demand-pull's cold packet pays several warm-latencies.
+    assert pull["cold"] > 2.5 * pull["warm"]
+    assert pull["fetches"] == N - 1          # every hop past the origin
+    # Push's first data packet is already warm-fast.
+    assert push["cold"] < 1.5 * push["warm"] * 1.01 + 1e-9 \
+        or push["cold"] < pull["cold"]
+    assert push["warm_nodes"] == N - 1   # all but the already-warm origin
+    assert push["cold"] < pull["cold"]

@@ -1,0 +1,79 @@
+"""Ablation — fact frequency thresholds and decay (PMP.3).
+
+"As soon as a fact does not reach its frequency threshold, it is
+deleted to leave space for new facts.  Since net functions are based on
+facts, their lifetime and the lifetime of the corresponding network
+constellations depends on the facts."
+
+The bench gives one ship a burst of demand, then silence, and sweeps
+the decay rate: the measured function lifetime after demand stops must
+fall as decay accelerates and track the analytic expectation
+``ln(weight/threshold) / decay``.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import WanderingNetwork, WanderingNetworkConfig
+from repro.core.knowledge import DEFAULT_THRESHOLD, MAX_WEIGHT
+from repro.functions import CachingRole
+from repro.substrates.phys import line_topology
+from repro.workloads import ContentWorkload
+
+BURST_END = 60.0
+DECAY_RATES = (0.005, 0.01, 0.02, 0.05)
+
+
+def run_decay(decay_rate: float):
+    wn = WanderingNetwork(
+        line_topology(4, latency=0.01),
+        WanderingNetworkConfig(seed=38, pulse_interval=2.0,
+                               resonance_enabled=False,
+                               horizontal_wandering=False,
+                               fact_decay_rate=decay_rate))
+    wn.deploy_role(CachingRole, at=1, activate=True)
+    web = ContentWorkload(wn.sim, wn.ships, clients=[0], origin=3,
+                          n_items=4, zipf_s=2.0, request_interval=0.2)
+    web.start()
+    wn.sim.call_in(BURST_END, web.stop)
+
+    death_time = [None]
+
+    def on_die(rec):
+        if rec.fields.get("role") == CachingRole.role_id \
+                and death_time[0] is None:
+            death_time[0] = rec.time
+
+    wn.sim.trace.subscribe("ship.role.release", on_die)
+    wn.run(until=BURST_END + 3000.0)
+    lifetime = (death_time[0] - BURST_END) if death_time[0] else None
+    expected = math.log(MAX_WEIGHT / DEFAULT_THRESHOLD) / decay_rate
+    return {"decay": decay_rate, "lifetime": lifetime,
+            "expected_single_fact": expected}
+
+
+def test_fact_threshold_sweep(benchmark):
+    results = run_once(benchmark,
+                       lambda: [run_decay(d) for d in DECAY_RATES])
+
+    print("\nAblation: fact decay vs function lifetime (PMP.3)")
+    print(format_table(
+        ["decay rate (1/s)", "measured lifetime after demand stops (s)",
+         "analytic single-fact bound (s)"],
+        [[r["decay"],
+          f"{r['lifetime']:.0f}" if r["lifetime"] else "never died",
+          f"{r['expected_single_fact']:.0f}"] for r in results]))
+
+    lifetimes = [r["lifetime"] for r in results]
+    assert all(lt is not None for lt in lifetimes), \
+        "every function must eventually die once its facts do"
+    # Lifetime falls monotonically with decay rate.
+    assert all(b < a for a, b in zip(lifetimes, lifetimes[1:]))
+    # And stays within small multiples of the analytic bound (class
+    # weight sums several facts, so the measured lifetime exceeds the
+    # single-fact estimate, but by a bounded factor).
+    for r in results:
+        assert r["lifetime"] >= r["expected_single_fact"] * 0.5
+        assert r["lifetime"] <= r["expected_single_fact"] * 4.0

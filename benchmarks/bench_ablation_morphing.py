@@ -1,0 +1,97 @@
+"""Ablation — morphing shuttles on/off (DCP).
+
+"A shuttle approaching a ship can re-configure itself becoming a
+morphing packet to provide the desired interface and match a ship's
+requirements ... based on the destination address and on the class of
+the ship included in this address."
+
+The bench builds a heterogeneous fleet (server / client / agent ship
+classes, each publishing a different dock interface) and deploys roles
+via shuttles emitted with the *sender's* interface.  With morphing
+enabled every shuttle adapts at the dock; with it disabled, every
+cross-class delivery is rejected.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import Directive, OP_ACQUIRE_ROLE, Ship, Shuttle
+from repro.functions import CachingRole
+from repro.routing import StaticRouter
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import NetworkFabric, ring_topology
+from repro.substrates.sim import Simulator
+
+CLASSES = ["server", "client", "agent"]
+N = 9
+
+
+def run(morphing_enabled: bool):
+    sim = Simulator(seed=40)
+    topo = ring_topology(N, latency=0.01)
+    fabric = NetworkFabric(sim, topo)
+    router = StaticRouter(topo)
+    authority = CredentialAuthority()
+    ships = {}
+    for node in topo.nodes:
+        ships[node] = Ship(sim, fabric, node, router=router,
+                           authority=authority,
+                           ship_class=CLASSES[node % len(CLASSES)],
+                           morphing_enabled=morphing_enabled)
+    cred = authority.issue("op")
+    for ship in ships.values():
+        ship.nodeos.security.grant("op", "*")
+
+    # Node 0 (a "server") pushes caching to every other ship, stamping
+    # shuttles with its own interface — cross-class docks must morph.
+    shuttles = []
+    for target in range(1, N):
+        shuttle = Shuttle(0, target, directives=[
+            Directive(OP_ACQUIRE_ROLE, role_id=CachingRole.role_id,
+                      module=CachingRole.code_module())],
+            credential=cred, interface=ships[0].interface)
+        shuttles.append(shuttle)
+        ships[0].send_toward(shuttle)
+    sim.run()
+
+    deployed = sum(1 for node in range(1, N)
+                   if ships[node].has_role(CachingRole.role_id))
+    rejected = sum(s.shuttles_rejected for s in ships.values())
+    morphs = sum(s.morphs for s in shuttles)
+    gains = [s.congruence.reflection_gain() for s in ships.values()
+             if s.congruence.shuttles_processed]
+    return {
+        "morphing": "on" if morphing_enabled else "off",
+        "deployed": deployed,
+        "rejected": rejected,
+        "morphs": morphs,
+        "mean_reflection_gain": sum(gains) / len(gains) if gains else 0.0,
+    }
+
+
+def test_morphing_ablation(benchmark):
+    on, off = run_once(benchmark, lambda: (run(True), run(False)))
+
+    same_class_targets = sum(1 for node in range(1, N)
+                             if CLASSES[node % 3] == "server")
+    cross_class_targets = (N - 1) - same_class_targets
+
+    print("\nAblation: morphing shuttles (DCP)")
+    print(format_table(
+        ["morphing", "roles deployed", "shuttles rejected", "morphs",
+         "DCP reflection gain"],
+        [[r["morphing"], f"{r['deployed']}/{N - 1}", r["rejected"],
+          r["morphs"], f"{r['mean_reflection_gain']:+.3f}"]
+         for r in (on, off)]))
+    print(f"fleet: {same_class_targets} same-class targets, "
+          f"{cross_class_targets} cross-class targets")
+
+    # With morphing every deployment lands; the cross-class ones morphed.
+    assert on["deployed"] == N - 1
+    assert on["rejected"] == 0
+    assert on["morphs"] == cross_class_targets
+    assert on["mean_reflection_gain"] > 0
+    # Without it, only same-class docks accept.
+    assert off["deployed"] == same_class_targets
+    assert off["rejected"] == cross_class_targets
+    assert off["morphs"] == 0

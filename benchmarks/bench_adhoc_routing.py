@@ -1,0 +1,110 @@
+"""Ablation — adaptive QoS routing in mobile ad-hoc networks.
+
+Section E names the application first: "adaptive QoS management and
+routing in ad-hoc mobile networks is one of them".  The bench sweeps
+node mobility speed and compares the WLI adaptive protocol (proactive
+hellos + reactive discovery + buffering) against the plain
+distance-vector baseline on stream delivery.
+
+Shape claims:
+* both protocols degrade as mobility increases (physics);
+* the adaptive protocol's delivery ratio is at least as good as the
+  baseline's at every speed, and strictly better under high churn —
+  reactive discovery + packet buffering pays off exactly when routes
+  break often.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import Ship
+from repro.routing import DistanceVectorRouter, WLIAdaptiveRouter
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import (NetworkFabric, RadioPlane,
+                                   RandomWaypoint, Topology)
+from repro.substrates.sim import Simulator
+from repro.workloads import MediaStreamSource
+
+N_NODES = 12
+AREA = (600.0, 600.0)
+RADIO_RANGE = 230.0
+SIM_TIME = 300.0
+SPEEDS = (2.0, 8.0, 16.0)
+
+
+def run_manet(speed: float, router_factory, seed: int = 71):
+    sim = Simulator(seed=seed)
+    topo = Topology()
+    mobility = RandomWaypoint(sim, area=AREA, speed_min=speed * 0.5,
+                              speed_max=speed, pause=2.0, tick=1.0)
+    placements = {0: (60.0, 300.0), N_NODES - 1: (540.0, 300.0)}
+    for node in range(N_NODES):
+        topo.add_node(node)
+        mobility.add_node(node, placements.get(node))
+    plane = RadioPlane(sim, topo, mobility, radio_range=RADIO_RANGE)
+    plane.recompute()
+    fabric = NetworkFabric(sim, topo)
+    authority = CredentialAuthority()
+    ships = {node: Ship(sim, fabric, node, router=router_factory(sim),
+                        authority=authority)
+             for node in range(N_NODES)}
+    delivered = []
+    ships[N_NODES - 1].on_deliver(
+        lambda p, f: delivered.append(sim.now - p.created_at)
+        if (p.payload or {}).get("kind") == "media" else None)
+    stream = MediaStreamSource(sim, ships, 0, N_NODES - 1, rate_pps=2.0)
+    sim.call_in(15.0, stream.start)   # routing warm-up
+    mobility.start()
+    sim.run(until=SIM_TIME)
+    return {
+        "ratio": len(delivered) / stream.sent if stream.sent else 0.0,
+        "delivered": len(delivered),
+        "sent": stream.sent,
+        "churn": plane.link_up_events + plane.link_down_events,
+    }
+
+
+def adaptive_factory(sim):
+    return WLIAdaptiveRouter(sim, hello_interval=3.0, route_ttl=12.0)
+
+
+def dv_factory(sim):
+    return DistanceVectorRouter(sim, advertise_interval=3.0,
+                                route_ttl=12.0)
+
+
+def test_adhoc_routing_speed_sweep(benchmark):
+    def scenario():
+        rows = []
+        for speed in SPEEDS:
+            adaptive = run_manet(speed, adaptive_factory)
+            dv = run_manet(speed, dv_factory)
+            rows.append((speed, adaptive, dv))
+        return rows
+
+    rows = run_once(benchmark, scenario)
+
+    print("\nAblation: MANET stream delivery vs mobility speed")
+    print(format_table(
+        ["speed m/s", "link churn", "WLI adaptive", "DV baseline",
+         "advantage"],
+        [[f"{speed:.0f}", adaptive["churn"],
+          f"{adaptive['ratio']:.1%}", f"{dv['ratio']:.1%}",
+          f"{(adaptive['ratio'] - dv['ratio']) * 100:+.1f} pp"]
+         for speed, adaptive, dv in rows]))
+
+    # Physics: the unbuffered DV baseline degrades with mobility.
+    dv_ratios = [d["ratio"] for _, _, d in rows]
+    assert dv_ratios[0] > dv_ratios[-1]
+    # The adaptive protocol never loses (buffering + discovery can even
+    # hide churn entirely), and its advantage grows with churn — the
+    # crossover claim: reactive machinery pays off when routes break.
+    advantages = []
+    for (speed, adaptive, dv) in rows:
+        assert adaptive["ratio"] >= dv["ratio"] - 0.02, speed
+        advantages.append(adaptive["ratio"] - dv["ratio"])
+    assert advantages[-1] > advantages[0]
+    assert advantages[-1] > 0.03
+    # Churn grows with speed (the sweep actually varied the regime).
+    churns = [a["churn"] for _, a, _ in rows]
+    assert churns[0] < churns[-1]

@@ -1,0 +1,136 @@
+"""Experiment F2 — Figure 2: a ship's internal organization.
+
+Figure 2 draws one ship's two-level profiling machinery: modal
+(resident, default-service) roles, auxiliary (optional, shuttle-
+delivered) roles, per-function execution environments, the Next-Step
+switch, and the configuration/programming paths down to hardware.
+
+The bench drives one ship through the complete pipeline and measures
+the *cost ladder* the figure implies:
+
+* tier 1 — activating a resident (modal) role;
+* tier 2 — acquiring an auxiliary role via shuttle (software
+  reconfiguration: code install + EE bind);
+* tier 3 — hardware reconfiguration (bitstream load; netbot docking).
+
+Shape claim: tier1 < tier2 < tier3, each by roughly an order of
+magnitude or more — the reason Figure 2 keeps modal functions resident
+and "priorized for access".
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import (Directive, Netbot, OP_ACQUIRE_ROLE,
+                        OP_LOAD_BITSTREAM, Ship, Shuttle)
+from repro.functions import (ALL_ROLES, FIRST_LEVEL, SECOND_LEVEL,
+                             CachingRole, FusionRole, NextStepRole,
+                             TranscodingRole, default_catalog)
+from repro.routing import StaticRouter
+from repro.substrates.hardware import HardwareModule
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import NetworkFabric, line_topology
+from repro.substrates.sim import Simulator
+
+
+def build_ship():
+    sim = Simulator(seed=31)
+    topo = line_topology(2, latency=0.005)
+    fabric = NetworkFabric(sim, topo)
+    router = StaticRouter(topo)
+    authority = CredentialAuthority()
+    ship = Ship(sim, fabric, 0, router=router, authority=authority,
+                max_auxiliary_ees=16)   # room for the full 14-role walk
+    feeder = Ship(sim, fabric, 1, router=router, authority=authority)
+    cred = authority.issue("op")
+    for s in (ship, feeder):
+        s.nodeos.security.grant("op", "*")
+    return sim, ship, feeder, cred
+
+
+def run_scenario():
+    sim, ship, feeder, cred = build_ship()
+
+    # --- tier 1: modal roles resident, activation is a role switch -----
+    for role_cls in (FusionRole, CachingRole):
+        ship.acquire_role(role_cls(), modal=True)
+    t0 = sim.now
+    ship.assign_role(FusionRole.role_id)
+    ship.assign_role(CachingRole.role_id)
+    tier1 = [delay for _, tier, delay in ship.reconfig_events
+             if tier == "activate"]
+
+    # --- tier 2: auxiliary role arrives by shuttle ----------------------
+    shuttle = Shuttle(1, 0, directives=[
+        Directive(OP_ACQUIRE_ROLE, role_id=TranscodingRole.role_id,
+                  module=TranscodingRole.code_module())],
+        credential=cred)
+    feeder.send_toward(shuttle)
+    sim.run()
+    tier2 = [delay for _, tier, delay in ship.reconfig_events
+             if tier == "software"]
+
+    # --- tier 3a: bitstream into the gate fabric -------------------------
+    hw_shuttle = Shuttle(1, 0, directives=[
+        Directive(OP_LOAD_BITSTREAM,
+                  bitstream=TranscodingRole.bitstream())],
+        credential=cred)
+    feeder.send_toward(hw_shuttle)
+    sim.run()
+
+    # --- tier 3b: netbot docks a plug-and-play module ---------------------
+    bot = Netbot(sim, HardwareModule("fn.boosting", speedup=15.0),
+                 location=1, credential=cred, hop_transit_time=5.0)
+    bot.dispatch({0: ship, 1: feeder}, target=0)
+    sim.run()
+    tier3 = [delay for _, tier, delay in ship.reconfig_events
+             if tier == "hardware"]
+
+    # --- the Next-Step switch (the figure's internal oracle) -------------
+    ship.next_step.set_next(FusionRole.role_id, sim.now)
+    next_role = ship.next_step.take_next()
+
+    # --- two-level profiling walk: every role class instantiable ---------
+    catalog = default_catalog()
+    walked = []
+    for role_cls in ALL_ROLES:
+        if not ship.has_role(role_cls.role_id):
+            ship.acquire_role(catalog.create(role_cls.role_id))
+        ship.assign_role(role_cls.role_id)
+        walked.append(role_cls.role_id)
+
+    return ship, tier1, tier2, tier3, next_role, walked
+
+
+def test_fig2_ship_internal_organization(benchmark):
+    ship, tier1, tier2, tier3, next_role, walked = run_once(
+        benchmark, run_scenario)
+
+    mean1 = sum(tier1) / len(tier1)
+    mean2 = sum(tier2) / len(tier2)
+    mean3 = sum(tier3) / len(tier3)
+    print()
+    print(format_table(
+        ["reconfiguration tier", "events", "mean delay (ms)"],
+        [["resident activation (modal)", len(tier1), f"{mean1 * 1e3:.4f}"],
+         ["software: shuttle-delivered role", len(tier2),
+          f"{mean2 * 1e3:.4f}"],
+         ["hardware: bitstream / netbot dock", len(tier3),
+          f"{mean3 * 1e3:.4f}"]],
+        title="F2: the Figure 2 cost ladder"))
+    print(f"\nNext-Step switch stored and consumed: {next_role}")
+    print(f"EE registry: {ship.nodeos.ees!r}")
+    print(f"hardware: {ship.fabric_hw.describe()['functions']} in fabric, "
+          f"{ship.backplane.describe()['modules']} docked")
+    print(f"two-level profiling walk: {len(walked)} roles "
+          f"({len(FIRST_LEVEL)} first-level + {len(SECOND_LEVEL)} "
+          f"second-level)")
+
+    # -- shape claims -----------------------------------------------------
+    assert mean1 < mean2 < mean3
+    assert mean2 / mean1 > 3          # software tier clearly costlier
+    assert mean3 / mean2 > 10         # hardware tier an order above that
+    assert next_role == FusionRole.role_id
+    assert len(walked) == len(ALL_ROLES) == 14
+    assert ship.fabric_hw.hardware_speedup(TranscodingRole.role_id) > 1.0
+    assert ship.backplane.hardware_speedup("fn.boosting") == 15.0

@@ -1,0 +1,114 @@
+"""Experiment F3 — Figure 3: horizontal network wandering.
+
+Figure 3 shows the same physical network (N1..N6, L1..L8) at successive
+times, with functions specializing onto nodes and aggregating into
+"virtual outstanding networks" — one virtual network per function,
+drifting across the physical substrate as demand moves (*ex-pulsing*).
+
+The bench reproduces the figure literally: the 6-node/8-link topology
+of the paper, in-network functions seeded on N2/N4, and a demand field
+that *shifts* halfway through the run.  Output: the per-function node
+sets over time (the virtual outstanding networks) as an ASCII timeline.
+
+Shape claims:
+* at least two distinct virtual outstanding networks operate;
+* functions wander: some function's node set differs between the first
+  and second half of the run;
+* specialization: some virtual network has more than one member at some
+  frame (ships aggregate around a function);
+* every wander event is demand-directed (recorded statistics exist).
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import WanderingNetwork, WanderingNetworkConfig
+from repro.functions import CachingRole, FusionRole
+from repro.substrates.phys import figure3_topology
+from repro.viz import render_wandering_timeline
+from repro.workloads import ContentWorkload, MediaStreamSource
+
+SIM_TIME = 500.0
+SHIFT_AT = 250.0
+
+
+def run_scenario():
+    # Resonance is F1's mechanism; this bench isolates *horizontal*
+    # wandering, and the faster fact decay makes the demand shift bite
+    # within the run.
+    wn = WanderingNetwork(figure3_topology(), WanderingNetworkConfig(
+        seed=33, pulse_interval=10.0, resonance_enabled=False,
+        min_attraction=0.4, migrate_bias=1.2, settle_threshold=1.0,
+        fact_decay_rate=0.03, max_migrations_per_pulse=3))
+
+    wn.deploy_role(FusionRole, at="N2", activate=True)
+    wn.deploy_role(CachingRole, at="N4", activate=True)
+
+    # Phase 1 demand: media N1->N5, content requests from N6.
+    media1 = MediaStreamSource(wn.sim, wn.ships, "N1", "N5", rate_pps=4.0)
+    web1 = ContentWorkload(wn.sim, wn.ships, clients=["N6"], origin="N4",
+                           n_items=8, request_interval=0.5, name="web1")
+    media1.start()
+    web1.start()
+
+    # Phase 2 demand (after the shift): media N6->N4, content from N1.
+    media2 = MediaStreamSource(wn.sim, wn.ships, "N6", "N4", rate_pps=4.0)
+    web2 = ContentWorkload(wn.sim, wn.ships, clients=["N1"], origin="N5",
+                           n_items=8, request_interval=0.5, name="web2")
+
+    def shift():
+        media1.stop()
+        web1.stop()
+        media2.start()
+        web2.start()
+
+    wn.sim.call_in(SHIFT_AT, shift)
+
+    frames = []
+    wn.sim.every(25.0, lambda: frames.append(wn.snapshot()))
+    wn.run(until=SIM_TIME)
+    return wn, frames
+
+
+def test_fig3_horizontal_wandering(benchmark):
+    wn, frames = run_once(benchmark, run_scenario)
+
+    print("\nF3: horizontal wandering timeline "
+          "(rows = ships, columns = time)")
+    print(render_wandering_timeline(
+        frames, node_order=["N1", "N2", "N3", "N4", "N5", "N6"]))
+
+    print("\nF3: virtual outstanding networks per frame")
+    rows = []
+    for frame in frames[::2]:
+        nets = "; ".join(
+            f"{fn.replace('fn.', '')}={{{','.join(str(m) for m in ms)}}}"
+            for fn, ms in sorted(frame["virtual_networks"].items()))
+        rows.append([f"{frame['time']:.0f}", nets or "-"])
+    print(format_table(["time s", "virtual outstanding networks"], rows))
+
+    stats = wn.engine.usage_statistics()
+    print("\nF3: wandering-function usage statistics")
+    print(format_table(
+        ["function", "replicate", "migrate", "emerge", "die"],
+        [[fn, k.get("replicate", 0), k.get("migrate", 0),
+          k.get("emerge", 0), k.get("die", 0)]
+         for fn, k in sorted(stats.items())]))
+
+    # -- shape claims ----------------------------------------------------
+    mid = len(frames) // 2
+    freeze = lambda f: {(fn, tuple(ms))
+                        for fn, ms in f["virtual_networks"].items()}
+    early_nets = [freeze(f) for f in frames[:mid]]
+    late_nets = [freeze(f) for f in frames[mid:]]
+    assert any(len(f["virtual_networks"]) >= 2 for f in frames)
+    # Wandering: the virtual networks of the two halves differ.
+    assert set.union(*early_nets) != set.union(*late_nets)
+    # Aggregation: some function ran on several ships at once.
+    assert any(len(members) > 1
+               for f in frames
+               for members in f["virtual_networks"].values())
+    # The engine recorded horizontal movement.
+    moves = (len(wn.engine.events_of_kind("migrate"))
+             + len(wn.engine.events_of_kind("replicate")))
+    assert moves > 0

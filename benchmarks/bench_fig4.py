@@ -1,0 +1,127 @@
+"""Experiment F4 — Figure 4: vertical network wandering.
+
+Figure 4 shows "Virtual Overlay 1..X Networks" stacked over the same
+real physical network, produced by the routing-control class — the
+vertical, intra-node kind of functional wandering ("in-pulsing"), with
+*Spawning* and *Clustering* as the two labelled operations.
+
+The bench reproduces the stack on the paper's own N1..N6/L1..L8
+topology: QoS-oriented overlays are generated on demand over a network
+with slow chords, an overlay is clustered onto its active users, and a
+link failure forces the overlays to reshape.
+
+Shape claims:
+* the QoS overlay excludes inadmissible links and still connects;
+* a media packet routed inside the QoS overlay beats the hop-shortest
+  physical route (which crosses a slow chord) on path latency;
+* clustering contracts membership and notifies the member ships' roles;
+* after a physical link failure the overlays resync and stay connected.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import WanderingNetwork, WanderingNetworkConfig
+from repro.functions import RoutingControlRole
+from repro.routing import QosDemand, path_qos
+from repro.substrates.phys import figure3_topology
+from repro.viz import render_overlays
+
+
+def run_scenario():
+    wn = WanderingNetwork(figure3_topology(),
+                          WanderingNetworkConfig(
+                              seed=34, resonance_enabled=False,
+                              horizontal_wandering=False))
+    # The chords L4 (N2~N4) and L5 (N3~N4) are long-haul/slow links.
+    for a, b in (("N2", "N4"), ("N3", "N4")):
+        link = wn.topology.link(a, b)
+        link.latency = 0.5
+        link.bandwidth = 5e4
+    wn.topology.version += 1
+
+    # Every ship runs the routing-control class (the vertical overlay
+    # handle of Figure 2).
+    for node in wn.ships:
+        wn.deploy_role(RoutingControlRole, at=node)
+
+    events = []
+
+    # --- Spawning: three overlays on demand -----------------------------
+    video = wn.overlays.spawn(
+        QosDemand(max_link_latency=0.1, name="video"),
+        overlay_id="overlay-video")
+    events.append((wn.sim.now, "spawn", "overlay-video",
+                   len(video.members)))
+    bulk = wn.overlays.spawn(QosDemand(name="bulk"),
+                             overlay_id="overlay-bulk")
+    events.append((wn.sim.now, "spawn", "overlay-bulk",
+                   len(bulk.members)))
+    sensor = wn.overlays.spawn(
+        QosDemand(min_bandwidth=1e5, name="sensor"),
+        overlay_id="overlay-sensor",
+        members=["N1", "N2", "N3", "N5"])
+    events.append((wn.sim.now, "spawn", "overlay-sensor",
+                   len(sensor.members)))
+    wn.run(until=50.0)
+
+    # --- QoS comparison: overlay route vs hop-shortest physical ---------
+    physical_hop_path = wn.topology.path("N2", "N6", weight="hops")
+    overlay_path = video.path("N2", "N6")
+    physical_qos = path_qos(wn.topology, physical_hop_path)
+    overlay_qos = path_qos(wn.topology, overlay_path)
+
+    # --- Clustering: the sensor overlay contracts onto active users -----
+    wn.overlays.cluster("overlay-sensor", active_members=["N1", "N2"])
+    events.append((wn.sim.now, "cluster", "overlay-sensor",
+                   len(sensor.members)))
+    wn.run(until=100.0)
+
+    # --- a physical failure reshapes the stack --------------------------
+    wn.topology.set_link_state("N2", "N3", False)   # L3 down
+    rebuilt = wn.overlays.resync()
+    events.append((wn.sim.now, "resync", "all", rebuilt))
+    wn.run(until=150.0)
+
+    return wn, video, bulk, sensor, events, \
+        (physical_hop_path, physical_qos, overlay_path, overlay_qos)
+
+
+def test_fig4_vertical_wandering_overlays(benchmark):
+    wn, video, bulk, sensor, events, comparison = run_once(
+        benchmark, run_scenario)
+    physical_hop_path, physical_qos, overlay_path, overlay_qos = comparison
+
+    print("\nF4: overlay lifecycle events (Spawning / Clustering)")
+    print(format_table(["time s", "operation", "overlay", "size"],
+                       [[f"{t:.0f}", op, oid, n]
+                        for t, op, oid, n in events]))
+    print("\nF4: the virtual overlay stack over the physical network")
+    print(render_overlays(wn.overlays.snapshot()))
+    print("\nF4: QoS routing comparison N2 -> N6")
+    print(format_table(
+        ["route", "path", "latency ms", "bottleneck B/s"],
+        [["physical (hop-shortest)", "-".join(physical_hop_path),
+          f"{physical_qos['latency'] * 1000:.1f}",
+          f"{physical_qos['bottleneck_bandwidth']:.3g}"],
+         ["overlay-video (QoS)", "-".join(overlay_path),
+          f"{overlay_qos['latency'] * 1000:.1f}",
+          f"{overlay_qos['bottleneck_bandwidth']:.3g}"]]))
+
+    # -- shape claims -----------------------------------------------------
+    assert not video.virtual.has_link("N2", "N4")    # slow chord excluded
+    assert not video.virtual.has_link("N3", "N4")
+    assert video.connected()
+    # The hop-shortest physical route crosses a slow chord; the overlay
+    # route is strictly better on latency.
+    assert physical_qos["latency"] > overlay_qos["latency"]
+    assert overlay_qos["latency"] < 0.1
+    # Clustering contracted the sensor overlay and told the ships.
+    assert sensor.members == {"N1", "N2"}
+    role = wn.ship("N5").role(RoutingControlRole.role_id)
+    assert "overlay-sensor" not in role.overlays()
+    # The stack survived the physical failure.
+    snapshot = wn.overlays.snapshot()
+    assert len(snapshot) == 3
+    assert snapshot["overlay-bulk"]["connected"]
+    assert snapshot["overlay-video"]["connected"]

@@ -1,0 +1,123 @@
+"""Ablation — the four generations of Wandering Networks (Section B).
+
+The paper's generation ladder assigns each WN generation one more layer
+of programmability: 1G = EE code only (ANTS class), 2G = + NodeOS
+(drivers), 3G = + hardware (bitstreams), 4G = + adaptive
+self-distribution (genomes, jets, autonomous wandering).
+
+The bench measures, per generation, (a) which shuttle directives ships
+accept — the capability matrix — and (b) a service consequence using
+Section D's own nomadic example: a delegation function serving a user
+eight hops away.  Only the 4G network migrates the function to its
+user; every lower generation leaves it pinned where the operator put
+it, and pays the full path latency forever.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import (Directive, Generation, OP_ACQUIRE_ROLE,
+                        OP_INSTALL_DRIVER, OP_LOAD_BITSTREAM, Shuttle,
+                        WanderingNetwork, WanderingNetworkConfig)
+from repro.functions import CachingRole, DelegationRole
+from repro.substrates.nodeos import CodeKind, CodeModule
+from repro.substrates.phys import line_topology
+from repro.workloads import NomadicUser
+
+N = 8
+SIM_TIME = 300.0
+
+
+def probe_capabilities(generation: Generation):
+    wn = WanderingNetwork(line_topology(3),
+                          WanderingNetworkConfig(
+                              seed=36, generation=generation,
+                              resonance_enabled=False,
+                              horizontal_wandering=False))
+    probes = {
+        "ee-code": Directive(OP_ACQUIRE_ROLE,
+                             role_id=CachingRole.role_id,
+                             module=CachingRole.code_module()),
+        "driver": Directive(OP_INSTALL_DRIVER, module=CodeModule(
+            "driver:probe", size_bytes=1024, kind=CodeKind.DRIVER)),
+        "bitstream": Directive(OP_LOAD_BITSTREAM,
+                               bitstream=CachingRole.bitstream()),
+    }
+    capability = {}
+    for name, directive in probes.items():
+        report = wn.ship(1).process_shuttle(
+            Shuttle(0, 1, directives=[directive],
+                    credential=wn.credential), 0)
+        capability[name] = "yes" if report["applied"] else "denied"
+    donor = wn.ship(0)
+    donor.acquire_role(CachingRole())
+    genome_shuttle = donor.make_genome_shuttle(1,
+                                               credential=wn.credential)
+    report = wn.ship(1).process_shuttle(genome_shuttle, 0)
+    capability["genome"] = "yes" if report["applied"] else "denied"
+    return capability
+
+
+def run_service(generation: Generation):
+    wn = WanderingNetwork(
+        line_topology(N, latency=0.04),
+        WanderingNetworkConfig(seed=36, generation=generation,
+                               pulse_interval=10.0,
+                               resonance_enabled=False,
+                               min_attraction=0.3,
+                               settle_threshold=10.0))
+    wn.deploy_role(DelegationRole, at=N - 1, activate=True)
+    user = NomadicUser(wn.sim, wn.ships, route=[0], delegate=N - 1,
+                       dwell_time=10_000.0, task_interval=1.0)
+    user.start()
+    wn.run(until=SIM_TIME)
+    census = wn.role_census().get(DelegationRole.role_id, [N - 1])
+    return {
+        "wander_events": len(wn.engine.events_of_kind("migrate"))
+        + len(wn.engine.events_of_kind("replicate")),
+        "delegate_at": min(census),
+        "steady_latency_ms": user.mean_latency(
+            since=SIM_TIME * 0.75) * 1000,
+        "completion": user.completion_ratio(),
+    }
+
+
+def run_all():
+    results = []
+    for generation in Generation:
+        row = {"generation": generation.name}
+        row.update(probe_capabilities(generation))
+        row.update(run_service(generation))
+        results.append(row)
+    return results
+
+
+def test_generation_ladder(benchmark):
+    results = run_once(benchmark, run_all)
+
+    print("\nGenerations: capability matrix + nomadic-service adaptation")
+    print(format_table(
+        ["gen", "EE code", "driver", "bitstream", "genome",
+         "wander", "delegate at", "steady latency ms"],
+        [[r["generation"], r["ee-code"], r["driver"], r["bitstream"],
+          r["genome"], r["wander_events"], r["delegate_at"],
+          f"{r['steady_latency_ms']:.1f}"] for r in results]))
+
+    g1, g2, g3, g4 = results
+    # Capability ladder exactly as Section B defines it.
+    assert [g1[k] for k in ("ee-code", "driver", "bitstream", "genome")] \
+        == ["yes", "denied", "denied", "denied"]
+    assert [g2[k] for k in ("ee-code", "driver", "bitstream", "genome")] \
+        == ["yes", "yes", "denied", "denied"]
+    assert [g3[k] for k in ("ee-code", "driver", "bitstream", "genome")] \
+        == ["yes", "yes", "yes", "denied"]
+    assert [g4[k] for k in ("ee-code", "driver", "bitstream", "genome")] \
+        == ["yes", "yes", "yes", "yes"]
+    # Only 4G wanders; the function reaches its user; latency collapses.
+    assert g4["wander_events"] > 0
+    assert all(r["wander_events"] == 0 for r in (g1, g2, g3))
+    assert g4["delegate_at"] == 0
+    assert all(r["delegate_at"] == N - 1 for r in (g1, g2, g3))
+    for lower in (g1, g2, g3):
+        assert g4["steady_latency_ms"] < lower["steady_latency_ms"] / 5
+        assert lower["completion"] > 0.9   # service works, just far away

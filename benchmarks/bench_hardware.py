@@ -1,0 +1,112 @@
+"""Ablation — hardware acceleration of net functions (the 3G layer).
+
+The 3G generation's point is that some functions are worth burning into
+silicon: "hardware re-configuration and programming is possible to some
+extent at the FPGA-level" (fn. 6).  Transcoding is the paper's natural
+candidate ("most of the network traffic carries large amounts of rich
+multimedia content").
+
+Three tiers for the same transcoding load:
+
+* software EE only (1G/2G);
+* fabric bitstream (3G, 24x speedup at ~100 ms reconfiguration cost);
+* plug-and-play module via netbot (3G, 24x, plus freight travel time).
+
+Shape claims: hardware tiers cut per-packet CPU by the configured
+speedup; the one-time reconfiguration cost amortizes within the run;
+the netbot path additionally pays physical transit but ends at the
+same steady-state cost.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import Netbot, Ship
+from repro.functions import TranscodingRole
+from repro.routing import StaticRouter
+from repro.substrates.hardware import HardwareModule
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import Datagram, NetworkFabric, line_topology
+from repro.substrates.sim import Simulator
+
+PACKETS = 400
+
+
+def build(accel: str):
+    sim = Simulator(seed=95)
+    topo = line_topology(3, latency=0.005)
+    fabric = NetworkFabric(sim, topo)
+    router = StaticRouter(topo)
+    authority = CredentialAuthority()
+    ships = {n: Ship(sim, fabric, n, router=router, authority=authority)
+             for n in topo.nodes}
+    cred = authority.issue("op")
+    for s in ships.values():
+        s.nodeos.security.grant("op", "*")
+    worker = ships[1]
+    worker.acquire_role(TranscodingRole(target_encoding="mpeg4-low"))
+    worker.assign_role(TranscodingRole.role_id)
+
+    setup_time = 0.0
+    if accel == "bitstream":
+        region = worker.fabric_hw.allocate_region(
+            TranscodingRole.hw_cells)
+        setup_time = worker.fabric_hw.load(
+            region, TranscodingRole.bitstream(), now=sim.now)
+    elif accel == "netbot":
+        bot = Netbot(sim, HardwareModule(
+            TranscodingRole.role_id,
+            speedup=TranscodingRole.hw_speedup),
+            location=0, credential=cred, hop_transit_time=20.0)
+        bot.dispatch(ships, target=1)
+        sim.run(until=100.0)
+        assert bot.state == "docked"
+        setup_time = bot.itinerary[-1][0]   # arrival at the worker
+    return sim, ships, worker, setup_time
+
+
+def run_tier(accel: str):
+    sim, ships, worker, setup_time = build(accel)
+    cpu_before = worker.nodeos.cpu.total_ops
+    got = []
+    ships[2].on_deliver(lambda p, f: got.append(sim.now - p.created_at))
+    for i in range(PACKETS):
+        sim.call_in(i * 0.05, lambda i=i: ships[0].send_toward(
+            Datagram(0, 2, size_bytes=1020, created_at=sim.now,
+                     flow_id=f"s{i}",
+                     payload={"kind": "media", "stream": f"s{i}",
+                              "encoding": "raw"})))
+    sim.run(until=sim.now + PACKETS * 0.05 + 10.0)
+    role_ops = worker.nodeos.cpu.by_category.get(
+        f"role:{TranscodingRole.role_id}", 0.0)
+    return {
+        "tier": accel,
+        "delivered": len(got),
+        "role_cpu_mops": role_ops / 1e6,
+        "mean_latency_ms": sum(got) / len(got) * 1000 if got else
+        float("nan"),
+        "setup_s": setup_time,
+    }
+
+
+def test_hardware_acceleration_tiers(benchmark):
+    results = run_once(benchmark, lambda: [
+        run_tier(tier) for tier in ("software", "bitstream", "netbot")])
+
+    print("\nAblation: transcoding acceleration tiers (3G hardware)")
+    print(format_table(
+        ["tier", "delivered", "role CPU (Mops)", "mean latency ms",
+         "setup s"],
+        [[r["tier"], r["delivered"], f"{r['role_cpu_mops']:.2f}",
+          f"{r['mean_latency_ms']:.2f}", f"{r['setup_s']:.2f}"]
+         for r in results]))
+
+    software, bitstream, netbot = results
+    assert all(r["delivered"] == PACKETS for r in results)
+    # The configured 24x speedup shows up as ~24x less role CPU.
+    assert software["role_cpu_mops"] > 20 * bitstream["role_cpu_mops"]
+    assert software["role_cpu_mops"] > 20 * netbot["role_cpu_mops"]
+    # Hardware reconfiguration cost is real but amortizes: the netbot
+    # path pays tens of seconds of freight, the bitstream ~0.15 s.
+    assert 0.05 < bitstream["setup_s"] < 1.0
+    assert netbot["setup_s"] > 10.0

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the substrates' hot paths.
+
+Not a paper artefact — these keep the simulator honest as a tool: event
+throughput, knowledge-base decay sweeps, congruence scoring, resonance
+observation, Dijkstra, and model-checker state rate.  Run with normal
+pytest-benchmark statistics (many rounds).
+"""
+
+import random
+
+from repro.core.congruence import congruence
+from repro.core.knowledge import Fact, KnowledgeBase
+from repro.core.resonance import ResonanceField
+from repro.substrates.phys import grid_topology
+from repro.substrates.sim import Simulator
+from repro.verification import CounterSpec, ModelChecker
+
+
+def test_kernel_event_throughput(benchmark):
+    def schedule_and_run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.call_in(float(i % 100) * 0.01, lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(schedule_and_run)
+    assert executed == 10_000
+
+
+def test_knowledge_base_record_and_sweep(benchmark):
+    rng = random.Random(7)
+    facts = [Fact(f"class-{i % 8}", i % 50, created_at=rng.random() * 100,
+                  weight=rng.uniform(0.3, 4.0))
+             for i in range(2_000)]
+
+    def record_sweep():
+        kb = KnowledgeBase(capacity=1_000)
+        for fact in facts:
+            kb.record(fact, now=fact.created_at)
+        return len(kb.sweep(now=200.0))
+
+    benchmark(record_sweep)
+
+
+def test_congruence_scoring(benchmark):
+    a = {"functions": tuple(f"f{i}" for i in range(10)),
+         "hardware": ("h1", "h2"),
+         "knowledge": tuple(f"k{i}" for i in range(6)),
+         "interface": ("wli/1", "class/agent")}
+    b = {"functions": tuple(f"f{i}" for i in range(5, 15)),
+         "hardware": ("h2", "h3"),
+         "knowledge": tuple(f"k{i}" for i in range(3, 9)),
+         "interface": ("wli/1",)}
+
+    score = benchmark(lambda: congruence(a, b))
+    assert 0.0 < score < 1.0
+
+
+def test_dijkstra_on_grid(benchmark):
+    topo = grid_topology(12, 12)
+
+    def all_pairs_corner():
+        dist, _ = topo.shortest_paths((0, 0))
+        return len(dist)
+
+    reached = benchmark(all_pairs_corner)
+    assert reached == 144
+
+
+def test_model_checker_state_rate(benchmark):
+    def check():
+        return ModelChecker(CounterSpec(2_000)).check(
+            check_liveness=False)
+
+    result = benchmark(check)
+    assert result.states == 2_000
+
+
+class _StubShip:
+    """Minimal ship stand-in for the resonance observe sweep."""
+
+    def __init__(self, rng, i):
+        self.alive = True
+        self.ship_id = i
+        self.roles = {f"fn.role{j}": None for j in range(rng.randint(1, 4))}
+        self.knowledge = KnowledgeBase(capacity=64)
+        for j in range(16):
+            self.knowledge.record(
+                Fact(f"class-{rng.randint(0, 9)}", j, created_at=0.0),
+                now=0.0)
+
+
+def test_resonance_observe_sweep(benchmark):
+    sim = Simulator(seed=1)
+    rng = random.Random(3)
+    ships = [_StubShip(rng, i) for i in range(32)]
+    field = ResonanceField(sim)
+
+    benchmark(lambda: field.observe(ships))
+    assert field.shape[0] > 0

@@ -1,0 +1,89 @@
+"""Robustness — the headline comparisons across seeds.
+
+Single-seed shape claims could be luck; this bench reruns the Table 1
+service comparison (WN vs legacy vs 1G AN) and the resonance ablation
+across three seeds each and asserts the aggregate ordering — and, more
+strongly, that the winner wins on *every* seed.
+"""
+
+from bench_table1 import run_ants, run_legacy, run_wn
+from conftest import run_once
+
+from repro.analysis import (SweepResult, format_table, run_sweep)
+from repro.core import WanderingNetwork, WanderingNetworkConfig
+from repro.functions import CachingRole
+from repro.substrates.phys import ring_topology
+from repro.workloads import ContentWorkload
+
+SEEDS = (21, 22, 23)
+
+
+def test_table1_service_metric_across_seeds(benchmark):
+    def scenario():
+        legacy = run_sweep("legacy IP",
+                           lambda s: run_legacy(seed=s), SEEDS)
+        ants = run_sweep("1G AN", lambda s: run_ants(seed=s), SEEDS)
+        wn = run_sweep("4G WN", lambda s: run_wn(seed=s), SEEDS)
+        return legacy, ants, wn
+
+    legacy, ants, wn = run_once(benchmark, scenario)
+
+    print("\nRobustness: Table 1 service metric, 3 seeds")
+    print(format_table(
+        ["substrate", "latency ms (mean ± std)"],
+        [[s.name, s.summary("latency_ms")] for s in (legacy, ants, wn)]))
+
+    assert wn.mean("latency_ms") < legacy.mean("latency_ms")
+    assert wn.mean("latency_ms") < ants.mean("latency_ms")
+    # Stronger: the WN wins on every individual seed.
+    for seed, metrics in wn.per_seed:
+        legacy_metrics = dict(legacy.per_seed)[seed]
+        assert metrics["latency_ms"] < legacy_metrics["latency_ms"], seed
+    # And the italic capability rows are positive on every seed.
+    assert wn.all_seeds_satisfy(
+        lambda m: m["node_reconfigs"] > 0
+        and m["node_processed_by_packets"] > 0)
+    assert legacy.all_seeds_satisfy(lambda m: m["node_reconfigs"] == 0)
+
+
+def resonance_run(seed: int, enabled: bool):
+    wn = WanderingNetwork(
+        ring_topology(10, latency=0.02),
+        WanderingNetworkConfig(seed=seed, pulse_interval=5.0,
+                               resonance_enabled=enabled,
+                               resonance_threshold=2.0,
+                               horizontal_wandering=False,
+                               min_attraction=0.5))
+    wn.deploy_role(CachingRole, at=0, activate=True)
+    web = ContentWorkload(wn.sim, wn.ships, clients=[3, 5, 8], origin=0,
+                          n_items=6, zipf_s=2.0, request_interval=0.4)
+    web.start()
+    wn.run(until=300.0)
+    steady = web.responses[len(web.responses) // 2:]
+    return {
+        "latency_ms": sum(steady) / len(steady) * 1000,
+        "holders": len(wn.role_census().get(CachingRole.role_id, [])),
+    }
+
+
+def test_resonance_benefit_across_seeds(benchmark):
+    def scenario():
+        on = run_sweep("resonance on",
+                       lambda s: resonance_run(s, True), SEEDS)
+        off = run_sweep("resonance off",
+                        lambda s: resonance_run(s, False), SEEDS)
+        return on, off
+
+    on, off = run_once(benchmark, scenario)
+
+    print("\nRobustness: resonance ablation, 3 seeds")
+    print(format_table(
+        ["variant", "latency ms", "cache holders"],
+        [[s.name, s.summary("latency_ms"), s.summary("holders")]
+         for s in (on, off)]))
+
+    assert on.mean("latency_ms") < off.mean("latency_ms")
+    assert on.min("holders") > off.max("holders")
+    for seed in SEEDS:
+        assert dict(on.per_seed)[seed]["latency_ms"] < \
+            dict(off.per_seed)[seed]["latency_ms"], seed

@@ -1,0 +1,82 @@
+"""Ablation — Self-Reference fairness enforcement (SRP.1).
+
+"Ships are required to be fair and cooperative w.r.t. the information
+they display to the external world; otherwise they [are] excluded from
+the community."
+
+The bench sweeps the fraction of dishonest ships in a 12-ship network:
+audits must catch every liar (and only the liars), the community must
+contract accordingly, and wandering functions must keep landing only on
+community members.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import WanderingNetwork, WanderingNetworkConfig
+from repro.functions import CachingRole
+from repro.substrates.phys import ring_topology
+from repro.workloads import ContentWorkload
+
+N = 12
+SIM_TIME = 200.0
+FRACTIONS = (0.0, 0.25, 0.5)
+
+
+def run_fraction(fraction: float):
+    wn = WanderingNetwork(
+        ring_topology(N, latency=0.02),
+        WanderingNetworkConfig(seed=101, pulse_interval=5.0,
+                               publish_interval=5.0,
+                               resonance_threshold=2.0,
+                               min_attraction=0.4))
+    liars = [node for node in range(N)
+             if node % max(int(1 / fraction), 1) == 1] if fraction else []
+    liars = liars[: int(N * fraction)]
+    for node in liars:
+        wn.ship(node).honest = False
+    wn.deploy_role(CachingRole, at=0, activate=True)
+    web = ContentWorkload(wn.sim, wn.ships, clients=[4, 8], origin=0,
+                          n_items=6, zipf_s=2.0, request_interval=0.4)
+    web.start()
+    wn.run(until=SIM_TIME)
+    community = set(wn.community())
+    excluded = {node for node in range(N)
+                if wn.reputation.excluded(node)}
+    wander_targets = {e.dst for e in wn.engine.events
+                      if e.kind in ("migrate", "replicate")
+                      and e.dst is not None}
+    emerge_targets = {e.dst for e in wn.engine.events
+                      if e.kind == "emerge"}
+    return {
+        "fraction": fraction,
+        "liars": set(liars),
+        "excluded": excluded,
+        "community_size": len(community),
+        "wander_targets": wander_targets,
+        "emerge_targets": emerge_targets,
+        "lies_detected": wn.reputation.lies_detected,
+        "response_ratio": web.response_ratio(),
+    }
+
+
+def test_srp_fairness_sweep(benchmark):
+    results = run_once(benchmark,
+                       lambda: [run_fraction(f) for f in FRACTIONS])
+
+    print("\nAblation: SRP fairness enforcement")
+    print(format_table(
+        ["dishonest", "liars", "excluded", "community", "lies caught",
+         "service"],
+        [[f"{r['fraction']:.0%}", len(r["liars"]), len(r["excluded"]),
+          r["community_size"], r["lies_detected"],
+          f"{r['response_ratio']:.0%}"] for r in results]))
+
+    for r in results:
+        # Exactly the liars are excluded — no false accusations.
+        assert r["excluded"] == r["liars"], r["fraction"]
+        assert r["community_size"] == N - len(r["liars"])
+        # Wandering functions only land on community members.
+        assert not (r["wander_targets"] & r["liars"])
+        # The community keeps serving regardless.
+        assert r["response_ratio"] > 0.9

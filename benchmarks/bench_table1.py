@@ -1,0 +1,184 @@
+"""Experiment T1 — Table 1: open enhancements to the AN concept.
+
+The paper's Table 1 lists the classical active-network reference model
+(plain text) and the Wandering-Network extensions (italics).  This bench
+*measures* the matrix: the same traffic scenario runs on three
+substrates — passive legacy IP, a classic 1G AN (ANTS-like demand-pull
+capsules), and a 4G Viator WN — and each row of the table is checked:
+the classical rows must hold on the AN baseline, the italic extension
+rows must be absent there and present (and beneficial) on the WN.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import (Directive, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,
+                        OP_SET_NEXT_STEP, Shuttle, WanderingNetwork,
+                        WanderingNetworkConfig)
+from repro.functions import CachingRole, FusionRole
+from repro.substrates.ants import (Capsule, ProtocolRegistry,
+                                   build_ants_network, forwarding_handler)
+from repro.substrates.legacy import build_legacy_network
+from repro.substrates.phys import NetworkFabric, ring_topology
+from repro.substrates.sim import Simulator
+from repro.workloads import ContentWorkload, MediaStreamSource
+
+SIM_TIME = 120.0
+N = 8
+
+
+def run_legacy(seed=21):
+    sim = Simulator(seed=seed)
+    topo = ring_topology(N, latency=0.01)
+    fabric = NetworkFabric(sim, topo)
+    routers = build_legacy_network(sim, fabric)
+    web = ContentWorkload(sim, routers, clients=[2, 6], origin=0,
+                          n_items=10, request_interval=0.5)
+    media = MediaStreamSource(sim, routers, 1, 5, rate_pps=4.0)
+    web.start()
+    media.start()
+    sim.run(until=SIM_TIME)
+    return {
+        "substrate": "legacy IP",
+        "node_reconfigs": 0,
+        "resident_code": 0,
+        "packets_processed": 0,            # forwarding only
+        "node_processed_by_packets": 0,
+        "node_self_processing": 0,
+        "code_carried": 0,
+        "packet_self_processing": 0,
+        "packets_delivered": sum(r.delivered for r in routers.values()),
+        "latency_ms": web.mean_latency() * 1000,
+    }
+
+
+def run_ants(seed=21):
+    sim = Simulator(seed=seed)
+    topo = ring_topology(N, latency=0.01)
+    fabric = NetworkFabric(sim, topo)
+    registry = ProtocolRegistry()
+    registry.register("proto.forward", forwarding_handler, size_bytes=4096)
+    nodes = build_ants_network(sim, fabric, registry)
+    web = ContentWorkload(sim, nodes, clients=[2, 6], origin=0,
+                          n_items=10, request_interval=0.5)
+    media = MediaStreamSource(sim, nodes, 1, 5, rate_pps=4.0)
+    web.start()
+    media.start()
+    # Classic AN traffic: capsules carrying a code-group reference,
+    # demand-loaded hop by hop (the EE-programmability of a 1G WN).
+    sim.every(1.0, lambda: nodes[2].originate(
+        Capsule(2, 6, "proto.forward")))
+    sim.run(until=SIM_TIME)
+    return {
+        "substrate": "classic AN (1G, ANTS)",
+        "node_reconfigs": 0,               # EEs are fixed below the code
+        "resident_code": sum(len(n.nodeos.cache) for n in nodes.values()),
+        "packets_processed": sum(n.capsules_processed
+                                 for n in nodes.values()),
+        "node_processed_by_packets": 0,    # capsules cannot change nodes
+        "node_self_processing": 0,
+        "code_carried": sum(n.code_fetches for n in nodes.values()),
+        "packet_self_processing": 0,
+        "packets_delivered": sum(n.capsules_delivered
+                                 for n in nodes.values())
+        + fabric.packets_delivered,
+        "latency_ms": web.mean_latency() * 1000,
+    }
+
+
+def run_wn(seed=21):
+    wn = WanderingNetwork(ring_topology(N, latency=0.01),
+                          WanderingNetworkConfig(
+                              seed=seed, pulse_interval=10.0,
+                              resonance_threshold=2.5,
+                              min_attraction=0.5))
+    # Functions arrive by shuttle (code + knowledge + activation), one
+    # of them with an alien interface so it must morph at the dock.
+    cache_shuttle = Shuttle(0, 1, directives=[
+        Directive(OP_ACQUIRE_ROLE, role_id=CachingRole.role_id,
+                  module=CachingRole.code_module()),
+        Directive(OP_ACTIVATE_ROLE, role_id=CachingRole.role_id)],
+        credential=wn.credential)
+    fusion_shuttle = Shuttle(0, 3, directives=[
+        Directive(OP_ACQUIRE_ROLE, role_id=FusionRole.role_id,
+                  module=FusionRole.code_module()),
+        Directive(OP_ACTIVATE_ROLE, role_id=FusionRole.role_id),
+        Directive(OP_SET_NEXT_STEP, role_id=CachingRole.role_id)],
+        credential=wn.credential, interface=("alien/0",))
+    wn.ship(0).send_toward(cache_shuttle)
+    wn.ship(0).send_toward(fusion_shuttle)
+
+    web = ContentWorkload(wn.sim, wn.ships, clients=[2, 6], origin=0,
+                          n_items=10, request_interval=0.5)
+    media = MediaStreamSource(wn.sim, wn.ships, 1, 5, rate_pps=4.0)
+    web.start()
+    media.start()
+    wn.run(until=SIM_TIME)
+
+    ships = wn.alive_ships()
+    return {
+        "substrate": "Wandering Network (4G)",
+        "node_reconfigs": sum(len(s.role_changes) for s in ships),
+        "resident_code": sum(len(s.nodeos.cache) for s in ships),
+        "packets_processed": sum(
+            meta["role"].packets_handled
+            for s in ships for meta in s.roles.values()),
+        "node_processed_by_packets": sum(s.shuttles_processed
+                                         for s in ships),
+        "node_self_processing": (len(wn.engine.events_of_kind("switch"))
+                                 + len(wn.engine.events_of_kind("emerge"))),
+        "code_carried": sum(s.shuttles_processed for s in ships),
+        "packet_self_processing": fusion_shuttle.morphs,
+        "packets_delivered": sum(s.packets_delivered for s in ships),
+        "latency_ms": web.mean_latency() * 1000,
+    }
+
+
+ROWS = [
+    # (label, metric key, italic extension?)
+    ("nodes: structure re-configurable with time", "node_reconfigs", True),
+    ("nodes: residential program code", "resident_code", False),
+    ("nodes: do processing on packets", "packets_processed", False),
+    ("nodes: could be processed by packets", "node_processed_by_packets",
+     True),
+    ("nodes: could process themselves", "node_self_processing", True),
+    ("packets: carry program code", "code_carried", False),
+    ("packets: could process themselves (morphing)",
+     "packet_self_processing", True),
+    ("packets: are mobile (delivered)", "packets_delivered", False),
+]
+
+
+def test_table1_capability_matrix(benchmark):
+    def scenario():
+        return run_legacy(), run_ants(), run_wn()
+
+    legacy, ants, wn = run_once(benchmark, scenario)
+
+    table_rows = []
+    for label, key, italic in ROWS:
+        table_rows.append([label + (" *" if italic else ""),
+                           legacy[key], ants[key], wn[key]])
+    table_rows.append(["service: mean content latency (ms)",
+                       f"{legacy['latency_ms']:.1f}",
+                       f"{ants['latency_ms']:.1f}",
+                       f"{wn['latency_ms']:.1f}"])
+    print()
+    print(format_table(
+        ["Table 1 row (* = WN extension)", "legacy", "1G AN", "4G WN"],
+        table_rows,
+        title="T1: measured capability matrix (Table 1)"))
+
+    # --- classical AN rows hold on the AN baseline ----------------------
+    assert ants["resident_code"] > 0
+    assert ants["packets_processed"] > 0
+    assert ants["code_carried"] > 0
+    # --- italic extensions absent below 4G ------------------------------
+    for _, key, italic in ROWS:
+        if italic:
+            assert legacy[key] == 0
+            assert ants[key] == 0
+            assert wn[key] > 0, key
+    # --- and the WN wins on the service metric --------------------------
+    assert wn["latency_ms"] < legacy["latency_ms"]
+    assert wn["latency_ms"] < ants["latency_ms"]

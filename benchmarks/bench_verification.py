@@ -1,0 +1,219 @@
+"""Experiment E1 — Section E: formal verification of the adaptive
+routing protocol.
+
+The paper reports: "four DIN A4 pages of bug-free TLA+ code, with
+Lamport's TLC model checker ... within a man-month".  This bench
+reproduces the *result* with our from-scratch substitute: the WLI
+adaptive routing protocol's specification (repro.verification.specs.
+adaptive_routing) checked exhaustively by our explicit-state checker
+over a ladder of ad-hoc configurations with link churn.
+
+Shape claims:
+* every configuration verifies **bug-free** (no invariant, deadlock or
+  liveness violation) by exhaustive search;
+* the state spaces are non-trivial (thousands of states with churn);
+* the checker itself is sound — it catches the planted bug in a
+  sabotaged spec variant;
+* the spec's size is in the ballpark of the paper's "four pages".
+"""
+
+import inspect
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.verification import AdaptiveRoutingSpec, ModelChecker
+from repro.verification.specs import adaptive_routing
+
+CONFIGS = [
+    ("3-node line, no churn", ("o", "a", "t"), None, 0),
+    ("3-node line, churn 2", ("o", "a", "t"), None, 2),
+    ("4-node line, churn 1", ("o", "a", "b", "t"), None, 1),
+    ("4-node diamond, churn 1", ("o", "a", "b", "t"),
+     [("o", "a"), ("a", "b"), ("b", "t"), ("o", "b")], 1),
+    ("4-node diamond, churn 2", ("o", "a", "b", "t"),
+     [("o", "a"), ("a", "b"), ("b", "t"), ("o", "b")], 2),
+    ("5-node ring, churn 1", ("o", "a", "b", "c", "t"),
+     [("o", "a"), ("a", "b"), ("b", "c"), ("c", "t"), ("o", "t")], 1),
+    ("5-node ring, churn 2", ("o", "a", "b", "c", "t"),
+     [("o", "a"), ("a", "b"), ("b", "c"), ("c", "t"), ("o", "t")], 2),
+]
+
+
+def run_scenario():
+    results = []
+    for label, nodes, links, churn in CONFIGS:
+        spec = AdaptiveRoutingSpec(nodes=nodes, initial_links=links,
+                                   churn_budget=churn)
+        result = ModelChecker(spec).check()
+        results.append((label, result))
+    return results
+
+
+def test_e1_adaptive_routing_verification(benchmark):
+    results = run_once(benchmark, run_scenario)
+
+    print("\nE1: exhaustive model checking of the WLI adaptive routing "
+          "protocol")
+    rows = []
+    for label, result in results:
+        rows.append([label, result.states, result.transitions,
+                     result.diameter,
+                     "bug-free" if result.ok else "VIOLATION",
+                     f"{result.elapsed_seconds:.2f}"])
+    print(format_table(
+        ["configuration", "states", "transitions", "depth", "verdict",
+         "seconds"], rows))
+
+    spec_lines = len(inspect.getsource(adaptive_routing).splitlines())
+    print(f"\nspec size: {spec_lines} lines "
+          f"(paper: 'four DIN A4 pages of bug-free TLA+ code')")
+    one = results[0][1]
+    props = AdaptiveRoutingSpec()
+    print(f"checked: {len(props.invariants)} invariants "
+          f"({[i.name for i in props.invariants]}), "
+          f"{len(props.temporal_properties)} temporal "
+          f"({[p.name for p in props.temporal_properties]})")
+
+    # -- shape claims ---------------------------------------------------
+    for label, result in results:
+        assert result.ok, f"{label}: {result.violations}"
+        assert result.complete, f"{label} truncated"
+    total_states = sum(r.states for _, r in results)
+    assert total_states > 10_000
+    # 'four pages' ~ 160-320 lines; ours is the same order of magnitude.
+    assert 150 <= spec_lines <= 600
+
+
+def test_e1_proactive_half_verification(benchmark):
+    """Companion spec: the hello/advertisement half of the protocol.
+
+    This spec exists because model/implementation cross-validation
+    found a real two-node routing loop in the naive hello half; the
+    split-horizon fix is verified here, and the naive variant's bug is
+    re-found by the checker as the control."""
+    from repro.verification import ProactiveRoutingSpec
+
+    DIAMOND = [("a", "b"), ("b", "c"), ("c", "t"), ("a", "c")]
+
+    def scenario():
+        fixed = []
+        for nodes, links, churn in [
+                (("a", "b", "t"), None, 1),
+                (("a", "b", "c", "t"), DIAMOND, 1),
+                (("a", "b", "c", "t"), DIAMOND, 2)]:
+            spec = ProactiveRoutingSpec(nodes=nodes, initial_links=links,
+                                        churn_budget=churn,
+                                        split_horizon=True)
+            fixed.append((f"{len(nodes)}-node churn {churn}",
+                          ModelChecker(spec).check()))
+        naive = ModelChecker(ProactiveRoutingSpec(
+            nodes=("a", "b", "t"), churn_budget=1,
+            split_horizon=False)).check(check_liveness=False)
+        return fixed, naive
+
+    fixed, naive = run_once(benchmark, scenario)
+    print("\nE1-companion: proactive (hello) half, split horizon + poison")
+    print(format_table(
+        ["configuration", "states", "verdict"],
+        [[label, r.states, "bug-free" if r.ok else "VIOLATION"]
+         for label, r in fixed]
+        + [["3-node churn 1, NAIVE (control)", naive.states,
+            "loop found" if not naive.ok else "?!"]]))
+    for label, result in fixed:
+        assert result.ok and result.complete, label
+    assert not naive.ok
+    assert any(v.name == "NoTwoNodeLoops" for v in naive.violations)
+
+
+def test_e1_docking_protocol_verification(benchmark):
+    """Companion spec: the packet side of the WLI goals — the DCP
+    shuttle-docking/morphing protocol across heterogeneous ships."""
+    from repro.verification import DockingSpec
+
+    def scenario():
+        results = []
+        for label, classes, morph in [
+                ("4-ship mixed chain, morphing", ("server", "client",
+                                                  "agent", "server"), True),
+                ("4-ship mixed chain, rigid", ("server", "client",
+                                               "agent", "server"), False),
+                ("10-ship chain, morphing",
+                 tuple(f"c{i % 5}" for i in range(10)), True)]:
+            spec = DockingSpec(ship_classes=classes,
+                               morphing_enabled=morph)
+            results.append((label, ModelChecker(spec).check()))
+        return results
+
+    results = run_once(benchmark, scenario)
+    print("\nE1-companion: DCP shuttle docking / morphing")
+    print(format_table(
+        ["configuration", "states", "verdict"],
+        [[label, r.states, "bug-free" if r.ok else "VIOLATION"]
+         for label, r in results]))
+    for label, result in results:
+        assert result.ok and result.complete, label
+
+
+def test_e1_jet_replication_containment(benchmark):
+    """Companion spec: jets (the self-replicating shuttles) are worms
+    unless contained; the budget/visited mechanism verifies safe."""
+    from repro.verification import JetReplicationSpec
+
+    ADJ6 = {"a": ["b", "c"], "b": ["a", "c", "d"], "c": ["a", "b", "e"],
+            "d": ["b", "e", "f"], "e": ["c", "d", "f"], "f": ["d", "e"]}
+
+    def scenario():
+        results = []
+        for budget, fanout in [(4, 2), (10, 2), (12, 3)]:
+            spec = JetReplicationSpec(adjacency=ADJ6,
+                                      initial_budget=budget,
+                                      max_fanout=fanout)
+            results.append(((budget, fanout),
+                            ModelChecker(spec).check()))
+        return results
+
+    results = run_once(benchmark, scenario)
+    print("\nE1-companion: jet replication containment")
+    print(format_table(
+        ["budget", "fanout", "states", "verdict"],
+        [[b, f, r.states, "bug-free" if r.ok else "VIOLATION"]
+         for (b, f), r in results]))
+    for _, result in results:
+        assert result.ok and result.complete
+    # Properties checked: budget conservation, jet-count bound,
+    # trajectory consistency, and guaranteed termination.
+    spec = JetReplicationSpec()
+    assert {i.name for i in spec.invariants} >= {
+        "BudgetNeverGrows", "JetCountBounded"}
+    assert [p.name for p in spec.temporal_properties] == ["Termination"]
+
+
+def test_e1_checker_catches_planted_bug(benchmark):
+    """A 'bug-free' verdict means nothing unless the checker can fail."""
+
+    class Sabotaged(AdaptiveRoutingSpec):
+        def _deliver_rrep(self, state):
+            for name, succ in super()._deliver_rrep(state):
+                if name.startswith(("ForwardRREP", "CompleteRREP")):
+                    routes = dict(succ["routes_t"])
+                    at = name[name.index("(") + 1:-1]
+                    frm = routes[at]
+                    if frm is not None and frm != self.target:
+                        routes[frm] = at          # plant a 2-cycle
+                        succ = succ.updated(routes_t=self._pack(routes))
+                yield (name, succ)
+
+    def scenario():
+        spec = Sabotaged(nodes=("o", "a", "b", "t"), churn_budget=0)
+        return ModelChecker(spec).check(check_liveness=False)
+
+    result = run_once(benchmark, scenario)
+    print(f"\nE1-control: sabotaged spec -> {result.summary()}")
+    assert not result.ok
+    assert any(v.name == "LoopFreeT" for v in result.violations)
+    # The counterexample trace is reconstructable.
+    violation = next(v for v in result.violations
+                     if v.name == "LoopFreeT")
+    assert violation.trace[0][0] == "Init"
+    assert len(violation.trace) >= 3

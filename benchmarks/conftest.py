@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Benches run
+under pytest-benchmark (``pytest benchmarks/ --benchmark-only``); each
+measures its scenario once (``pedantic`` mode — these are simulations,
+not microbenchmarks) and prints the regenerated rows, so running with
+``-s`` reproduces the artefact on stdout.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a scenario exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Adaptive QoS routing in a mobile ad-hoc Wandering Network.
+
+The application Section E names first: "adaptive QoS management and
+routing in ad-hoc mobile networks".  Twelve mobile ships move by random
+waypoint over a 600x600 m plane; radio range defines the (churning)
+topology.  The WLI adaptive routing protocol (proactive hellos +
+reactive discovery + fact-style route decay) carries a media stream
+between two pinned endpoints and is compared against a periodic
+distance-vector baseline.  Finally the protocol's formal model is
+checked exhaustively — reproducing the paper's "bug-free" verification
+result.
+
+Run:  python examples/adhoc_qos_routing.py
+"""
+
+from repro.analysis import format_table
+from repro.core import Ship
+from repro.routing import DistanceVectorRouter, WLIAdaptiveRouter
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import (NetworkFabric, RadioPlane,
+                                   RandomWaypoint, Topology)
+from repro.substrates.sim import Simulator
+from repro.verification import AdaptiveRoutingSpec, ModelChecker
+from repro.workloads import MediaStreamSource
+
+N_NODES = 12
+AREA = (600.0, 600.0)
+RADIO_RANGE = 230.0
+SIM_TIME = 400.0
+
+
+def build_manet(seed: int, router_factory):
+    sim = Simulator(seed=seed)
+    topo = Topology()
+    mobility = RandomWaypoint(sim, area=AREA, speed_min=1.0,
+                              speed_max=6.0, pause=5.0, tick=1.0)
+    # Pin the two endpoints at opposite corners-ish; the rest roam.
+    placements = {0: (50.0, 300.0), N_NODES - 1: (550.0, 300.0)}
+    for node in range(N_NODES):
+        topo.add_node(node)
+        mobility.add_node(node, placements.get(node))
+    plane = RadioPlane(sim, topo, mobility, radio_range=RADIO_RANGE)
+    plane.recompute()
+    fabric = NetworkFabric(sim, topo)
+    authority = CredentialAuthority()
+    ships = {node: Ship(sim, fabric, node, router=router_factory(sim),
+                        authority=authority)
+             for node in range(N_NODES)}
+    mobility.start()
+    return sim, topo, plane, ships
+
+
+def run_protocol(name: str, router_factory, seed: int = 7):
+    sim, topo, plane, ships = build_manet(seed, router_factory)
+    got = []
+    ships[N_NODES - 1].on_deliver(
+        lambda p, f: got.append(sim.now - p.created_at)
+        if (p.payload or {}).get("kind") == "media" else None)
+    stream = MediaStreamSource(sim, ships, 0, N_NODES - 1, rate_pps=2.0)
+    # Let routing warm up before the stream starts.
+    sim.call_in(20.0, stream.start)
+    sim.run(until=SIM_TIME)
+    sent = stream.sent
+    delivered = len(got)
+    mean_lat = sum(got) / delivered if delivered else float("nan")
+    return {
+        "protocol": name,
+        "sent": sent,
+        "delivered": delivered,
+        "ratio": delivered / sent if sent else 0.0,
+        "mean_latency_ms": mean_lat * 1000,
+        "link_churn": plane.link_up_events + plane.link_down_events,
+    }
+
+
+def main() -> None:
+    print(f"MANET: {N_NODES} mobile ships, {AREA[0]:.0f}x{AREA[1]:.0f} m, "
+          f"radio {RADIO_RANGE:.0f} m, {SIM_TIME:.0f} s\n")
+
+    results = [
+        run_protocol("WLI adaptive (hello+discovery)",
+                     lambda sim: WLIAdaptiveRouter(
+                         sim, hello_interval=3.0, route_ttl=12.0)),
+        run_protocol("distance-vector baseline",
+                     lambda sim: DistanceVectorRouter(
+                         sim, advertise_interval=3.0, route_ttl=12.0)),
+    ]
+    rows = [[r["protocol"], r["sent"], r["delivered"],
+             f"{r['ratio']:.1%}", f"{r['mean_latency_ms']:.1f}",
+             r["link_churn"]]
+            for r in results]
+    print(format_table(
+        ["protocol", "sent", "delivered", "delivery", "latency ms",
+         "link churn"], rows, title="media stream across the MANET"))
+
+    print("\n--- formal verification of the adaptive protocol "
+          "(Section E reproduction) ---")
+    spec = AdaptiveRoutingSpec(
+        nodes=("o", "a", "b", "t"),
+        initial_links=[("o", "a"), ("a", "b"), ("b", "t"), ("o", "b")],
+        churn_budget=2)
+    result = ModelChecker(spec).check()
+    print(f"spec: {spec.name}, 4 nodes, diamond topology, churn budget 2")
+    print(f"invariants: {[inv.name for inv in spec.invariants]}")
+    print(f"temporal:   "
+          f"{[p.name for p in spec.temporal_properties]}")
+    print(f"verdict:    {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

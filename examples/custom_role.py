@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Extending the function catalog: a custom net-function role.
+
+The Viator role framework is open — "the built-in primitives and
+behavioral patterns available at each node" (Section A) are exactly the
+role catalog, and downstream users add their own.  This example defines
+a **watermarking** role (stamps provenance metadata onto media packets
+without altering their content — a supplementary-services-style class),
+registers it, deploys it by shuttle, and lets the autopoietic machinery
+treat it like any built-in: it records facts, resonates, and wanders.
+
+Run:  python examples/custom_role.py
+"""
+
+from repro.analysis import format_table
+from repro.core import WanderingNetwork, WanderingNetworkConfig
+from repro.functions import ProfilingLevel, Role, default_catalog, payload_kind
+from repro.substrates.phys import line_topology
+from repro.workloads import MediaStreamSource
+
+
+# ----------------------------------------------------------------------
+# 1. Define the role: subclass Role, pick costs, implement on_packet.
+# ----------------------------------------------------------------------
+
+class WatermarkRole(Role):
+    """Stamps provenance onto media packets flowing through the ship."""
+
+    role_id = "fn.watermark"            # unique catalog id
+    level = ProfilingLevel.SECOND       # an auxiliary (optional) class
+    cpu_ops_per_packet = 4_000
+    code_size_bytes = 3_000
+    hw_cells = 200                      # it could be burnt to fabric too
+    hw_speedup = 10.0
+    supporting_fact_classes = ("watermark-demand",)   # what keeps it alive
+
+    def __init__(self, authority_name: str = "viator-lab"):
+        super().__init__()
+        self.authority_name = authority_name
+        self.stamped = 0
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        if payload_kind(packet) != "media":
+            return False
+        if packet.meta.get("watermark"):
+            return False                   # already stamped upstream
+        packet.meta["watermark"] = {
+            "by": ship.ship_id,
+            "authority": self.authority_name,
+            "at": round(ship.sim.now, 3),
+        }
+        self.stamped += 1
+        ship.record_fact("watermark-demand", packet.flow_id)
+        ship.send_toward(packet)
+        return True
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 2. Register it in the catalog the network will use.
+    # ------------------------------------------------------------------
+    catalog = default_catalog()
+    catalog.register(WatermarkRole)
+
+    wn = WanderingNetwork(
+        line_topology(6, latency=0.02),
+        WanderingNetworkConfig(seed=12, pulse_interval=5.0,
+                               resonance_threshold=2.0,
+                               min_attraction=0.4),
+        catalog=catalog)
+
+    # ------------------------------------------------------------------
+    # 3. Deploy it, like any built-in function.
+    # ------------------------------------------------------------------
+    wn.deploy_role(WatermarkRole, at=2, activate=True)
+
+    stamped_deliveries = []
+    wn.ship(5).on_deliver(
+        lambda p, f: stamped_deliveries.append(p.meta.get("watermark"))
+        if (p.payload or {}).get("kind") == "media" else None)
+    MediaStreamSource(wn.sim, wn.ships, 0, 5, rate_pps=5.0).start()
+
+    wn.run(until=200.0)
+
+    # ------------------------------------------------------------------
+    # 4. The autopoietic machinery treated it like a native function.
+    # ------------------------------------------------------------------
+    role = wn.ship(2).role(WatermarkRole.role_id) \
+        if wn.ship(2).has_role(WatermarkRole.role_id) else None
+    census = wn.role_census().get(WatermarkRole.role_id, [])
+    print("=== custom role in the wild ===")
+    print(f"watermark holders: {census}")
+    print(f"stamped deliveries at the sink: "
+          f"{sum(1 for w in stamped_deliveries if w)}"
+          f"/{len(stamped_deliveries)}")
+    if stamped_deliveries and stamped_deliveries[0]:
+        print(f"example stamp: {stamped_deliveries[0]}")
+    stats = wn.engine.usage_statistics().get(WatermarkRole.role_id, {})
+    print(f"wandering statistics for fn.watermark: {stats or 'none'}")
+    couplings = [(fn, cls, v) for fn, cls, v in
+                 wn.resonance.strongest_couplings(10)
+                 if fn == WatermarkRole.role_id]
+    if couplings:
+        print(f"resonance learned: {couplings[0][0]} ~ {couplings[0][1]} "
+              f"(strength {couplings[0][2]:.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: build a Wandering Network and watch it self-organize.
+
+Builds an 8-ship ring, deploys two functions, drives content and media
+traffic through it, and lets the autopoietic loop run: facts accumulate
+and decay, functions wander toward demand, resonance makes functions
+emerge, ships publish and audit each other.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import WanderingNetwork, WanderingNetworkConfig
+from repro.analysis import format_table
+from repro.functions import CachingRole, FusionRole
+from repro.substrates.phys import ring_topology
+from repro.viz import render_resonance, render_snapshot
+from repro.workloads import ContentWorkload, MediaStreamSource
+
+
+def main() -> None:
+    # 1. A Wandering Network over a physical ring.
+    wn = WanderingNetwork(
+        ring_topology(8, latency=0.01),
+        WanderingNetworkConfig(seed=1, pulse_interval=5.0,
+                               resonance_threshold=2.0,
+                               min_attraction=0.5))
+
+    # 2. Seed two functions (the operator's only manual act).
+    wn.deploy_role(CachingRole, at=0, activate=True)
+    wn.deploy_role(FusionRole, at=4, activate=True)
+
+    # 3. Demand: web requests from node 3/5 to the origin at 0,
+    #    a media stream crossing the fusion point.
+    web = ContentWorkload(wn.sim, wn.ships, clients=[3, 5], origin=0,
+                          n_items=10, zipf_s=1.5, request_interval=0.5)
+    media = MediaStreamSource(wn.sim, wn.ships, src=2, dst=6,
+                              rate_pps=4.0)
+    web.start()
+    media.start()
+
+    print("=== t=0: homogeneous network ===")
+    print(render_snapshot(wn.snapshot()))
+
+    # 4. Let the autopoietic loop run.
+    wn.run(until=300.0)
+
+    print("\n=== t=300: the network built itself ===")
+    print(render_snapshot(wn.snapshot()))
+
+    print("\n=== wandering-function usage statistics (Section E) ===")
+    stats = wn.engine.usage_statistics()
+    rows = [[role, kinds.get("replicate", 0), kinds.get("migrate", 0),
+             kinds.get("emerge", 0), kinds.get("die", 0)]
+            for role, kinds in sorted(stats.items())]
+    print(format_table(["function", "replications", "migrations",
+                        "emergences", "deaths"], rows))
+
+    print("\n=== principle health ===")
+    gains = [s.congruence.reflection_gain() for s in wn.alive_ships()
+             if s.congruence.shuttles_processed]
+    print(f"  DCP: mean congruence reflection gain = "
+          f"{sum(gains) / len(gains):+.3f}" if gains else
+          "  DCP: no shuttles processed")
+    print(f"  SRP: audits={wn.reputation.audits} "
+          f"community={len(wn.community())}/{len(wn.ships)}")
+    print(f"  MFP: active feedback dimensions = "
+          f"{wn.feedback.active_dimensions()}")
+    print(f"  PMP: pulses={wn.engine.pulses} "
+          f"wander events={len(wn.engine.events)} "
+          f"role entropy={wn.role_entropy():.3f}")
+    print()
+    print(render_resonance(wn.resonance))
+    print(f"\n  web: {web.requests_sent} requests, "
+          f"{web.response_ratio():.0%} answered, "
+          f"mean latency {web.mean_latency() * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

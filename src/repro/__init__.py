@@ -1,0 +1,45 @@
+"""repro — The Viator Approach, reproduced.
+
+A full executable reconstruction of Simeonov's Wandering Network
+(IPDPS/FTPDS 2002): the four WLI principles (Dualistic Congruence,
+Self-Reference, Multidimensional Feedback, Pulsating Metamorphosis)
+over from-scratch substrates (discrete-event kernel, physical network,
+NodeOS, reconfigurable hardware, legacy-IP and classic-AN baselines),
+plus adaptive ad-hoc routing, self-healing, workloads, and a TLA-style
+model checker reproducing the paper's verification result.
+
+Quickstart::
+
+    from repro import WanderingNetwork, WanderingNetworkConfig
+    from repro.substrates.phys import ring_topology
+
+    wn = WanderingNetwork(ring_topology(8),
+                          WanderingNetworkConfig(seed=1))
+    wn.run(until=300.0)
+    print(wn.snapshot())
+"""
+
+from .core import (Directive, Fact, Generation, Genome, Jet,
+                   KnowledgeBase, KnowledgeQuantum, Netbot, Ship, Shuttle,
+                   WanderingEngine, WanderingNetwork,
+                   WanderingNetworkConfig, congruence)
+from .functions import (ALL_ROLES, FIRST_LEVEL, SECOND_LEVEL, Role,
+                        RoleCatalog, default_catalog)
+from .routing import (DistanceVectorRouter, OverlayManager, QosDemand,
+                      StaticRouter, WLIAdaptiveRouter)
+from .substrates.phys import Datagram, Topology
+from .substrates.sim import Simulator
+from .verification import AdaptiveRoutingSpec, ModelChecker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Directive", "Fact", "Generation", "Genome", "Jet", "KnowledgeBase",
+    "KnowledgeQuantum", "Netbot", "Ship", "Shuttle", "WanderingEngine",
+    "WanderingNetwork", "WanderingNetworkConfig", "congruence",
+    "ALL_ROLES", "FIRST_LEVEL", "SECOND_LEVEL", "Role", "RoleCatalog",
+    "default_catalog", "DistanceVectorRouter", "OverlayManager",
+    "QosDemand", "StaticRouter", "WLIAdaptiveRouter", "Datagram",
+    "Topology", "Simulator", "AdaptiveRoutingSpec", "ModelChecker",
+    "__version__",
+]

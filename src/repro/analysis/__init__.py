@@ -1,0 +1,16 @@
+"""Analysis: metric collectors and role-distribution statistics."""
+
+from .architecture import (ArchitectureRecommendation, Placement,
+                           apply_recommendation, recommend_architecture)
+from .experiments import SweepResult, compare_sweeps, run_sweep
+from .metrics import (DeliveryCollector, LatencyCollector, LinkLoadCollector,
+                      TimeSeries, format_table)
+from .roles import (active_census, change_rate, entropy, role_census,
+                    role_entropy, specialization_events,
+                    virtual_outstanding_networks)
+
+__all__ = ["ArchitectureRecommendation", "Placement",
+           "apply_recommendation", "recommend_architecture", "SweepResult", "compare_sweeps", "run_sweep", "DeliveryCollector", "LatencyCollector", "LinkLoadCollector",
+           "TimeSeries", "format_table", "active_census", "change_rate",
+           "entropy", "role_census", "role_entropy",
+           "specialization_events", "virtual_outstanding_networks"]

@@ -1,0 +1,136 @@
+"""Architecture recommendation from wandering statistics.
+
+"Functions can change their hosts (ships), wander and settle down in
+other hosts, thus creating a valuable statistics about the frequency of
+usage of wandering functions in the network.  The results obtained
+after a careful evaluation of this data can be used for the design of
+new network architectures and topologies."  (Section E)
+
+This module is that evaluation: given a finished run's wandering events
+and role usage, it recommends the *next* network's static architecture —
+which functions should be provisioned modal (resident) and where — so
+the next deployment starts where the autopoietic one converged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, NamedTuple
+
+NodeId = Hashable
+
+
+class Placement(NamedTuple):
+    role_id: str
+    node: NodeId
+    score: float
+    reason: str
+
+
+class ArchitectureRecommendation(NamedTuple):
+    modal_placements: List[Placement]
+    retire: List[str]          # functions whose usage never materialized
+    notes: List[str]
+
+    def placements_for(self, role_id: str) -> List[Placement]:
+        return [p for p in self.modal_placements if p.role_id == role_id]
+
+
+def recommend_architecture(ships: Iterable,
+                           engine,
+                           min_handled: int = 10,
+                           churn_threshold: int = 3
+                           ) -> ArchitectureRecommendation:
+    """Evaluate a run and propose the next static architecture.
+
+    Heuristics (each traceable to the run's data):
+
+    * a function that handled ≥ ``min_handled`` packets at a ship is
+      proposed *modal* there (it earned residency);
+    * a function that wandered ≥ ``churn_threshold`` times without
+      accumulating usage anywhere is flagged for retirement (its demand
+      is too diffuse for static placement);
+    * a function that settled (migrated and then stayed) is proposed at
+      its final host.
+    """
+    ships = [s for s in ships if s.alive]
+    usage = engine.usage_statistics()
+
+    placements: List[Placement] = []
+    retire: List[str] = []
+    notes: List[str] = []
+
+    # Usage-earned residency.
+    handled_anywhere: Dict[str, int] = {}
+    for ship in ships:
+        for role_id, meta in ship.roles.items():
+            role = meta["role"]
+            handled_anywhere[role_id] = handled_anywhere.get(
+                role_id, 0) + role.packets_handled
+            if role_id == "fn.nextstep":
+                continue
+            if role.packets_handled >= min_handled:
+                placements.append(Placement(
+                    role_id, ship.ship_id, float(role.packets_handled),
+                    f"handled {role.packets_handled} packets here"))
+
+    # Settled migrations: the final hop of a migrate chain.
+    final_hosts: Dict[str, NodeId] = {}
+    for event in engine.events:
+        if event.kind == "migrate" and event.dst is not None:
+            final_hosts[event.role_id] = event.dst
+    alive_ids = {s.ship_id for s in ships}
+    for role_id, node in sorted(final_hosts.items()):
+        if node not in alive_ids:
+            continue
+        if not any(p.role_id == role_id and p.node == node
+                   for p in placements):
+            holder = next((s for s in ships if s.ship_id == node
+                           and s.has_role(role_id)), None)
+            if holder is not None:
+                placements.append(Placement(
+                    role_id, node, 1.0,
+                    "function migrated here and settled"))
+
+    # Retirement: heavily wandering, never productive.
+    for role_id, kinds in sorted(usage.items()):
+        wander_count = kinds.get("migrate", 0) + kinds.get("replicate", 0)
+        if (wander_count >= churn_threshold
+                and handled_anywhere.get(role_id, 0) < min_handled):
+            retire.append(role_id)
+            notes.append(
+                f"{role_id} wandered {wander_count}x but handled "
+                f"{handled_anywhere.get(role_id, 0)} packets — demand "
+                f"too diffuse for static placement")
+
+    placements.sort(key=lambda p: (-p.score, p.role_id, repr(p.node)))
+    if not placements:
+        notes.append("no function earned residency; keep the network "
+                     "fully dynamic")
+    return ArchitectureRecommendation(placements, retire, notes)
+
+
+def apply_recommendation(recommendation: ArchitectureRecommendation,
+                         network,
+                         max_per_role: int = 2) -> int:
+    """Provision a (fresh) WanderingNetwork per the recommendation.
+
+    Returns the number of modal deployments made.  Existing holders are
+    skipped; at most ``max_per_role`` instances are placed per role.
+    """
+    placed: Dict[str, int] = {}
+    deployed = 0
+    for placement in recommendation.modal_placements:
+        if placed.get(placement.role_id, 0) >= max_per_role:
+            continue
+        if placement.node not in network.ships:
+            continue
+        ship = network.ships[placement.node]
+        if ship.has_role(placement.role_id):
+            continue
+        if placement.role_id not in network.catalog:
+            continue
+        ship.acquire_role(network.catalog.create(placement.role_id),
+                          modal=True)
+        placed[placement.role_id] = placed.get(placement.role_id, 0) + 1
+        deployed += 1
+    return deployed

@@ -1,0 +1,85 @@
+"""Multi-seed experiment running and aggregation.
+
+Single-seed results from a stochastic simulation prove nothing about a
+*claim*; these helpers run a scenario across seeds and report
+mean ± std per metric, so benches can assert on aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+Metrics = Dict[str, float]
+Scenario = Callable[[int], Metrics]   # seed -> metrics
+
+
+class SweepResult:
+    """Per-seed metric dicts plus numpy aggregates."""
+
+    def __init__(self, name: str, per_seed: List[Tuple[int, Metrics]]):
+        self.name = name
+        self.per_seed = per_seed
+
+    @property
+    def seeds(self) -> List[int]:
+        return [seed for seed, _ in self.per_seed]
+
+    def values(self, metric: str) -> np.ndarray:
+        return np.asarray([m[metric] for _, m in self.per_seed],
+                          dtype=float)
+
+    def mean(self, metric: str) -> float:
+        return float(np.nanmean(self.values(metric)))
+
+    def std(self, metric: str) -> float:
+        return float(np.nanstd(self.values(metric)))
+
+    def min(self, metric: str) -> float:
+        return float(np.nanmin(self.values(metric)))
+
+    def max(self, metric: str) -> float:
+        return float(np.nanmax(self.values(metric)))
+
+    def ci95(self, metric: str):
+        """95% t-confidence interval (lo, hi) for the metric's mean."""
+        from scipy import stats
+        values = self.values(metric)
+        n = len(values)
+        mean = float(np.nanmean(values))
+        if n < 2:
+            return (mean, mean)
+        sem = float(np.nanstd(values, ddof=1)) / np.sqrt(n)
+        if sem == 0.0:
+            return (mean, mean)
+        half = float(stats.t.ppf(0.975, n - 1)) * sem
+        return (mean - half, mean + half)
+
+    def metrics(self) -> List[str]:
+        return sorted(self.per_seed[0][1]) if self.per_seed else []
+
+    def summary(self, metric: str) -> str:
+        return f"{self.mean(metric):.4g} ± {self.std(metric):.2g}"
+
+    def all_seeds_satisfy(self, predicate: Callable[[Metrics], bool]
+                          ) -> bool:
+        """True iff the predicate holds for every individual seed —
+        the strongest form of a shape claim."""
+        return all(predicate(metrics) for _, metrics in self.per_seed)
+
+    def __repr__(self) -> str:
+        return f"<SweepResult {self.name} seeds={self.seeds}>"
+
+
+def run_sweep(name: str, scenario: Scenario,
+              seeds: Iterable[int]) -> SweepResult:
+    """Run ``scenario(seed)`` for each seed and collect the metrics."""
+    per_seed = [(seed, scenario(seed)) for seed in seeds]
+    return SweepResult(name, per_seed)
+
+
+def compare_sweeps(metric: str, *sweeps: SweepResult
+                   ) -> List[Tuple[str, float, float]]:
+    """(name, mean, std) rows for one metric across variants."""
+    return [(s.name, s.mean(metric), s.std(metric)) for s in sweeps]

@@ -1,0 +1,148 @@
+"""Traffic/latency metric collectors for experiments and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class LatencyCollector:
+    """Collects end-to-end packet latencies at delivery points.
+
+    Attach with ``collector.attach(ship_or_router)`` — it registers an
+    ``on_deliver`` handler and measures ``now - packet.created_at``.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.samples: List[float] = []
+        self.per_flow: Dict[Hashable, List[float]] = {}
+
+    def attach(self, host) -> None:
+        host.on_deliver(self._on_deliver)
+
+    def _on_deliver(self, packet, from_node) -> None:
+        latency = self.sim.now - packet.created_at
+        self.samples.append(latency)
+        self.per_flow.setdefault(packet.flow_id, []).append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q)) \
+            if self.samples else float("nan")
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0, "mean": float("nan"), "p50": float("nan"),
+                    "p99": float("nan")}
+        arr = np.asarray(self.samples)
+        return {"count": len(arr), "mean": float(arr.mean()),
+                "p50": float(np.percentile(arr, 50)),
+                "p99": float(np.percentile(arr, 99))}
+
+
+class DeliveryCollector:
+    """Delivery-ratio accounting: sent vs received per flow."""
+
+    def __init__(self):
+        self.sent: Dict[Hashable, int] = {}
+        self.received: Dict[Hashable, int] = {}
+
+    def record_sent(self, flow_id: Hashable, n: int = 1) -> None:
+        self.sent[flow_id] = self.sent.get(flow_id, 0) + n
+
+    def attach(self, host) -> None:
+        host.on_deliver(self._on_deliver)
+
+    def _on_deliver(self, packet, from_node) -> None:
+        self.received[packet.flow_id] = \
+            self.received.get(packet.flow_id, 0) + 1
+
+    def ratio(self, flow_id: Optional[Hashable] = None) -> float:
+        if flow_id is not None:
+            sent = self.sent.get(flow_id, 0)
+            return self.received.get(flow_id, 0) / sent if sent else 0.0
+        total_sent = sum(self.sent.values())
+        total_recv = sum(self.received.values())
+        return total_recv / total_sent if total_sent else 0.0
+
+
+class LinkLoadCollector:
+    """Byte counts over selected links (backbone-load measurements)."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._baseline: Dict[str, int] = {}
+
+    def mark(self) -> None:
+        """Snapshot current counters; loads are measured since the mark."""
+        self._baseline = {l.name: l.bytes_carried
+                          for l in self.topology.links}
+
+    def bytes_since_mark(self,
+                         links: Optional[Iterable[str]] = None) -> int:
+        total = 0
+        wanted = set(links) if links is not None else None
+        for link in self.topology.links:
+            if wanted is not None and link.name not in wanted:
+                continue
+            total += link.bytes_carried - self._baseline.get(link.name, 0)
+        return total
+
+
+class TimeSeries:
+    """A sampled (time, value) series with numpy summaries."""
+
+    def __init__(self, name: str = "series"):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def sample(self, time: float, value: float) -> None:
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else float("nan")
+
+    def max(self) -> float:
+        return max(self.values) if self.values else float("nan")
+
+    def mean_after(self, t0: float) -> float:
+        tail = [v for t, v in zip(self.times, self.values) if t >= t0]
+        return float(np.mean(tail)) if tail else float("nan")
+
+    def is_nondecreasing(self, tolerance: float = 1e-9) -> bool:
+        return all(b >= a - tolerance
+                   for a, b in zip(self.values, self.values[1:]))
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Plain-text table rendering shared by benches and EXPERIMENTS.md."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

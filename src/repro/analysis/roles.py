@@ -1,0 +1,96 @@
+"""Role-distribution analysis: censuses, entropy, virtual networks.
+
+Figure 3's "virtual outstanding networks" are, operationally, the
+per-function node sets of one physical network: every function that is
+active somewhere induces a virtual network of the ships performing it.
+Figure 1's "always under construction" snapshot is the same census plus
+its change rate; the diversity of the construction is role entropy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+NodeId = Hashable
+
+
+def role_census(ships: Iterable) -> Dict[str, List[NodeId]]:
+    """role_id -> sorted ships *holding* the role (resident or active)."""
+    census: Dict[str, List[NodeId]] = {}
+    for ship in ships:
+        if not ship.alive:
+            continue
+        for role_id in ship.roles:
+            census.setdefault(role_id, []).append(ship.ship_id)
+    for members in census.values():
+        members.sort(key=repr)
+    return census
+
+
+def active_census(ships: Iterable) -> Dict[Optional[str], List[NodeId]]:
+    """active role -> sorted ships currently *performing* it."""
+    census: Dict[Optional[str], List[NodeId]] = {}
+    for ship in ships:
+        if not ship.alive:
+            continue
+        census.setdefault(ship.active_role_id, []).append(ship.ship_id)
+    for members in census.values():
+        members.sort(key=repr)
+    return census
+
+
+def virtual_outstanding_networks(ships: Iterable) -> Dict[str, List[NodeId]]:
+    """Figure 3's per-function virtual networks (active roles only)."""
+    return {role_id: members
+            for role_id, members in active_census(ships).items()
+            if role_id is not None}
+
+
+def entropy(distribution: Dict, base: float = 2.0) -> float:
+    """Shannon entropy of a {category: count-or-members} distribution."""
+    counts = []
+    for value in distribution.values():
+        counts.append(len(value) if hasattr(value, "__len__") else value)
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    h = 0.0
+    for count in counts:
+        if count > 0:
+            p = count / total
+            h -= p * math.log(p, base)
+    return h
+
+
+def role_entropy(ships: Iterable) -> float:
+    """Diversity of active roles across the network (Figure 1 metric).
+
+    0 when every ship performs the same function (homogeneous start);
+    grows as the autopoietic loop specializes the nodes.
+    """
+    return entropy(active_census(ships))
+
+
+def specialization_events(role_changes: Iterable[Tuple[float, Optional[str],
+                                                       str]]) -> int:
+    """Count role changes where a ship took on a new function."""
+    return sum(1 for _, prev, new in role_changes if prev != new)
+
+
+def change_rate(ships: Iterable, window: Tuple[float, float]) -> float:
+    """Role changes per ship per second inside a time window.
+
+    The Figure 1 claim is that a WN is "always being under
+    construction": the change rate stays positive at steady state.
+    """
+    start, end = window
+    if end <= start:
+        return 0.0
+    alive = [s for s in ships if s.alive]
+    if not alive:
+        return 0.0
+    changes = sum(
+        sum(1 for t, _, _ in ship.role_changes if start <= t < end)
+        for ship in alive)
+    return changes / (len(alive) * (end - start))

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``      run a small Wandering Network and print snapshots;
+``verify``    model-check the WLI protocol specs (routing x2, jets, docking);
+``figures``   regenerate the paper's figure artefacts (ASCII);
+``info``      print the library's systems inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Viator / Wandering Network — Simeonov (IPDPS 2002), "
+                    "reproduced.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="run a small autopoietic network")
+    demo.add_argument("--nodes", type=int, default=8)
+    demo.add_argument("--until", type=float, default=300.0)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--no-resonance", action="store_true")
+
+    verify = sub.add_parser("verify",
+                            help="model-check the WLI protocol specs")
+    verify.add_argument("--churn", type=int, default=2)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate the figure artefacts")
+    figures.add_argument("--seed", type=int, default=33)
+
+    sub.add_parser("info", help="systems inventory")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+def cmd_demo(args) -> int:
+    from .core import WanderingNetwork, WanderingNetworkConfig
+    from .functions import CachingRole, FusionRole
+    from .substrates.phys import ring_topology
+    from .viz import render_snapshot
+    from .workloads import ContentWorkload, MediaStreamSource
+
+    wn = WanderingNetwork(
+        ring_topology(args.nodes, latency=0.01),
+        WanderingNetworkConfig(seed=args.seed, pulse_interval=5.0,
+                               resonance_enabled=not args.no_resonance,
+                               resonance_threshold=2.0,
+                               min_attraction=0.5))
+    wn.deploy_role(CachingRole, at=0, activate=True)
+    wn.deploy_role(FusionRole, at=args.nodes // 2, activate=True)
+    ContentWorkload(wn.sim, wn.ships,
+                    clients=[args.nodes // 4, 3 * args.nodes // 4],
+                    origin=0, request_interval=0.5).start()
+    MediaStreamSource(wn.sim, wn.ships, 1, args.nodes - 2,
+                      rate_pps=4.0).start()
+    print(render_snapshot(wn.snapshot()))
+    wn.run(until=args.until)
+    print()
+    print(render_snapshot(wn.snapshot()))
+    print(f"\npulses={wn.engine.pulses} "
+          f"wander events={len(wn.engine.events)} "
+          f"entropy={wn.role_entropy():.3f}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .verification import (AdaptiveRoutingSpec, DockingSpec,
+                               JetReplicationSpec, ModelChecker,
+                               ProactiveRoutingSpec)
+
+    specs = [
+        AdaptiveRoutingSpec(nodes=("o", "a", "b", "t"),
+                            initial_links=[("o", "a"), ("a", "b"),
+                                           ("b", "t"), ("o", "b")],
+                            churn_budget=args.churn),
+        ProactiveRoutingSpec(nodes=("a", "b", "c", "t"),
+                             initial_links=[("a", "b"), ("b", "c"),
+                                            ("c", "t"), ("a", "c")],
+                             churn_budget=min(args.churn, 2)),
+        JetReplicationSpec(initial_budget=8, max_fanout=2),
+        DockingSpec(ship_classes=("server", "client", "agent",
+                                  "server")),
+    ]
+    failed = 0
+    for spec in specs:
+        result = ModelChecker(spec).check()
+        print(f"{spec.name}: {result.summary()}")
+        if not result.ok:
+            failed += 1
+            for violation in result.violations[:3]:
+                print(f"  {violation.kind} {violation.name}")
+    return 1 if failed else 0
+
+
+def cmd_figures(args) -> int:
+    from .core import WanderingNetwork, WanderingNetworkConfig
+    from .functions import CachingRole, FusionRole
+    from .routing import QosDemand
+    from .substrates.phys import figure3_topology
+    from .viz import render_overlays, render_snapshot, render_topology
+
+    wn = WanderingNetwork(figure3_topology(),
+                          WanderingNetworkConfig(seed=args.seed))
+    wn.deploy_role(FusionRole, at="N2", activate=True)
+    wn.deploy_role(CachingRole, at="N4", activate=True)
+    wn.overlays.spawn(QosDemand(max_link_latency=0.1, name="video"),
+                      overlay_id="overlay-video")
+    wn.overlays.spawn(QosDemand(name="bulk"), overlay_id="overlay-bulk")
+    print(render_topology(wn.topology))
+    print()
+    print(render_snapshot(wn.snapshot()))
+    print()
+    print(render_overlays(wn.overlays.snapshot()))
+    return 0
+
+
+def cmd_info(_args) -> int:
+    from .functions import ALL_ROLES, FIRST_LEVEL, SECOND_LEVEL
+
+    print(f"repro {__version__} — The Viator Approach, reproduced")
+    print("paper: Simeonov, IPDPS/FTPDS 2002, pp. 139-146")
+    print()
+    print("systems:")
+    for line in [
+        "  substrates: sim kernel, physical net (+mobility/radio),",
+        "              NodeOS, reconfigurable hardware, legacy IP,",
+        "              classic AN (ANTS-like)",
+        "  WLI core:   ships, shuttles, jets, netbots, knowledge quanta,",
+        "              genetics, resonance, DCP/SRP/MFP/PMP, 1G-4G ladder",
+        "  routing:    WLI adaptive ad-hoc, DV/flooding baselines,",
+        "              QoS overlays",
+        "  selfheal:   heartbeats, genome archive, reconstruction",
+        "  verify:     TLA-style checker + protocol specs",
+    ]:
+        print(line)
+    print()
+    print(f"function catalog ({len(ALL_ROLES)} roles):")
+    print("  first level:  "
+          + ", ".join(r.role_id for r in FIRST_LEVEL))
+    print("  second level: "
+          + ", ".join(r.role_id for r in SECOND_LEVEL))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
+    handler = {
+        "demo": cmd_demo,
+        "verify": cmd_verify,
+        "figures": cmd_figures,
+        "info": cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

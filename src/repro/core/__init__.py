@@ -1,0 +1,44 @@
+"""WLI core: the Viator paper's primary contribution, executable.
+
+Ships, shuttles, jets, netbots (the ployon manifestations), knowledge
+quanta (PMP), genetic transcoding, network resonance, the four WLI
+principles, the WN generation ladder, and the WanderingNetwork
+orchestrator.
+"""
+
+from .congruence import COMPONENT_WEIGHTS, CongruenceTracker, congruence
+from .feedback import Dimension, FeedbackBus, FeedbackController
+from .generations import Capability, Generation, capabilities, classify, supports
+from .genetics import Genome, TranscriptionReport, encode_ship, transcribe
+from .knowledge import (DEFAULT_DECAY_RATE, DEFAULT_THRESHOLD, Fact,
+                        KnowledgeBase, KnowledgeQuantum, NetFunction)
+from .metamorphosis import PulseReport, WanderEvent, WanderingEngine
+from .netbot import Netbot, NetbotState
+from .ployon import Manifestation, Ployon
+from .resonance import ResonanceField
+from .selfref import (CommunityDirectory, ReputationSystem, ShipAggregate,
+                      clusters_by_function)
+from .ship import Ship, ShipError
+from .shuttle import (ALL_OPS, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,
+                      OP_DEPLOY_QUANTUM, OP_INSTALL_CODE, OP_INSTALL_DRIVER,
+                      OP_LOAD_BITSTREAM, OP_RELEASE_ROLE, OP_REQUEST_STATE,
+                      OP_SET_NEXT_STEP, OP_TRANSCRIBE_GENOME, Directive,
+                      Jet, Shuttle)
+from .wandering_network import WanderingNetwork, WanderingNetworkConfig
+
+__all__ = [
+    "COMPONENT_WEIGHTS", "CongruenceTracker", "congruence", "Dimension",
+    "FeedbackBus", "FeedbackController", "Capability", "Generation",
+    "capabilities", "classify", "supports", "Genome",
+    "TranscriptionReport", "encode_ship", "transcribe",
+    "DEFAULT_DECAY_RATE", "DEFAULT_THRESHOLD", "Fact", "KnowledgeBase",
+    "KnowledgeQuantum", "NetFunction", "PulseReport", "WanderEvent",
+    "WanderingEngine", "Netbot", "NetbotState", "Manifestation", "Ployon",
+    "ResonanceField", "CommunityDirectory", "ReputationSystem",
+    "ShipAggregate", "clusters_by_function", "Ship", "ShipError",
+    "ALL_OPS", "Directive", "Jet", "Shuttle", "WanderingNetwork",
+    "WanderingNetworkConfig", "OP_ACQUIRE_ROLE", "OP_ACTIVATE_ROLE",
+    "OP_DEPLOY_QUANTUM", "OP_INSTALL_CODE", "OP_INSTALL_DRIVER",
+    "OP_LOAD_BITSTREAM", "OP_RELEASE_ROLE", "OP_REQUEST_STATE",
+    "OP_SET_NEXT_STEP", "OP_TRANSCRIBE_GENOME",
+]

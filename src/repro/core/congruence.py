@@ -1,0 +1,114 @@
+"""The Dualistic Congruence Principle (DCP) machinery.
+
+"The Dualistic Congruence Principle states that a ship's architecture
+reflects the shuttle's structure at some previous step and vice versa."
+
+This module provides the *measure* side of the principle: a congruence
+score between two ployon structures, and a per-ship tracker that
+verifies, over time, that processing shuttles actually pulls the ship's
+architecture toward the structures it processed (and that emitted
+shuttles reflect the ship).  The *mechanism* side lives in the ship's
+shuttle interpreter (directives change architecture) and in
+:meth:`~repro.core.shuttle.Shuttle.morph_for` (shuttles adapt to ships).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple
+
+#: Weights of the structural components in the congruence score.
+COMPONENT_WEIGHTS = {
+    "functions": 0.45,
+    "hardware": 0.2,
+    "knowledge": 0.2,
+    "interface": 0.15,
+}
+
+
+def _jaccard(a, b) -> float:
+    sa, sb = set(a or ()), set(b or ())
+    if not sa and not sb:
+        return 1.0
+    union = sa | sb
+    return len(sa & sb) / len(union)
+
+
+def congruence(structure_a: Dict[str, Any],
+               structure_b: Dict[str, Any]) -> float:
+    """Weighted structural similarity of two ployons, in [0, 1].
+
+    1.0 means the ship's architecture and the shuttle's structure are
+    images of each other in the shared ployon vocabulary.
+    """
+    score = 0.0
+    for key, weight in COMPONENT_WEIGHTS.items():
+        score += weight * _jaccard(structure_a.get(key),
+                                   structure_b.get(key))
+    return score
+
+
+class CongruenceTracker:
+    """Observes a ship's DCP behaviour over a sliding window.
+
+    ``record_processed`` is called with a shuttle's structure and the
+    ship's structure *after* processing it; ``record_emitted`` with a
+    shuttle the ship created.  ``reflection_gain`` answers the DCP
+    question directly: did processing the shuttle move the ship's
+    structure toward the shuttle's?
+    """
+
+    def __init__(self, window: int = 64):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._processed: Deque[Tuple[float, float, float]] = deque(
+            maxlen=window)  # (time, congruence_before, congruence_after)
+        self._emitted: Deque[Tuple[float, float]] = deque(maxlen=window)
+        self.shuttles_processed = 0
+        self.shuttles_emitted = 0
+
+    def record_processed(self, now: float,
+                         shuttle_structure: Dict[str, Any],
+                         ship_before: Dict[str, Any],
+                         ship_after: Dict[str, Any]) -> float:
+        before = congruence(ship_before, shuttle_structure)
+        after = congruence(ship_after, shuttle_structure)
+        self._processed.append((now, before, after))
+        self.shuttles_processed += 1
+        return after
+
+    def record_emitted(self, now: float,
+                       shuttle_structure: Dict[str, Any],
+                       ship_structure: Dict[str, Any]) -> float:
+        score = congruence(ship_structure, shuttle_structure)
+        self._emitted.append((now, score))
+        self.shuttles_emitted += 1
+        return score
+
+    # -- DCP verdicts ------------------------------------------------------
+    def reflection_gain(self) -> float:
+        """Mean (after - before) congruence across processed shuttles.
+
+        Positive means the ship's architecture moves toward the shuttle
+        structures it processes — the forward direction of the DCP.
+        """
+        if not self._processed:
+            return 0.0
+        return sum(after - before
+                   for _, before, after in self._processed) / len(self._processed)
+
+    def emission_congruence(self) -> float:
+        """Mean congruence of emitted shuttles with the emitting ship —
+        the reverse direction of the DCP ("and vice versa")."""
+        if not self._emitted:
+            return 0.0
+        return sum(score for _, score in self._emitted) / len(self._emitted)
+
+    def history(self) -> List[Tuple[float, float, float]]:
+        return list(self._processed)
+
+    def __repr__(self) -> str:
+        return (f"<CongruenceTracker processed={self.shuttles_processed} "
+                f"gain={self.reflection_gain():+.3f} "
+                f"emit={self.emission_congruence():.3f}>")

@@ -1,0 +1,74 @@
+"""The four generations of Wandering Networks (Section B).
+
+* **1G** — "most of the traditional active network approaches as known
+  to be programmable at the highest execution environment layer"
+  (ANTS-class systems).
+* **2G** — "programmability at both execution environment (EE) and node
+  operating system (NodeOS) layer" (ANON, Tempest, Genesis).
+* **3G** — "programmability at the last layer of networking, an active
+  node's hardware and switching circuitry" (no 2002 system qualified).
+* **4G** — "characterized by adaptive self-distribution and
+  replication" — the Viator approach itself.
+
+Each generation is a capability set enforced by the ship's shuttle
+interpreter; the generation ladder benchmark sweeps them.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import FrozenSet
+
+
+class Generation(IntEnum):
+    G1 = 1
+    G2 = 2
+    G3 = 3
+    G4 = 4
+
+
+class Capability:
+    EE_PROGRAMMING = "ee-programming"        # install/run EE code
+    NODEOS_PROGRAMMING = "nodeos-programming"  # drivers, EE layout changes
+    HW_RECONFIGURATION = "hw-reconfiguration"  # bitstreams, netbot docking
+    SELF_DISTRIBUTION = "self-distribution"    # jets, genome transcription
+    ROLE_WANDERING = "role-wandering"          # autonomous role migration
+
+
+_CAPABILITIES = {
+    Generation.G1: frozenset({Capability.EE_PROGRAMMING}),
+    Generation.G2: frozenset({Capability.EE_PROGRAMMING,
+                              Capability.NODEOS_PROGRAMMING}),
+    Generation.G3: frozenset({Capability.EE_PROGRAMMING,
+                              Capability.NODEOS_PROGRAMMING,
+                              Capability.HW_RECONFIGURATION}),
+    Generation.G4: frozenset({Capability.EE_PROGRAMMING,
+                              Capability.NODEOS_PROGRAMMING,
+                              Capability.HW_RECONFIGURATION,
+                              Capability.SELF_DISTRIBUTION,
+                              Capability.ROLE_WANDERING}),
+}
+
+
+def capabilities(generation: Generation) -> FrozenSet[str]:
+    return _CAPABILITIES[Generation(generation)]
+
+
+def supports(generation: Generation, capability: str) -> bool:
+    return capability in _CAPABILITIES[Generation(generation)]
+
+
+def classify(*, ee_programmable: bool = False,
+             nodeos_programmable: bool = False,
+             hw_reconfigurable: bool = False,
+             self_distributing: bool = False) -> Generation:
+    """Classify a system into the WN generation ladder (Section B)."""
+    if self_distributing:
+        return Generation.G4
+    if hw_reconfigurable:
+        return Generation.G3
+    if nodeos_programmable:
+        return Generation.G2
+    if ee_programmable:
+        return Generation.G1
+    raise ValueError("not an active network: no programmability at all")

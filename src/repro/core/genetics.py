@@ -1,0 +1,147 @@
+"""Genetic transcoding (PMP.5 and the "Node Genesis" contribution).
+
+"Network elements can encode and decode their state in knowledge quanta.
+This mechanism is called *genetic transcoding*." and contribution 3,
+*Node Genesis* ("N"-geneering): "encoding and embedding the structural
+information about a mobile node, the ship, and its environment into the
+executable part of the active packets, the shuttles."
+
+A :class:`Genome` is the serialized architecture of a ship: its modal
+and auxiliary functions, EE layout, hardware configuration, and a digest
+of its communication patterns.  Shuttles carry genomes; a receiving ship
+can *transcribe* one to clone or repair structure (self-healing uses
+this to reconstruct a dead ship's functionality elsewhere).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Dict, Hashable, List, Optional
+
+_genome_ids = itertools.count(1)
+
+
+class Genome:
+    """Serialized structural information about a ship.
+
+    The payload is a plain JSON-able dict so its wire size is honest and
+    the structure survives ship-to-ship transport unchanged.
+    """
+
+    __slots__ = ("genome_id", "ship_id", "ship_class", "encoded_at",
+                 "payload")
+
+    def __init__(self, ship_id: Hashable, ship_class: str,
+                 payload: Dict[str, Any], encoded_at: float = 0.0):
+        self.genome_id = next(_genome_ids)
+        self.ship_id = ship_id
+        self.ship_class = ship_class
+        self.encoded_at = float(encoded_at)
+        self.payload = payload
+
+    @property
+    def size_bytes(self) -> int:
+        return 32 + len(json.dumps(self.payload, sort_keys=True,
+                                   default=str))
+
+    @property
+    def modal_roles(self) -> List[str]:
+        return list(self.payload.get("modal_roles", []))
+
+    @property
+    def auxiliary_roles(self) -> List[str]:
+        return list(self.payload.get("auxiliary_roles", []))
+
+    @property
+    def active_role(self) -> Optional[str]:
+        return self.payload.get("active_role")
+
+    @property
+    def hardware_functions(self) -> List[str]:
+        return list(self.payload.get("hardware", {}).get("functions", []))
+
+    @property
+    def communication_pattern(self) -> Dict[str, int]:
+        return dict(self.payload.get("comm_pattern", {}))
+
+    def __repr__(self) -> str:
+        return (f"<Genome #{self.genome_id} of {self.ship_id} "
+                f"({self.ship_class}) {self.size_bytes}B>")
+
+
+def encode_ship(ship, now: float) -> Genome:
+    """Encode a ship's architecture and environment into a genome.
+
+    Works against the Ship interface (duck-typed so tests can encode
+    minimal stand-ins): ``nodeos``, ``fabric_hw``, ``roles``,
+    ``active_role_id``, ``ship_class``, ``comm_pattern()``,
+    ``knowledge`` (optional).
+    """
+    nodeos_desc = ship.nodeos.describe()
+    payload: Dict[str, Any] = {
+        "modal_roles": sorted(r for r, meta in ship.roles.items()
+                              if meta["modal"]),
+        "auxiliary_roles": sorted(r for r, meta in ship.roles.items()
+                                  if not meta["modal"]),
+        "active_role": ship.active_role_id,
+        "ees": nodeos_desc["ees"],
+        "drivers": nodeos_desc["drivers"],
+        "hardware": ship.fabric_hw.describe(),
+        "comm_pattern": ship.comm_pattern(),
+    }
+    kb = getattr(ship, "knowledge", None)
+    if kb is not None:
+        payload["fact_classes"] = {
+            cls: round(kb.class_weight(cls, now), 4)
+            for cls in sorted(kb.classes())}
+    return Genome(ship.ship_id, ship.ship_class, payload, encoded_at=now)
+
+
+class TranscriptionReport:
+    """What changed when a genome was transcribed into a ship."""
+
+    def __init__(self):
+        self.roles_acquired: List[str] = []
+        self.roles_already_present: List[str] = []
+        self.roles_unavailable: List[str] = []
+        self.activated: Optional[str] = None
+
+    @property
+    def any_change(self) -> bool:
+        return bool(self.roles_acquired or self.activated)
+
+    def __repr__(self) -> str:
+        return (f"<Transcription acquired={self.roles_acquired} "
+                f"activated={self.activated}>")
+
+
+def transcribe(genome: Genome, ship, catalog,
+               include_auxiliary: bool = True,
+               activate: bool = True) -> TranscriptionReport:
+    """Apply a genome to a ship: acquire the encoded roles.
+
+    ``catalog`` maps role ids to role factories (the network's function
+    catalog); roles absent from it cannot be reconstructed and are
+    reported in ``roles_unavailable``.
+    """
+    report = TranscriptionReport()
+    wanted = list(genome.modal_roles)
+    if include_auxiliary:
+        wanted += genome.auxiliary_roles
+    for role_id in wanted:
+        if ship.has_role(role_id):
+            report.roles_already_present.append(role_id)
+            continue
+        factory = catalog.get(role_id)
+        if factory is None:
+            report.roles_unavailable.append(role_id)
+            continue
+        ship.acquire_role(factory(), modal=role_id in genome.modal_roles)
+        report.roles_acquired.append(role_id)
+    target = genome.active_role
+    if activate and target is not None and ship.has_role(target):
+        if ship.active_role_id != target:
+            ship.assign_role(target)
+            report.activated = target
+    return report

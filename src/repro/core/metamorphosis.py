@@ -1,0 +1,303 @@
+"""The Pulsating Metamorphosis Principle (PMP) engine.
+
+Definition 3.1: "There are two types of moving network functionality
+from the center to the periphery and vice versa inside a Wandering
+Network referred to as pulsating metamorphosis: *horizontal*, or
+inter-node, and *vertical*, or intra-node, transition."
+
+The :class:`WanderingEngine` drives both on a periodic *pulse*:
+
+* **fact lifetime** — sweep each ship's knowledge base; functions whose
+  supporting facts died are released (PMP.3: function lifetime follows
+  fact lifetime);
+* **vertical transition** — consume the Next-Step switch: the stored
+  role becomes the ship's active function (Figure 4's in-pulsing);
+* **network resonance** — functions self-emerge on ships whose live
+  knowledge resonates with them (PMP.4);
+* **horizontal transition** — functions wander between ships toward the
+  knowledge (demand) that sustains them, by emitting role shuttles
+  (Figure 3's ex-pulsing); a function whose local support collapsed
+  *moves* (released at the origin), otherwise it *replicates*.
+
+Every event is recorded, "creating a valuable statistics about the
+frequency of usage of wandering functions in the network".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, NamedTuple, Optional, Tuple
+
+from ..functions import DelegationRole, NextStepRole
+from .generations import Capability, supports
+from .resonance import ResonanceField
+
+NodeId = Hashable
+
+
+class WanderEvent(NamedTuple):
+    time: float
+    kind: str          # "migrate" / "replicate" / "emerge" / "die" / "switch"
+    role_id: str
+    src: Optional[NodeId]
+    dst: Optional[NodeId]
+
+
+class PulseReport(NamedTuple):
+    time: float
+    facts_evicted: int
+    functions_died: int
+    vertical_switches: int
+    migrations: int
+    replications: int
+    emergences: int
+
+
+class WanderingEngine:
+    """Drives horizontal and vertical functional wandering."""
+
+    def __init__(self, sim, ships: Dict[NodeId, object], catalog,
+                 credential=None,
+                 resonance: Optional[ResonanceField] = None,
+                 migrate_bias: float = 1.5,
+                 settle_threshold: float = 0.5,
+                 min_attraction: float = 1.0,
+                 max_migrations_per_pulse: int = 4,
+                 enable_horizontal: bool = True,
+                 enable_vertical: bool = True,
+                 excluded=None):
+        if migrate_bias < 1.0:
+            raise ValueError("migrate_bias must be >= 1.0")
+        self.sim = sim
+        self.ships = ships
+        self.catalog = catalog
+        self.credential = credential
+        self.resonance = resonance
+        self.migrate_bias = float(migrate_bias)
+        self.settle_threshold = float(settle_threshold)
+        self.min_attraction = float(min_attraction)
+        self.max_migrations_per_pulse = int(max_migrations_per_pulse)
+        self.enable_horizontal = enable_horizontal
+        self.enable_vertical = enable_vertical
+        #: SRP.1 hook: ``excluded(node_id) -> bool``.  Ships excluded
+        #: from the community ("otherwise they [are] excluded") never
+        #: receive wandering functions.
+        self.excluded = excluded or (lambda node: False)
+        self.events: List[WanderEvent] = []
+        self.pulses = 0
+        self.reports: List[PulseReport] = []
+
+    # -- helpers ------------------------------------------------------------
+    def _alive_ships(self) -> List:
+        return [s for s in self.ships.values() if s.alive]
+
+    def attraction(self, ship, role_cls) -> float:
+        """Demand for a role at a ship: live weight of its fact classes."""
+        now = self.sim.now
+        return sum(ship.knowledge.class_weight(cls, now)
+                   for cls in role_cls.supporting_fact_classes)
+
+    # -- the pulse ------------------------------------------------------------
+    def pulse(self) -> PulseReport:
+        now = self.sim.now
+        facts_evicted = 0
+        functions_died = 0
+        switches = 0
+        emergences = 0
+
+        for ship in self._alive_ships():
+            # 1. Fact lifetime (PMP.3).
+            facts_evicted += len(ship.knowledge.sweep(now))
+            # 2. Function death follows fact death.
+            functions_died += self._expire_functions(ship)
+            # 3. Vertical transition: the Next-Step switch.
+            if self.enable_vertical:
+                switches += self._vertical_step(ship)
+
+        # 4. Network resonance (PMP.4).
+        if self.resonance is not None:
+            self.resonance.observe(self._alive_ships())
+            emergences = self._resonance_step()
+
+        # 5. Horizontal wandering.
+        migrations = replications = 0
+        if self.enable_horizontal:
+            migrations, replications = self._horizontal_step()
+
+        self.pulses += 1
+        report = PulseReport(now, facts_evicted, functions_died, switches,
+                             migrations, replications, emergences)
+        self.reports.append(report)
+        self.sim.trace.emit("pmp.pulse", **report._asdict())
+        return report
+
+    # -- stage implementations ------------------------------------------------
+    def _expire_functions(self, ship) -> int:
+        died = 0
+        for role_id in ship.expired_functions():
+            meta = ship.roles[role_id]
+            if meta["modal"] or role_id == NextStepRole.role_id:
+                continue  # resident default services do not fact-expire
+            role = meta["role"]
+            if role.packets_handled == 0 and role.packets_seen == 0:
+                # Grace for never-exercised functions freshly deployed.
+                continue
+            ship.release_role(role_id)
+            died += 1
+            self.events.append(WanderEvent(self.sim.now, "die", role_id,
+                                           ship.ship_id, None))
+        return died
+
+    def _vertical_step(self, ship) -> int:
+        next_role = ship.next_step.take_next()
+        if next_role is None:
+            # Contribution 1 (Role Change): functionality "resident on
+            # the node and waiting to be activated" starts performing
+            # when local demand supports it and the ship is idle.
+            if ship.active_role_id is not None:
+                return 0
+            best, best_attraction = None, self.min_attraction
+            for role_id in sorted(ship.roles):
+                meta = ship.roles[role_id]
+                if role_id == NextStepRole.role_id:
+                    continue
+                attraction = self.attraction(ship, type(meta["role"]))
+                if attraction > best_attraction:
+                    best, best_attraction = role_id, attraction
+            if best is None:
+                return 0
+            next_role = best
+        if not ship.has_role(next_role):
+            if next_role not in self.catalog:
+                return 0
+            ship.acquire_role(self.catalog.create(next_role))
+        ship.assign_role(next_role)
+        self.events.append(WanderEvent(self.sim.now, "switch", next_role,
+                                       ship.ship_id, ship.ship_id))
+        return 1
+
+    def _resonance_step(self) -> int:
+        emerged = 0
+        for ship in self._alive_ships():
+            # Self-creation is the defining 4G capability.
+            if not supports(ship.generation, Capability.SELF_DISTRIBUTION):
+                continue
+            for function_id, score in self.resonance.emergent_candidates(
+                    ship, self.catalog):
+                ship.acquire_role(self.catalog.create(function_id))
+                # An idle ship starts performing the function that
+                # emerged on it (the Figure 1 specialization story).
+                if ship.active_role_id is None:
+                    ship.assign_role(function_id)
+                self.resonance.record_emergence(ship.ship_id, function_id,
+                                                score)
+                self.events.append(WanderEvent(self.sim.now, "emerge",
+                                               function_id, None,
+                                               ship.ship_id))
+                emerged += 1
+        return emerged
+
+    def _horizontal_step(self) -> Tuple[int, int]:
+        migrations = replications = 0
+        budget = self.max_migrations_per_pulse
+        for ship in self._alive_ships():
+            if budget <= 0:
+                break
+            # Autonomous role wandering is a 4G capability.
+            if not supports(ship.generation, Capability.ROLE_WANDERING):
+                continue
+            for role_id in sorted(ship.roles):
+                if budget <= 0:
+                    break
+                meta = ship.roles[role_id]
+                if role_id == NextStepRole.role_id or meta["modal"]:
+                    continue
+                moved = self._consider_wandering(ship, role_id, meta)
+                if moved == "migrate":
+                    migrations += 1
+                    budget -= 1
+                elif moved == "replicate":
+                    replications += 1
+                    budget -= 1
+        return migrations, replications
+
+    def _consider_wandering(self, ship, role_id: str,
+                            meta) -> Optional[str]:
+        role_cls = type(meta["role"])
+        local = self.attraction(ship, role_cls)
+        target, forced_move = self._pick_target(ship, role_id, role_cls,
+                                                local)
+        if target is None:
+            return None
+        # Collapsed local support means the function *moves* (and keeps
+        # running at its new host); otherwise it replicates, arriving
+        # resident for the target's own vertical engine to activate.
+        # A delegate following its user always moves — being closer
+        # strictly dominates staying.
+        migrating = forced_move or local < self.settle_threshold
+        was_active = ship.active_role_id == role_id
+        shuttle = ship.make_role_shuttle(
+            role_id, target, credential=self.credential,
+            activate=migrating and was_active)
+        if not ship.send_toward(shuttle):
+            return None
+        if migrating:
+            ship.release_role(role_id)
+            self.events.append(WanderEvent(self.sim.now, "migrate",
+                                           role_id, ship.ship_id, target))
+            return "migrate"
+        self.events.append(WanderEvent(self.sim.now, "replicate", role_id,
+                                       ship.ship_id, target))
+        return "replicate"
+
+    def _pick_target(self, ship, role_id: str, role_cls,
+                     local: float) -> Tuple[Optional[NodeId], bool]:
+        """Where should this role wander?  Returns (target, forced_move)."""
+        # Delegation follows its users: migrate toward the dominant
+        # task origin (the nomadic-service example of Section D).
+        if role_id == DelegationRole.role_id:
+            origin = ship.roles[role_id]["role"].dominant_origin()
+            if origin is not None and origin != ship.ship_id:
+                neighbor = self._neighbor_toward(ship, origin)
+                if neighbor is not None:
+                    target_ship = self.ships.get(neighbor)
+                    if (target_ship is not None and target_ship.alive
+                            and not self.excluded(neighbor)
+                            and not target_ship.has_role(role_id)):
+                        return neighbor, True
+        best_target, best_attraction = None, max(
+            local * self.migrate_bias, self.min_attraction)
+        for neighbor in sorted(ship.neighbors(), key=repr):
+            other = self.ships.get(neighbor)
+            if other is None or not other.alive or other.has_role(role_id):
+                continue
+            if self.excluded(neighbor):
+                continue
+            attraction = self.attraction(other, role_cls)
+            if attraction > best_attraction:
+                best_target, best_attraction = neighbor, attraction
+        return best_target, False
+
+    def _neighbor_toward(self, ship, destination: NodeId) -> Optional[NodeId]:
+        if destination in ship.neighbors():
+            return destination
+        path = ship.fabric.topology.path(ship.ship_id, destination,
+                                         weight="hops")
+        if path is not None and len(path) > 1:
+            return path[1]
+        return None
+
+    # -- statistics (Section E: wandering-function usage) -----------------------
+    def usage_statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-role counts of each wandering event kind."""
+        stats: Dict[str, Dict[str, int]] = {}
+        for event in self.events:
+            per_role = stats.setdefault(event.role_id, {})
+            per_role[event.kind] = per_role.get(event.kind, 0) + 1
+        return stats
+
+    def events_of_kind(self, kind: str) -> List[WanderEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __repr__(self) -> str:
+        return (f"<WanderingEngine pulses={self.pulses} "
+                f"events={len(self.events)}>")

@@ -1,0 +1,145 @@
+"""Netbots: autonomous mobile hardware components.
+
+"Autonomous mobile hardware components (*netbots*) take care for
+delivering their own 'driver' routines (mobile code) at 'docking time'
+on the ship."
+
+A netbot is *physical* cargo: it travels the topology hop by hop at
+freight speed (orders slower than packets), re-planning its path at
+every hop so it survives topology churn.  On arrival it first injects
+its driver into the ship's NodeOS (the mobile code it carries), then
+docks its hardware module into a backplane slot — the driver-before-
+circuitry synchronization of footnote 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Tuple
+
+from ..substrates.hardware import HardwareError, HardwareModule
+from ..substrates.sim import Simulator, Timeout, spawn
+
+NodeId = Hashable
+
+_netbot_ids = itertools.count(1)
+
+
+class NetbotState:
+    IDLE = "idle"
+    IN_TRANSIT = "in-transit"
+    DOCKED = "docked"
+    STRANDED = "stranded"
+    REJECTED = "rejected"
+
+
+class Netbot:
+    """One autonomous plug-and-play hardware component on the move."""
+
+    def __init__(self, sim: Simulator, module: HardwareModule,
+                 location: NodeId, credential=None,
+                 hop_transit_time: float = 30.0):
+        if hop_transit_time <= 0:
+            raise ValueError("hop_transit_time must be positive")
+        self.netbot_id = next(_netbot_ids)
+        self.sim = sim
+        self.module = module
+        self.location = location
+        self.credential = credential
+        self.hop_transit_time = float(hop_transit_time)
+        self.state = NetbotState.IDLE
+        self.hops_travelled = 0
+        self.docked_slot = None
+        self.itinerary: List[Tuple[float, NodeId]] = [(sim.now, location)]
+
+    def dispatch(self, ships: Dict[NodeId, object], target: NodeId):
+        """Travel to ``target`` and dock there; returns the process.
+
+        ``ships`` maps node ids to Ship objects (the netbot needs the
+        target's NodeOS and backplane at docking time, plus the topology
+        through any member's fabric).
+        """
+        if self.state == NetbotState.IN_TRANSIT:
+            raise RuntimeError(f"netbot #{self.netbot_id} already moving")
+        return spawn(self.sim, self._travel(ships, target),
+                     name=f"netbot-{self.netbot_id}")
+
+    # -- the journey --------------------------------------------------------
+    def _travel(self, ships: Dict[NodeId, object], target: NodeId):
+        self.state = NetbotState.IN_TRANSIT
+        self.sim.trace.emit("netbot.depart", netbot=self.netbot_id,
+                            frm=self.location, to=target)
+        topology = self._topology(ships)
+        max_replans = 50
+        replans = 0
+        while self.location != target:
+            path = topology.path(self.location, target, weight="hops")
+            if path is None or len(path) < 2:
+                replans += 1
+                if replans > max_replans:
+                    self.state = NetbotState.STRANDED
+                    self.sim.trace.emit("netbot.stranded",
+                                        netbot=self.netbot_id,
+                                        at=self.location)
+                    return False
+                # Wait for the topology to change, then re-plan.
+                yield Timeout(self.hop_transit_time)
+                continue
+            next_hop = path[1]
+            yield Timeout(self.hop_transit_time)
+            if not (topology.has_link(self.location, next_hop)
+                    and topology.link(self.location, next_hop).up):
+                continue  # the link vanished mid-transit; re-plan
+            self.location = next_hop
+            self.hops_travelled += 1
+            self.itinerary.append((self.sim.now, next_hop))
+            self.sim.trace.emit("netbot.hop", netbot=self.netbot_id,
+                                at=next_hop)
+        return self._dock(ships.get(target))
+
+    def _topology(self, ships: Dict[NodeId, object]):
+        any_ship = next(iter(ships.values()))
+        return any_ship.fabric.topology
+
+    # -- docking --------------------------------------------------------------
+    def _dock(self, ship) -> bool:
+        """Driver first, then circuitry (footnote 6's synchronization)."""
+        if ship is None or not ship.alive:
+            self.state = NetbotState.STRANDED
+            return False
+        try:
+            ship.nodeos.install_driver(self.module.driver,
+                                       cred=self.credential)
+        except PermissionError:
+            self.state = NetbotState.REJECTED
+            self.sim.trace.emit("netbot.rejected", netbot=self.netbot_id,
+                                ship=ship.ship_id, reason="driver-denied")
+            return False
+        try:
+            self.docked_slot = ship.backplane.dock(self.module, ship.nodeos)
+        except HardwareError as exc:
+            self.state = NetbotState.REJECTED
+            self.sim.trace.emit("netbot.rejected", netbot=self.netbot_id,
+                                ship=ship.ship_id, reason=str(exc))
+            return False
+        self.state = NetbotState.DOCKED
+        ship.reconfig_events.append(
+            (self.sim.now, "hardware", ship.backplane.DOCK_SECONDS))
+        self.sim.trace.emit("netbot.dock", netbot=self.netbot_id,
+                            ship=ship.ship_id,
+                            function=self.module.function_id)
+        return True
+
+    def undock(self, ship) -> bool:
+        if self.state != NetbotState.DOCKED or self.docked_slot is None:
+            return False
+        ship.backplane.eject(self.docked_slot)
+        self.docked_slot = None
+        self.state = NetbotState.IDLE
+        self.sim.trace.emit("netbot.undock", netbot=self.netbot_id,
+                            ship=ship.ship_id)
+        return True
+
+    def __repr__(self) -> str:
+        return (f"<Netbot #{self.netbot_id} {self.module.function_id} "
+                f"{self.state} at={self.location}>")

@@ -1,0 +1,47 @@
+"""Ployons: the dual active-component abstraction (DCP, principle 1).
+
+"The Wandering Logic model is based on: a) the dual nature of the
+*ployons*, the active [mobile] network component abstractions in their
+two manifestations, ships (active mobile nodes) and shuttles (active
+gene-coded packets), and b) on their congruence."
+
+Every ployon exposes a :meth:`Ployon.structure` descriptor — the common
+structural language in which the Dualistic Congruence Principle compares
+a ship's architecture with a shuttle's structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict
+
+_ployon_ids = itertools.count(1)
+
+
+class Manifestation:
+    SHIP = "ship"
+    SHUTTLE = "shuttle"
+
+
+class Ployon:
+    """Base of both manifestations of the WLI component abstraction."""
+
+    manifestation: str = "ployon"
+
+    def __init__(self):
+        self.ployon_id = next(_ployon_ids)
+
+    def structure(self) -> Dict[str, Any]:
+        """A structural descriptor in the shared ployon vocabulary.
+
+        Keys used by the congruence measure:
+
+        * ``functions`` — role/code ids present (sorted tuple);
+        * ``hardware`` — hardware function ids (sorted tuple);
+        * ``knowledge`` — fact classes represented (sorted tuple);
+        * ``interface`` — the encoding/protocol surface (sorted tuple).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ployon#{self.ployon_id}>"

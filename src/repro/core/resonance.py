@@ -1,0 +1,158 @@
+"""Network resonance (PMP.4) — functions emerging by structural coupling.
+
+"A net function can emerge on its own (the autopoiesis principle) by
+getting in touch with other net functions (i.e. states and net
+constellations), facts, user interactions or other transmitted
+information.  This new property of the network is called *network
+resonance*. ... clusters and constellations of network elements or
+their functions can be (self-)correlated, i.e. structurally coupled,
+and/or (self-)organized in groups, classes and patterns and stored in
+the cache of the single nodes/ships or in the (centralized) long term
+memory of the network."
+
+Implementation: a decaying co-occurrence matrix R[function, fact_class]
+accumulated by observing all ships (the network's "long term memory").
+A function *resonates* with a ship when the ship's live fact classes
+couple strongly with the function across the network; crossing the
+emergence threshold self-instantiates the function there.  The matrix
+is numpy-backed — the observe sweep is the hot path of the autopoietic
+pulse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+import numpy as np
+
+
+class ResonanceField:
+    """The network's long-term structural-coupling memory."""
+
+    def __init__(self, sim, decay: float = 0.9,
+                 emergence_threshold: float = 3.0,
+                 max_emergent_per_pulse: int = 1):
+        if not (0.0 < decay <= 1.0):
+            raise ValueError(f"decay out of (0,1]: {decay}")
+        if emergence_threshold <= 0:
+            raise ValueError("emergence threshold must be positive")
+        self.sim = sim
+        self.decay = float(decay)
+        self.emergence_threshold = float(emergence_threshold)
+        self.max_emergent_per_pulse = int(max_emergent_per_pulse)
+        self._functions: Dict[str, int] = {}
+        self._classes: Dict[str, int] = {}
+        self._matrix = np.zeros((0, 0))
+        self.observations = 0
+        self.emergences = 0
+
+    # -- index management -----------------------------------------------------
+    def _function_index(self, function_id: str) -> int:
+        idx = self._functions.get(function_id)
+        if idx is None:
+            idx = len(self._functions)
+            self._functions[function_id] = idx
+            self._matrix = np.pad(self._matrix, ((0, 1), (0, 0)))
+        return idx
+
+    def _class_index(self, fact_class: str) -> int:
+        idx = self._classes.get(fact_class)
+        if idx is None:
+            idx = len(self._classes)
+            self._classes[fact_class] = idx
+            self._matrix = np.pad(self._matrix, ((0, 0), (0, 1)))
+        return idx
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._matrix.shape
+
+    def coupling(self, function_id: str, fact_class: str) -> float:
+        fi = self._functions.get(function_id)
+        ci = self._classes.get(fact_class)
+        if fi is None or ci is None:
+            return 0.0
+        return float(self._matrix[fi, ci])
+
+    # -- observation sweep ------------------------------------------------------
+    def observe(self, ships: Iterable) -> None:
+        """One autopoietic pulse of structural-coupling accumulation.
+
+        For every alive ship, each (held function, live fact class)
+        pair is strengthened by the class's current weight; the whole
+        matrix decays first so stale couplings fade.
+        """
+        self._matrix *= self.decay
+        now = self.sim.now
+        for ship in ships:
+            if not ship.alive:
+                continue
+            classes = [(cls, ship.knowledge.class_weight(cls, now))
+                       for cls in ship.knowledge.classes()]
+            classes = [(cls, w) for cls, w in classes if w > 0.0]
+            if not classes:
+                continue
+            for role_id in ship.roles:
+                fi = self._function_index(role_id)
+                for cls, weight in classes:
+                    ci = self._class_index(cls)
+                    self._matrix[fi, ci] += min(weight, 4.0)
+        self.observations += 1
+
+    # -- emergence ------------------------------------------------------------
+    def resonance_with(self, ship, function_id: str) -> float:
+        """How strongly a function resonates with one ship's knowledge."""
+        fi = self._functions.get(function_id)
+        if fi is None:
+            return 0.0
+        now = self.sim.now
+        total = 0.0
+        for cls in ship.knowledge.classes():
+            ci = self._classes.get(cls)
+            if ci is None:
+                continue
+            weight = ship.knowledge.class_weight(cls, now)
+            if weight <= 0.0:
+                continue
+            total += float(self._matrix[fi, ci]) * min(weight, 4.0)
+        return total
+
+    def emergent_candidates(self, ship,
+                            catalog) -> List[Tuple[str, float]]:
+        """Functions that should self-emerge on this ship (PMP.4).
+
+        Candidates are catalog functions the ship does not hold whose
+        resonance with the ship's live knowledge crosses the threshold,
+        strongest first, capped at ``max_emergent_per_pulse``.
+        """
+        scored = []
+        for function_id in self._functions:
+            if ship.has_role(function_id) or function_id not in catalog:
+                continue
+            score = self.resonance_with(ship, function_id)
+            if score >= self.emergence_threshold:
+                scored.append((function_id, score))
+        scored.sort(key=lambda fs: (-fs[1], fs[0]))
+        return scored[: self.max_emergent_per_pulse]
+
+    def record_emergence(self, ship_id: Hashable, function_id: str,
+                         score: float) -> None:
+        self.emergences += 1
+        self.sim.trace.emit("resonance.emerge", ship=ship_id,
+                            fn=function_id, score=round(score, 3))
+
+    def strongest_couplings(self, top: int = 10) -> List[Tuple[str, str, float]]:
+        """The network's dominant (function, fact-class) patterns."""
+        pairs = []
+        inv_fn = {i: f for f, i in self._functions.items()}
+        inv_cls = {i: c for c, i in self._classes.items()}
+        fi, ci = np.nonzero(self._matrix)
+        for f, c in zip(fi.tolist(), ci.tolist()):
+            pairs.append((inv_fn[f], inv_cls[c],
+                          float(self._matrix[f, c])))
+        pairs.sort(key=lambda p: (-p[2], p[0], p[1]))
+        return pairs[:top]
+
+    def __repr__(self) -> str:
+        return (f"<ResonanceField {self.shape[0]}fn x {self.shape[1]}cls "
+                f"emergences={self.emergences}>")

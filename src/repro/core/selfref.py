@@ -1,0 +1,211 @@
+"""The Self-Reference Principle (SRP) machinery.
+
+Definition 2 of the paper, point by point:
+
+1. "Each mobile node / ship knows best its own architecture and
+   function, as well as how and when to display it to the external
+   world.  Ships are required to be fair and cooperative w.r.t. the
+   information they display to the external world; otherwise they [are]
+   excluded from the community."  → :class:`CommunityDirectory` +
+   :class:`ReputationSystem`.
+2. "Ships are living entities ... They can also organize themselves
+   into clusters based on one or more feedback mechanisms."  → the ship
+   lifecycle (in :mod:`repro.core.ship`) + :func:`clusters_by_function`.
+3. "Each ship can ... become a (temporary) aggregation of other nodes
+   with a joint architecture and functionality."  → :class:`ShipAggregate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set
+
+NodeId = Hashable
+
+_aggregate_ids = itertools.count(1)
+
+
+class CommunityDirectory:
+    """Where ships display themselves to the external world (SRP.1)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._entries: Dict[NodeId, Dict[str, Any]] = {}
+        self._published_at: Dict[NodeId, float] = {}
+
+    def publish(self, ship) -> Dict[str, Any]:
+        entry = ship.publish()
+        self._entries[ship.ship_id] = entry
+        self._published_at[ship.ship_id] = self.sim.now
+        self.sim.trace.emit("selfref.publish", ship=ship.ship_id)
+        return entry
+
+    def lookup(self, ship_id: NodeId) -> Optional[Dict[str, Any]]:
+        return self._entries.get(ship_id)
+
+    def age(self, ship_id: NodeId) -> float:
+        published = self._published_at.get(ship_id)
+        if published is None:
+            return float("inf")
+        return self.sim.now - published
+
+    def forget(self, ship_id: NodeId) -> None:
+        self._entries.pop(ship_id, None)
+        self._published_at.pop(ship_id, None)
+
+    def entries(self) -> Dict[NodeId, Dict[str, Any]]:
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ReputationSystem:
+    """Fairness enforcement: audit published vs. actual state (SRP.1).
+
+    An audit compares a ship's published description against its true
+    one (in deployment the auditor would probe behaviour; in the
+    simulation the ground truth is available directly, which makes the
+    audit exact).  Honest publications recover reputation; lies burn it.
+    Ships below ``exclusion_threshold`` are excluded from the community.
+    """
+
+    def __init__(self, sim, directory: CommunityDirectory,
+                 exclusion_threshold: float = 0.5,
+                 penalty: float = 0.3, recovery: float = 0.1):
+        if not (0.0 < exclusion_threshold < 1.0):
+            raise ValueError("exclusion_threshold must be in (0,1)")
+        self.sim = sim
+        self.directory = directory
+        self.exclusion_threshold = float(exclusion_threshold)
+        self.penalty = float(penalty)
+        self.recovery = float(recovery)
+        self._scores: Dict[NodeId, float] = {}
+        self.audits = 0
+        self.lies_detected = 0
+
+    def score(self, ship_id: NodeId) -> float:
+        return self._scores.get(ship_id, 1.0)
+
+    def audit(self, ship) -> bool:
+        """Audit one ship.  Returns True if its publication was truthful."""
+        self.audits += 1
+        published = self.directory.lookup(ship.ship_id)
+        if published is None:
+            published = self.directory.publish(ship)
+        truth = ship.describe()
+        truthful = (sorted(published.get("roles", [])) ==
+                    sorted(truth["roles"])
+                    and published.get("active_role") == truth["active_role"])
+        current = self.score(ship.ship_id)
+        if truthful:
+            self._scores[ship.ship_id] = min(1.0, current + self.recovery)
+        else:
+            self.lies_detected += 1
+            self._scores[ship.ship_id] = max(0.0, current - self.penalty)
+            self.sim.trace.emit("selfref.lie", ship=ship.ship_id,
+                                score=self._scores[ship.ship_id])
+        return truthful
+
+    def excluded(self, ship_id: NodeId) -> bool:
+        return self.score(ship_id) < self.exclusion_threshold
+
+    def community(self, ship_ids: Iterable[NodeId]) -> List[NodeId]:
+        """The ids still inside the community."""
+        return [sid for sid in ship_ids if not self.excluded(sid)]
+
+    def __repr__(self) -> str:
+        return (f"<ReputationSystem audits={self.audits} "
+                f"lies={self.lies_detected}>")
+
+
+class ShipAggregate:
+    """A temporary aggregation of ships with joint architecture (SRP.3).
+
+    The aggregate has a union architecture: it holds a role if any
+    member does, and can answer ``has_role`` / ``describe`` / packet
+    dispatch questions as a single logical node.
+    """
+
+    def __init__(self, sim, ships: Iterable, name: Optional[str] = None):
+        members = list(ships)
+        if len(members) < 2:
+            raise ValueError("an aggregate needs at least two ships")
+        self.aggregate_id = next(_aggregate_ids)
+        self.sim = sim
+        self.name = name or f"aggregate-{self.aggregate_id}"
+        self.members = members
+        self.formed_at = sim.now
+        self.dissolved_at: Optional[float] = None
+        sim.trace.emit("selfref.aggregate.form", name=self.name,
+                       members=[s.ship_id for s in members])
+
+    @property
+    def active(self) -> bool:
+        return self.dissolved_at is None
+
+    @property
+    def member_ids(self) -> List[NodeId]:
+        return [s.ship_id for s in self.members]
+
+    def has_role(self, role_id: str) -> bool:
+        return any(s.has_role(role_id) for s in self.members)
+
+    def joint_roles(self) -> List[str]:
+        roles: Set[str] = set()
+        for ship in self.members:
+            roles.update(ship.roles)
+        return sorted(roles)
+
+    def member_for_role(self, role_id: str):
+        """The member that would execute a given function."""
+        for ship in self.members:
+            if ship.has_role(role_id) and ship.alive:
+                return ship
+        return None
+
+    def joint_knowledge(self, now: float) -> Dict[str, float]:
+        """The aggregate's combined fact-class weights — its members'
+        knowledge bases viewed as one ("a joint architecture and
+        functionality")."""
+        combined: Dict[str, float] = {}
+        for ship in self.members:
+            for cls in ship.knowledge.classes():
+                combined[cls] = combined.get(cls, 0.0) + \
+                    ship.knowledge.class_weight(cls, now)
+        return combined
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "aggregate": self.name,
+            "members": self.member_ids,
+            "joint_roles": self.joint_roles(),
+            "active_roles": {s.ship_id: s.active_role_id
+                             for s in self.members},
+        }
+
+    def dissolve(self) -> None:
+        if self.dissolved_at is None:
+            self.dissolved_at = self.sim.now
+            self.sim.trace.emit("selfref.aggregate.dissolve",
+                                name=self.name)
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "dissolved"
+        return f"<ShipAggregate {self.name} {state} n={len(self.members)}>"
+
+
+def clusters_by_function(ships: Iterable) -> Dict[Optional[str], List[NodeId]]:
+    """SRP.2 clustering: group ships by their active function.
+
+    This is the feedback-mechanism clustering at its simplest — the
+    wandering benches use it to materialize Figure 3's "virtual
+    outstanding networks" (one per function)."""
+    clusters: Dict[Optional[str], List[NodeId]] = {}
+    for ship in ships:
+        if not ship.alive:
+            continue
+        clusters.setdefault(ship.active_role_id, []).append(ship.ship_id)
+    for members in clusters.values():
+        members.sort(key=repr)
+    return clusters

@@ -1,0 +1,710 @@
+"""Ships: active mobile nodes (the node manifestation of a ployon).
+
+"Active nodes may be mobile, — hence the name *ships* —, and
+re-configurable (in terms of software and hardware).  In addition to
+traditional active nodes, ships can be also modified by shuttles."
+
+A ship is a living entity (SRP.2: "they can be born, live and die"),
+owns a NodeOS, a reconfigurable gate fabric, a plug-and-play backplane
+and a knowledge base, performs exactly one *active* role at a time
+(Section D postulate) while holding further roles resident, interprets
+arriving shuttles (subject to its WN generation's capabilities), and
+keeps DCP congruence statistics.
+
+Routing is pluggable: a router object with
+
+``next_hop(ship_id, dst) -> Optional[node]``
+    forwarding decision;
+``handle_control(ship, packet, from_node) -> bool``
+    protocol chatter interception (optional);
+``on_attached(ship)``
+    wiring hook (optional).
+
+Implementations live in :mod:`repro.routing`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..functions import (NextStepRole, Role, RoleCatalog,
+                         SecurityManagementRole, default_catalog)
+from ..substrates.hardware import Backplane, GateFabric, HardwareError
+from ..substrates.nodeos import Action, NodeOS, NodeOSError
+from ..substrates.phys import Datagram, NetworkFabric
+from ..substrates.sim import Simulator
+from .congruence import CongruenceTracker
+from .generations import Capability, Generation, supports
+from .genetics import encode_ship, transcribe
+from .knowledge import Fact, KnowledgeBase, NetFunction
+from .ployon import Manifestation, Ployon
+from .shuttle import (OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE, OP_DEPLOY_QUANTUM,
+                      OP_INSTALL_CODE, OP_INSTALL_DRIVER, OP_LOAD_BITSTREAM,
+                      OP_RELEASE_ROLE, OP_REQUEST_STATE, OP_SET_NEXT_STEP,
+                      OP_TRANSCRIBE_GENOME, Directive, Jet, Shuttle)
+
+DeliveryHandler = Callable[[Datagram, Hashable], None]
+
+
+class ShipError(Exception):
+    """Raised for invalid ship operations."""
+
+
+class Ship(Ployon):
+    """An active mobile re-configurable node of a Wandering Network."""
+
+    manifestation = Manifestation.SHIP
+
+    def __init__(self, sim: Simulator, fabric: NetworkFabric,
+                 ship_id: Hashable,
+                 catalog: Optional[RoleCatalog] = None,
+                 router=None,
+                 generation: Generation = Generation.G4,
+                 ship_class: str = "agent",
+                 authority=None,
+                 morphing_enabled: bool = True,
+                 honest: bool = True,
+                 knowledge_capacity: int = 512,
+                 fact_decay_rate: float = 0.01,
+                 hw_cells: int = 8192,
+                 hw_slots: int = 2,
+                 cpu_ops_per_second: float = 1e8,
+                 cache_bytes: int = 1 << 20,
+                 max_auxiliary_ees: int = 8):
+        super().__init__()
+        self.sim = sim
+        self.fabric = fabric
+        self.ship_id = ship_id
+        self.ship_class = ship_class
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.generation = Generation(generation)
+        self.morphing_enabled = morphing_enabled
+        self.honest = honest
+
+        self.nodeos = NodeOS(sim, ship_id, authority=authority,
+                             cpu_ops_per_second=cpu_ops_per_second,
+                             cache_bytes=cache_bytes,
+                             max_auxiliary_ees=max_auxiliary_ees)
+        self.fabric_hw = GateFabric(total_cells=hw_cells)
+        self.backplane = Backplane(slots=hw_slots)
+        self.knowledge = KnowledgeBase(capacity=knowledge_capacity,
+                                       decay_rate=fact_decay_rate)
+        self.congruence = CongruenceTracker()
+
+        #: role_id -> {"role": Role, "modal": bool, "ee": label,
+        #:             "function": NetFunction}
+        self.roles: Dict[str, Dict[str, Any]] = {}
+        self.active_role_id: Optional[str] = None
+        self.role_changes: List[Tuple[float, Optional[str], str]] = []
+
+        self._delivery_handlers: List[DeliveryHandler] = []
+        self._comm: Dict[Hashable, int] = {}
+        self.alive = True
+        self.born_at = sim.now
+        self.died_at: Optional[float] = None
+
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.shuttles_processed = 0
+        self.shuttles_rejected = 0
+        self.jets_replicated = 0
+        #: (time, tier, delay) per reconfiguration: tiers are
+        #: "activate" / "software" / "hardware" (Figure 2's cost ladder).
+        self.reconfig_events: List[Tuple[float, str, float]] = []
+
+        #: Credential used when the ship itself emits shuttles (set by
+        #: the WanderingNetwork to its operator credential).
+        self.default_credential = None
+
+        self.router = router
+        if router is not None and hasattr(router, "on_attached"):
+            router.on_attached(self)
+
+        fabric.attach(ship_id, self)
+        # "The Next-Step function ... is a standard module for each
+        # node/ship."
+        self.acquire_role(NextStepRole(), modal=True)
+        sim.trace.emit("ship.born", ship=ship_id, cls=ship_class,
+                       generation=int(self.generation))
+
+    # ------------------------------------------------------------------
+    # Ployon structure (the DCP vocabulary)
+    # ------------------------------------------------------------------
+    def structure(self) -> Dict[str, Any]:
+        return {
+            "functions": tuple(sorted(self.roles)),
+            "hardware": tuple(sorted(
+                set(self.fabric_hw.describe()["functions"])
+                | set(self.backplane.describe()["modules"]))),
+            "knowledge": tuple(sorted(self.knowledge.classes())),
+            "interface": self.interface,
+        }
+
+    @property
+    def interface(self) -> Tuple[str, ...]:
+        """The protocol surface shuttles must match at the dock."""
+        return ("wli/1", f"class/{self.ship_class}")
+
+    def requirements(self) -> Dict[str, Any]:
+        """What an approaching shuttle must morph to (DCP)."""
+        return {"interface": self.interface, "ship_class": self.ship_class}
+
+    # ------------------------------------------------------------------
+    # Roles (Section D: one active function at a time)
+    # ------------------------------------------------------------------
+    def has_role(self, role_id: str) -> bool:
+        return role_id in self.roles
+
+    def role(self, role_id: str) -> Role:
+        meta = self.roles.get(role_id)
+        if meta is None:
+            raise ShipError(f"{self.ship_id} has no role {role_id}")
+        return meta["role"]
+
+    @property
+    def next_step(self) -> NextStepRole:
+        return self.roles[NextStepRole.role_id]["role"]
+
+    def acquire_role(self, role: Role, modal: bool = False) -> Role:
+        """Install a role: code into the cache, an EE bound to it (SRP.3:
+        ships "can acquire or learn other functions")."""
+        if role.role_id in self.roles:
+            raise ShipError(f"{self.ship_id} already has {role.role_id}")
+        module = type(role).code_module()
+        ee_label = f"EE:{role.role_id}"
+        self.nodeos.provision_function(ee_label, module, modal=modal)
+        function = NetFunction(role.role_id,
+                               role.supporting_fact_classes)
+        self.roles[role.role_id] = {"role": role, "modal": modal,
+                                    "ee": ee_label, "function": function}
+        # PMP.3 bootstrap: a fresh function starts with one implanted
+        # experience per supporting class, giving it a decaying initial
+        # lifetime that only real demand can prolong.
+        for fact_class in role.supporting_fact_classes:
+            self.record_fact(fact_class, ("bootstrap", role.role_id))
+        self.sim.trace.emit("ship.role.acquire", ship=self.ship_id,
+                            role=role.role_id, modal=modal)
+        return role
+
+    def release_role(self, role_id: str) -> Role:
+        if role_id == NextStepRole.role_id:
+            raise ShipError("the Next-Step standard module cannot be released")
+        meta = self.roles.pop(role_id, None)
+        if meta is None:
+            raise ShipError(f"{self.ship_id} has no role {role_id}")
+        if self.active_role_id == role_id:
+            meta["role"].on_deactivate(self)
+            self.active_role_id = None
+        ee = self.nodeos.ees.get(meta["ee"])
+        if ee is not None:
+            ee.unbind()
+            self.nodeos.ees.free(meta["ee"])
+        self.nodeos.cache.unpin(role_id)
+        self.sim.trace.emit("ship.role.release", ship=self.ship_id,
+                            role=role_id)
+        return meta["role"]
+
+    def assign_role(self, role_id: str) -> float:
+        """Make ``role_id`` the ship's single active function.
+
+        Returns the reconfiguration delay.  Resident activation is the
+        cheap tier of Figure 2; acquiring the role first (via shuttle or
+        hardware) pays the expensive tiers.
+        """
+        meta = self.roles.get(role_id)
+        if meta is None:
+            raise ShipError(f"{self.ship_id} cannot assign unknown "
+                            f"role {role_id}")
+        previous = self.active_role_id
+        if previous == role_id:
+            return 0.0
+        if previous is not None:
+            prev_meta = self.roles[previous]
+            prev_meta["role"].on_deactivate(self)
+            ee = self.nodeos.ees.get(prev_meta["ee"])
+            if ee is not None:
+                ee.deactivate()
+        self.nodeos.activate_function(meta["ee"])
+        meta["role"].on_activate(self)
+        self.active_role_id = role_id
+        delay = self.nodeos.cpu.execute(10_000, "role-switch") \
+            / 1.0  # resident switch: bookkeeping only
+        self.role_changes.append((self.sim.now, previous, role_id))
+        self.reconfig_events.append((self.sim.now, "activate", delay))
+        self.sim.trace.emit("ship.role.change", ship=self.ship_id,
+                            prev=previous, role=role_id)
+        return delay
+
+    @property
+    def active_role(self) -> Optional[Role]:
+        if self.active_role_id is None:
+            return None
+        return self.roles[self.active_role_id]["role"]
+
+    def tick_roles(self) -> None:
+        """Periodic role housekeeping (driven by the WN pulse)."""
+        for meta in self.roles.values():
+            meta["role"].on_tick(self, self.sim.now)
+
+    def live_functions(self) -> List[str]:
+        """Roles whose supporting facts are still alive (PMP.3)."""
+        now = self.sim.now
+        return sorted(rid for rid, meta in self.roles.items()
+                      if meta["function"].alive(self.knowledge, now))
+
+    def expired_functions(self) -> List[str]:
+        now = self.sim.now
+        return sorted(rid for rid, meta in self.roles.items()
+                      if not meta["function"].alive(self.knowledge, now))
+
+    # ------------------------------------------------------------------
+    # Knowledge (PMP)
+    # ------------------------------------------------------------------
+    def record_fact(self, fact_class: str, value: Any,
+                    weight: float = 1.0) -> Fact:
+        fact = Fact(fact_class, value, created_at=self.sim.now,
+                    source=self.ship_id, weight=weight)
+        return self.knowledge.record(fact, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (SRP.2: born, live, die)
+    # ------------------------------------------------------------------
+    def die(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.died_at = self.sim.now
+        self.fabric.detach(self.ship_id)
+        # The physical node goes dark with its ship: neighbours' routing
+        # must see the links as gone, not just a silent host.
+        if self.ship_id in self.fabric.topology:
+            self.fabric.topology.set_node_state(self.ship_id, False)
+        self.sim.trace.emit("ship.die", ship=self.ship_id)
+
+    # ------------------------------------------------------------------
+    # Self-description (SRP.1)
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """The ship's true self-description."""
+        return {
+            "ship": self.ship_id,
+            "class": self.ship_class,
+            "generation": int(self.generation),
+            "roles": sorted(self.roles),
+            "active_role": self.active_role_id,
+            "structure": self.structure(),
+            "alive": self.alive,
+        }
+
+    def publish(self) -> Dict[str, Any]:
+        """What the ship tells the world.  SRP.1 requires ships to "be
+        fair and cooperative w.r.t. the information they display";
+        a dishonest ship misrepresents its roles and gets excluded by
+        the reputation system."""
+        desc = self.describe()
+        if not self.honest:
+            desc = dict(desc)
+            desc["roles"] = ["fn.fusion", "fn.caching", "fn.transcoding"]
+            desc["active_role"] = "fn.fusion"
+        return desc
+
+    def comm_pattern(self) -> Dict[str, int]:
+        """Per-neighbour packet counts (encoded into genomes)."""
+        return {str(k): v for k, v in sorted(self._comm.items(), key=lambda kv: repr(kv[0]))}
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def on_deliver(self, fn: DeliveryHandler) -> None:
+        self._delivery_handlers.append(fn)
+
+    def neighbors(self) -> List[Hashable]:
+        return self.fabric.topology.neighbors(self.ship_id)
+
+    def originate(self, packet: Datagram) -> None:
+        """Inject locally generated traffic through the full pipeline.
+
+        Unlike :meth:`send_toward` (pure forwarding), origination runs
+        the ship's screening and active function first — an active
+        node's own traffic is subject to its own functions (e.g. a
+        delegation point that migrated onto the user's node intercepts
+        her task capsules right here).
+        """
+        if packet.created_at == 0.0 and self.sim.now > 0.0:
+            packet.created_at = self.sim.now
+        self.receive(packet, from_node=self.ship_id)
+
+    def send_toward(self, packet: Datagram) -> bool:
+        """Route one packet toward its destination."""
+        if not self.alive:
+            return False
+        if packet.dst == self.ship_id:
+            self.deliver_local(packet, None)
+            return True
+        if packet.is_broadcast:
+            sent = self.fabric.broadcast(self.ship_id, packet)
+            return sent > 0
+        hop = None
+        if self.router is not None:
+            hop = self.router.next_hop(self.ship_id, packet.dst)
+        if hop is None:
+            # Reactive routers may buffer the packet pending discovery.
+            if (self.router is not None
+                    and hasattr(self.router, "on_no_route")
+                    and self.router.on_no_route(self, packet)):
+                return True
+            self.packets_dropped += 1
+            self.sim.trace.emit("ship.drop.noroute", ship=self.ship_id,
+                                dst=packet.dst)
+            return False
+        self._comm[hop] = self._comm.get(hop, 0) + 1
+        self.packets_forwarded += 1
+        return self.fabric.send(self.ship_id, hop, packet)
+
+    def deliver_local(self, packet: Datagram,
+                      from_node: Optional[Hashable]) -> None:
+        self.packets_delivered += 1
+        self.sim.trace.emit("ship.deliver", ship=self.ship_id,
+                            packet=packet.packet_id)
+        for fn in self._delivery_handlers:
+            fn(packet, from_node)
+
+    def receive(self, packet: Datagram, from_node: Hashable) -> None:
+        if not self.alive:
+            return
+        self._comm[from_node] = self._comm.get(from_node, 0) + 1
+        # Security screening applies to everything when the role is held.
+        screen = self.roles.get(SecurityManagementRole.role_id)
+        if screen is not None:
+            if screen["role"].handle(self, packet, from_node):
+                return
+        if isinstance(packet, Jet):
+            self._receive_jet(packet, from_node)
+            return
+        if isinstance(packet, Shuttle):
+            self._receive_shuttle(packet, from_node)
+            return
+        if (self.router is not None
+                and hasattr(self.router, "handle_control")
+                and self.router.handle_control(self, packet, from_node)):
+            return
+        # The standard Next-Step module sees control capsules always.
+        if self.next_step.handle(self, packet, from_node):
+            return
+        # The single active function gets the packet next.
+        active = self.active_role
+        if active is not None and active is not self.next_step:
+            # Hardware-accelerated or plain CPU cost of running the
+            # function on this packet, accounted against its EE.
+            delay = self._role_cpu_delay(active)
+            ee = self.nodeos.ees.get(self.roles[active.role_id]["ee"])
+            if ee is not None:
+                ee.record_invocation(delay)
+            if active.handle(self, packet, from_node):
+                return
+        if packet.dst == self.ship_id or packet.is_broadcast:
+            # Receiving is an experience too — demand facts accrue at
+            # destinations, not only along the path.
+            self._observe_packet(packet)
+            self.deliver_local(packet, from_node)
+        else:
+            self._observe_packet(packet)
+            self.nodeos.forward_cost()
+            self.send_toward(packet)
+
+    #: Default mapping of payload kinds to recorded experience facts —
+    #: ships record passing traffic as "facts (events, experiences)"
+    #: (PMP.2), which is what lets demand attract wandering functions
+    #: to nodes that do not hold the matching role yet.
+    OBSERVED_KINDS = {
+        "content-request": ("content-request", "key"),
+        "media": ("flow", None),
+        "sensor": ("flow", None),
+        "task": ("task-origin", "origin"),
+    }
+
+    def _observe_packet(self, packet: Datagram) -> None:
+        payload = packet.payload
+        if not isinstance(payload, dict):
+            return
+        kind = payload.get("kind")
+        spec = self.OBSERVED_KINDS.get(kind)
+        if spec is not None:
+            fact_class, field = spec
+            value = packet.flow_id if field is None else payload.get(field)
+            if value is not None:
+                self.record_fact(fact_class, value, weight=0.5)
+        group = payload.get("group")
+        if group is not None:
+            self.record_fact("multicast-group", group, weight=0.5)
+
+    def _role_cpu_delay(self, role: Role) -> float:
+        speedup = max(self.fabric_hw.hardware_speedup(role.role_id),
+                      self.backplane.hardware_speedup(role.role_id))
+        ops = role.cpu_ops_per_packet / speedup
+        return self.nodeos.cpu.execute(ops, f"role:{role.role_id}")
+
+    # ------------------------------------------------------------------
+    # Shuttle interpretation (the hyperactive part)
+    # ------------------------------------------------------------------
+    def _receive_shuttle(self, shuttle: Shuttle, from_node: Hashable) -> None:
+        if shuttle.dst != self.ship_id and not shuttle.is_broadcast:
+            # In transit: shuttles are just (actively routed) packets.
+            self.nodeos.forward_cost()
+            self.send_toward(shuttle)
+            return
+        self.process_shuttle(shuttle, from_node)
+
+    def process_shuttle(self, shuttle: Shuttle,
+                        from_node: Optional[Hashable]) -> Dict[str, Any]:
+        """Dock a shuttle: morph, authorize, and run its directives.
+
+        Returns a report dict (also emitted on the trace bus).
+        """
+        report: Dict[str, Any] = {"applied": [], "denied": [],
+                                  "failed": [], "morphed": False}
+        # -- DCP: the approaching shuttle must match our interface ------
+        requirements = self.requirements()
+        if not shuttle.compatible_with(requirements):
+            if self.morphing_enabled:
+                report["morphed"] = shuttle.morph_for(requirements)
+            if not shuttle.compatible_with(requirements):
+                self.shuttles_rejected += 1
+                report["rejected"] = "interface-mismatch"
+                self.sim.trace.emit("ship.shuttle.reject",
+                                    ship=self.ship_id,
+                                    shuttle=shuttle.packet_id)
+                return report
+        ship_before = self.structure()
+        # Interpretation costs CPU proportional to cargo size.
+        self.nodeos.execute_capsule(shuttle.size_bytes, category="shuttle")
+        for directive in shuttle.directives:
+            outcome = self._apply_directive(directive, shuttle)
+            report[outcome].append(directive.op)
+        ship_after = self.structure()
+        self.congruence.record_processed(self.sim.now, shuttle.structure(),
+                                         ship_before, ship_after)
+        self.shuttles_processed += 1
+        self.sim.trace.emit("ship.shuttle.process", ship=self.ship_id,
+                            shuttle=shuttle.packet_id,
+                            applied=len(report["applied"]),
+                            denied=len(report["denied"]))
+        return report
+
+    def _capability_for(self, op: str) -> str:
+        if op in (OP_INSTALL_CODE, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,
+                  OP_RELEASE_ROLE, OP_SET_NEXT_STEP, OP_REQUEST_STATE,
+                  OP_DEPLOY_QUANTUM):
+            return Capability.EE_PROGRAMMING
+        if op == OP_INSTALL_DRIVER:
+            return Capability.NODEOS_PROGRAMMING
+        if op == OP_LOAD_BITSTREAM:
+            return Capability.HW_RECONFIGURATION
+        return Capability.SELF_DISTRIBUTION  # transcribe-genome
+
+    def _apply_directive(self, d: Directive, shuttle: Shuttle) -> str:
+        """Run one directive; returns 'applied' / 'denied' / 'failed'."""
+        if not supports(self.generation, self._capability_for(d.op)):
+            return "denied"
+        cred = shuttle.credential
+        try:
+            if d.op == OP_INSTALL_CODE:
+                self.nodeos.install_code(d.args["module"], cred=cred)
+            elif d.op == OP_INSTALL_DRIVER:
+                self.nodeos.install_driver(d.args["module"], cred=cred)
+            elif d.op == OP_LOAD_BITSTREAM:
+                self._load_bitstream(d.args["bitstream"], cred)
+            elif d.op == OP_ACQUIRE_ROLE:
+                self._acquire_role_directive(d, cred)
+            elif d.op == OP_ACTIVATE_ROLE:
+                if not self.nodeos.authorize(cred, Action.RECONFIGURE):
+                    return "denied"
+                self.assign_role(d.args["role_id"])
+            elif d.op == OP_RELEASE_ROLE:
+                if not self.nodeos.authorize(cred, Action.RECONFIGURE):
+                    return "denied"
+                self.release_role(d.args["role_id"])
+            elif d.op == OP_SET_NEXT_STEP:
+                self.next_step.set_next(d.args["role_id"], self.sim.now)
+            elif d.op == OP_DEPLOY_QUANTUM:
+                self._deploy_quantum(d, cred)
+            elif d.op == OP_TRANSCRIBE_GENOME:
+                if not self.nodeos.authorize(cred, Action.RECONFIGURE):
+                    return "denied"
+                transcribe(d.args["genome"], self, self.catalog,
+                           activate=d.args.get("activate", True))
+            elif d.op == OP_REQUEST_STATE:
+                if not self.nodeos.authorize(cred, Action.READ_STATE):
+                    return "denied"
+                self._reply_state(d.args.get("reply_to", shuttle.src))
+            else:  # pragma: no cover — ALL_OPS is closed
+                return "failed"
+        except PermissionError:
+            return "denied"
+        except (NodeOSError, HardwareError, ShipError, KeyError):
+            return "failed"
+        return "applied"
+
+    def _acquire_role_directive(self, d: Directive, cred) -> None:
+        if not self.nodeos.authorize(cred, Action.RECONFIGURE):
+            raise PermissionError("acquire-role denied")
+        role_id = d.args.get("role_id")
+        module = d.args.get("module")
+        if self.has_role(role_id):
+            return
+        # Resource access control: a principal may only hold so many
+        # EEs on one ship (Quota.max_ees).
+        principal = getattr(cred, "principal", None)
+        if principal is not None:
+            quota = self.nodeos.security.quota_for(principal)
+            owned = sum(1 for meta in self.roles.values()
+                        if meta.get("owner") == principal)
+            if owned >= quota.max_ees:
+                self.nodeos.security.denials.append(
+                    (self.sim.now, principal, "ee-quota"))
+                raise PermissionError(
+                    f"{principal} EE quota exhausted on {self.ship_id}")
+        if module is not None and module.entry is not None:
+            role = module.entry()
+        else:
+            role = self.catalog.create(role_id)
+        start = self.sim.now
+        self.acquire_role(role, modal=d.args.get("modal", False))
+        if principal is not None:
+            self.roles[role_id]["owner"] = principal
+        delay = self.nodeos.cpu.backlog
+        self.reconfig_events.append((start, "software", max(delay, 1e-6)))
+
+    def _load_bitstream(self, bitstream, cred) -> None:
+        if not self.nodeos.authorize(cred, Action.RECONFIGURE_HW):
+            raise PermissionError("hw reconfiguration denied")
+        region = self.fabric_hw.find_function(bitstream.function_id)
+        if region is None:
+            # Re-use a free region of sufficient size or allocate.
+            region = next((r for r in self.fabric_hw.regions
+                           if not r.configured
+                           and r.cells >= bitstream.cells), None)
+            if region is None:
+                region = self.fabric_hw.allocate_region(bitstream.cells)
+        delay = self.fabric_hw.load(region, bitstream, now=self.sim.now)
+        self.reconfig_events.append((self.sim.now, "hardware", delay))
+        self.sim.trace.emit("ship.hw.load", ship=self.ship_id,
+                            function=bitstream.function_id, delay=delay)
+
+    def _deploy_quantum(self, d: Directive, cred) -> None:
+        kq = d.args["quantum"]
+        self.knowledge.absorb_quantum(kq, self.sim.now)
+        if d.args.get("auto_acquire") and kq.function_id in self.catalog \
+                and not self.has_role(kq.function_id):
+            if self.nodeos.authorize(cred, Action.RECONFIGURE):
+                self.acquire_role(self.catalog.create(kq.function_id))
+        self.sim.trace.emit("ship.kq.absorb", ship=self.ship_id,
+                            fn=kq.function_id,
+                            facts=len(kq.fact_snapshots))
+
+    def _reply_state(self, reply_to: Hashable) -> None:
+        reply = Datagram(self.ship_id, reply_to, size_bytes=256,
+                         payload={"kind": "state-reply",
+                                  "state": self.publish()})
+        self.send_toward(reply)
+
+    # ------------------------------------------------------------------
+    # Jets (self-replication, 4G only)
+    # ------------------------------------------------------------------
+    def _receive_jet(self, jet: Jet, from_node: Hashable) -> None:
+        # Jets execute at *every* ship they visit.
+        jet.visited.add(self.ship_id)
+        principal = getattr(jet.credential, "principal", None)
+        authorized = (supports(self.generation, Capability.SELF_DISTRIBUTION)
+                      and self.nodeos.authorize(jet.credential, Action.SPAWN))
+        if authorized:
+            self.process_shuttle(jet, from_node)
+            self._replicate_jet(jet)
+        else:
+            self.shuttles_rejected += 1
+            self.sim.trace.emit("ship.jet.reject", ship=self.ship_id,
+                                jet=jet.packet_id, principal=principal)
+
+    def _replicate_jet(self, jet: Jet) -> int:
+        """Spawn jet copies toward unvisited neighbours (NodeOS-supervised)."""
+        if jet.replicate_budget <= 0:
+            return 0
+        principal = getattr(jet.credential, "principal", "anonymous")
+        targets = [n for n in self.neighbors() if n not in jet.visited]
+        targets = targets[: jet.max_fanout]
+        if not targets:
+            return 0
+        spawned = 0
+        share = max(0, (jet.replicate_budget - len(targets)) // len(targets))
+        for target in targets:
+            if not self.nodeos.security.charge_spawn(principal):
+                break
+            copy = jet.spawn_copy(target, share)
+            copy.visited.add(self.ship_id)
+            jet.visited.add(target)
+            self.jets_replicated += 1
+            spawned += 1
+            self.sim.trace.emit("ship.jet.spawn", ship=self.ship_id,
+                                target=target, budget=share)
+            self.send_toward(copy)
+        return spawned
+
+    # ------------------------------------------------------------------
+    # Function propagation (the push half of WN code distribution)
+    # ------------------------------------------------------------------
+    def make_role_shuttle(self, role_id: str, dst: Hashable,
+                          credential=None, activate: bool = False,
+                          modal: bool = False) -> Shuttle:
+        """Package a held role (code + knowledge quantum) into a shuttle."""
+        meta = self.roles.get(role_id)
+        if meta is None:
+            raise ShipError(f"{self.ship_id} has no role {role_id}")
+        role_cls = type(meta["role"])
+        directives = [
+            Directive(OP_ACQUIRE_ROLE, role_id=role_id,
+                      module=role_cls.code_module(), modal=modal),
+            Directive(OP_DEPLOY_QUANTUM,
+                      quantum=self.knowledge.make_quantum(
+                          meta["function"], self.sim.now,
+                          origin=self.ship_id)),
+        ]
+        if activate:
+            directives.append(Directive(OP_ACTIVATE_ROLE, role_id=role_id))
+        shuttle = Shuttle(self.ship_id, dst, directives=directives,
+                          credential=credential,
+                          interface=self.interface)
+        self.congruence.record_emitted(self.sim.now, shuttle.structure(),
+                                       self.structure())
+        return shuttle
+
+    def make_genome_shuttle(self, dst: Hashable, credential=None,
+                            activate: bool = True) -> Shuttle:
+        """Node Genesis: embed this ship's structure into a shuttle."""
+        genome = encode_ship(self, self.sim.now)
+        shuttle = Shuttle(self.ship_id, dst, directives=[
+            Directive(OP_TRANSCRIBE_GENOME, genome=genome,
+                      activate=activate)],
+            credential=credential, interface=self.interface)
+        self.congruence.record_emitted(self.sim.now, shuttle.structure(),
+                                       self.structure())
+        return shuttle
+
+    def propagate_function(self, role_id: str, credential=None) -> int:
+        """Push a role to every neighbour ship; returns shuttles sent."""
+        if role_id not in self.roles:
+            return 0
+        if credential is None:
+            credential = self.default_credential
+        sent = 0
+        for neighbor in self.neighbors():
+            shuttle = self.make_role_shuttle(role_id, neighbor,
+                                             credential=credential)
+            if self.send_toward(shuttle):
+                sent += 1
+        return sent
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (f"<Ship {self.ship_id} {state} {self.generation.name} "
+                f"active={self.active_role_id} roles={len(self.roles)}>")

@@ -1,0 +1,58 @@
+"""Net-function roles: First and Second Level Profiling (Figure 2).
+
+First Level (Wetherall & Tennenhouse + Viator's replication/next-step):
+fusion, fission, caching, delegation, replication, next-step.
+
+Second Level (Kulkarni & Minden + Viator's boosting/rooting):
+filtering, combining, transcoding, security+management, boosting,
+routing control, supplementary services, rooting/propagation.
+"""
+
+from .base import ProfilingLevel, Role, RoleCatalog, payload_kind
+from .boosting import BoostingRole
+from .caching import CachingRole
+from .combining import CombiningRole
+from .delegation import DelegationRole
+from .filtering import FilteringRole
+from .fission import FissionRole
+from .fusion import FusionRole
+from .nextstep import NextStepRole
+from .replication import ReplicationRole
+from .rooting import RootingPropagationRole
+from .routing_control import RoutingControlRole
+from .secmgmt import SecurityManagementRole
+from .supplementary import SupplementaryRole
+from .transcoding import ENCODINGS, TranscodingRole
+
+#: Every role class, in profiling order (Figure 2 reading order).
+ALL_ROLES = (
+    # First Level Profiling
+    FusionRole, FissionRole, CachingRole, DelegationRole,
+    ReplicationRole, NextStepRole,
+    # Second Level Profiling
+    FilteringRole, CombiningRole, TranscodingRole,
+    SecurityManagementRole, BoostingRole, RoutingControlRole,
+    SupplementaryRole, RootingPropagationRole,
+)
+
+FIRST_LEVEL = tuple(r for r in ALL_ROLES if r.level == ProfilingLevel.FIRST)
+SECOND_LEVEL = tuple(r for r in ALL_ROLES if r.level == ProfilingLevel.SECOND)
+
+
+def default_catalog() -> RoleCatalog:
+    """The full Viator function catalog."""
+    catalog = RoleCatalog()
+    for role_cls in ALL_ROLES:
+        catalog.register(role_cls)
+    return catalog
+
+
+__all__ = [
+    "ProfilingLevel", "Role", "RoleCatalog", "payload_kind",
+    "FusionRole", "FissionRole", "CachingRole", "DelegationRole",
+    "ReplicationRole", "NextStepRole", "FilteringRole", "CombiningRole",
+    "TranscodingRole", "SecurityManagementRole", "BoostingRole",
+    "RoutingControlRole", "SupplementaryRole", "RootingPropagationRole",
+    "ENCODINGS", "ALL_ROLES", "FIRST_LEVEL", "SECOND_LEVEL",
+    "default_catalog",
+]

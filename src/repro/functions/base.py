@@ -1,0 +1,149 @@
+"""Role framework: the net functions ships can perform.
+
+Section D combines two classification schemes:
+
+* **First Level Profiling** — the ANTS capsule-mechanism classes of
+  Wetherall & Tennenhouse (*fusion, fission, caching, delegation*) plus
+  Viator's two additions (*replication, next-step*);
+* **Second Level Profiling** — the protocol classes of Kulkarni & Minden
+  (*filtering, combining, transcoding, security+management, routing
+  control, supplementary services*) plus Viator's *protocol boosting*
+  and *rooting/propagation*.
+
+"To retain the simplicity of the WLI model, we postulate that each
+active node (or ship) can be assigned exactly one single function at a
+time" — the ship enforces that; roles here only implement behaviour.
+
+A role is instantiated per ship.  Its :meth:`Role.on_packet` returns
+True when the role consumed/handled the packet; otherwise the ship's
+default pipeline (forwarding) continues.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type
+
+from ..substrates.hardware import Bitstream
+from ..substrates.nodeos import CodeKind, CodeModule
+
+
+class ProfilingLevel:
+    FIRST = 1    # modal candidates, resident by default
+    SECOND = 2   # auxiliary, installed/enabled via shuttles
+
+
+def payload_kind(packet) -> Optional[str]:
+    """The application-level kind tag of a packet payload, if any."""
+    payload = getattr(packet, "payload", None)
+    if isinstance(payload, dict):
+        return payload.get("kind")
+    return None
+
+
+class Role:
+    """Base class for all net-function roles.
+
+    Class attributes describe the transportable artefacts: the code
+    module a shuttle would carry and the bitstream a 3G+ ship could
+    burn into its fabric.
+    """
+
+    role_id: str = "role.base"
+    level: int = ProfilingLevel.FIRST
+    default_modal: bool = False
+    #: CPU cost charged per packet the role actually handles.
+    cpu_ops_per_packet: int = 5_000
+    code_size_bytes: int = 4_096
+    hw_cells: int = 256
+    hw_speedup: float = 8.0
+    #: Fact classes whose liveness keeps this function alive (PMP.3).
+    supporting_fact_classes: tuple = ()
+
+    def __init__(self):
+        self.packets_handled = 0
+        self.packets_seen = 0
+        self.activations = 0
+
+    # -- transportable artefacts ------------------------------------------
+    @classmethod
+    def code_module(cls) -> CodeModule:
+        return CodeModule(code_id=cls.role_id, name=cls.role_id,
+                          size_bytes=cls.code_size_bytes,
+                          kind=CodeKind.EE_CODE, entry=cls)
+
+    @classmethod
+    def bitstream(cls) -> Bitstream:
+        return Bitstream(cls.role_id, cells=cls.hw_cells,
+                         speedup=cls.hw_speedup)
+
+    # -- lifecycle ----------------------------------------------------------
+    def on_activate(self, ship) -> None:
+        self.activations += 1
+
+    def on_deactivate(self, ship) -> None:
+        pass
+
+    def on_tick(self, ship, now: float) -> None:
+        """Periodic housekeeping while active (optional)."""
+
+    # -- data path ------------------------------------------------------------
+    def handle(self, ship, packet, from_node) -> bool:
+        """Ship-facing entry: accounting + dispatch to :meth:`on_packet`."""
+        self.packets_seen += 1
+        handled = self.on_packet(ship, packet, from_node)
+        if handled:
+            self.packets_handled += 1
+        return handled
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        return False
+
+    # -- introspection -----------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        return {"role": self.role_id, "level": self.level,
+                "handled": self.packets_handled,
+                "seen": self.packets_seen}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.role_id}>"
+
+
+RoleFactory = Callable[[], Role]
+
+
+class RoleCatalog:
+    """The function catalog of a Wandering Network.
+
+    Maps role ids to factories; genetic transcoding and shuttle-borne
+    role delivery resolve role ids against it.
+    """
+
+    def __init__(self):
+        self._factories: Dict[str, RoleFactory] = {}
+        self._classes: Dict[str, Type[Role]] = {}
+
+    def register(self, role_cls: Type[Role]) -> Type[Role]:
+        self._factories[role_cls.role_id] = role_cls
+        self._classes[role_cls.role_id] = role_cls
+        return role_cls
+
+    def get(self, role_id: str) -> Optional[RoleFactory]:
+        return self._factories.get(role_id)
+
+    def role_class(self, role_id: str) -> Optional[Type[Role]]:
+        return self._classes.get(role_id)
+
+    def create(self, role_id: str) -> Role:
+        factory = self._factories.get(role_id)
+        if factory is None:
+            raise KeyError(f"unknown role {role_id!r}")
+        return factory()
+
+    def __contains__(self, role_id: str) -> bool:
+        return role_id in self._factories
+
+    def role_ids(self) -> list:
+        return sorted(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)

@@ -1,0 +1,60 @@
+"""Protocol boosting role (a Viator addition to Second Level Profiling).
+
+"In order to address the performance enhancements, we included the
+protocol boosters as an additional class to the categorization of
+Kulkarni and Minden" — a booster transparently improves a protocol over
+a bad segment (the author's MediaPEP white paper, ref. [15], is an
+"Internet Protocol Booster" for wireless QoS).
+
+The role adds FEC redundancy to packets about to cross a lossy segment:
+the fabric treats FEC-protected packets as surviving a single loss event
+(effective loss ~ p²) at the cost of ``fec_overhead`` extra bytes.
+"""
+
+from __future__ import annotations
+
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class BoostingRole(Role):
+    """FEC protocol booster for lossy (wireless) segments."""
+
+    role_id = "fn.boosting"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 9_000
+    code_size_bytes = 6_144
+    hw_cells = 512
+    hw_speedup = 15.0
+    supporting_fact_classes = ("loss-observed",)
+
+    def __init__(self, fec_overhead: float = 0.25,
+                 kinds: tuple = ("media", "sensor", "content")):
+        super().__init__()
+        if not (0.0 < fec_overhead <= 1.0):
+            raise ValueError(f"fec_overhead out of (0,1]: {fec_overhead}")
+        self.fec_overhead = float(fec_overhead)
+        self.kinds = tuple(kinds)
+        self.boosted = 0
+        self.overhead_bytes = 0
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        if payload_kind(packet) not in self.kinds:
+            return False
+        if packet.dst == ship.ship_id or packet.meta.get("fec"):
+            return False
+        ship.record_fact("loss-observed", packet.flow_id)
+        extra = int(packet.size_bytes * self.fec_overhead)
+        packet.size_bytes += extra
+        packet.meta["fec"] = True
+        packet.meta["boosted_by"] = ship.ship_id
+        self.boosted += 1
+        self.overhead_bytes += extra
+        ship.send_toward(packet)
+        return True
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(boosted=self.boosted, overhead=self.overhead_bytes,
+                    fec_overhead=self.fec_overhead)
+        return desc

@@ -1,0 +1,136 @@
+"""Caching role (First Level Profiling).
+
+"Caching: the active node stores incoming data for later use upon
+request, e.g. storage of web pages for local processing and reducing
+the data flow."  The role opportunistically caches content packets
+flowing through the ship and answers subsequent requests locally,
+cutting both latency and upstream bytes.
+
+Freshness: entries can carry a TTL (expired entries miss), and origins
+may send ``content-invalidate`` control packets that evict a key from
+every cache on their path — the consistency half of real web caching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from ..substrates.phys import Datagram
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class CachingRole(Role):
+    """An in-network content cache (LRU by bytes, optional TTL)."""
+
+    role_id = "fn.caching"
+    level = ProfilingLevel.FIRST
+    default_modal = True
+    cpu_ops_per_packet = 4_000
+    code_size_bytes = 5_120
+    hw_cells = 256
+    hw_speedup = 6.0
+    supporting_fact_classes = ("content-request",)
+
+    def __init__(self, capacity_bytes: int = 256 * 1024,
+                 ttl: Optional[float] = None):
+        super().__init__()
+        if capacity_bytes <= 0:
+            raise ValueError(f"non-positive cache size {capacity_bytes}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"non-positive ttl {ttl}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.ttl = ttl
+        #: key -> (size_bytes, stored_at)
+        self._store: "OrderedDict[Hashable, Tuple[int, float]]" = \
+            OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+        self.invalidations = 0
+        self.bytes_served = 0
+
+    # -- store ----------------------------------------------------------------
+    def cache_put(self, key: Hashable, size_bytes: int,
+                  now: float = 0.0) -> None:
+        if key in self._store:
+            self.used_bytes -= self._store.pop(key)[0]
+        while self.used_bytes + size_bytes > self.capacity_bytes and self._store:
+            _, (evicted, _) = self._store.popitem(last=False)
+            self.used_bytes -= evicted
+        if size_bytes <= self.capacity_bytes:
+            self._store[key] = (size_bytes, now)
+            self.used_bytes += size_bytes
+
+    def cache_lookup(self, key: Hashable,
+                     now: float = 0.0) -> Optional[int]:
+        entry = self._store.get(key)
+        if entry is None:
+            return None
+        size, stored_at = entry
+        if self.ttl is not None and now - stored_at > self.ttl:
+            self.cache_evict(key)
+            self.expired += 1
+            return None
+        self._store.move_to_end(key)
+        return size
+
+    def cache_evict(self, key: Hashable) -> bool:
+        entry = self._store.pop(key, None)
+        if entry is not None:
+            self.used_bytes -= entry[0]
+            return True
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    # -- data path --------------------------------------------------------------
+    def on_packet(self, ship, packet, from_node) -> bool:
+        kind = payload_kind(packet)
+        now = ship.sim.now
+        if kind == "content":
+            # Opportunistic caching of content flowing through.
+            key = packet.payload.get("key")
+            if key is not None and packet.dst != ship.ship_id:
+                self.cache_put(key, packet.size_bytes, now)
+            return False  # still forward the original
+        if kind == "content-invalidate":
+            # Origin-driven consistency: evict and pass the notice on
+            # so every cache downstream hears it too.
+            if self.cache_evict(packet.payload.get("key")):
+                self.invalidations += 1
+            return False
+        if kind != "content-request":
+            return False
+        key = packet.payload.get("key")
+        requester = packet.payload.get("reply_to", packet.src)
+        ship.record_fact("content-request", key)
+        size = self.cache_lookup(key, now)
+        if size is None:
+            self.misses += 1
+            return False  # miss: let the request continue upstream
+        self.hits += 1
+        self.bytes_served += size
+        reply = Datagram(ship.ship_id, requester, size_bytes=size,
+                         created_at=packet.created_at,
+                         flow_id=packet.flow_id,
+                         payload={"kind": "content", "key": key,
+                                  "served_by": ship.ship_id})
+        reply.meta["cache_hit"] = True
+        ship.send_toward(reply)
+        return True  # request absorbed — answered locally
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(items=len(self._store), used=self.used_bytes,
+                    hit_rate=round(self.hit_rate, 4), ttl=self.ttl,
+                    expired=self.expired,
+                    invalidations=self.invalidations)
+        return desc

@@ -1,0 +1,89 @@
+"""Combining role (Second Level Profiling, cf. fission).
+
+Kulkarni & Minden: "Combining (cf. fission): joining packets from the
+same stream or from different streams."  Unlike fusion (which *reduces*
+data), combining coalesces several small packets into one larger frame
+— fewer packets, same bytes, lower per-packet overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from ..substrates.phys import HEADER_BYTES, Datagram
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class CombiningRole(Role):
+    """Coalesces small same-destination packets into jumbo frames."""
+
+    role_id = "fn.combining"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 3_500
+    code_size_bytes = 4_096
+    hw_cells = 224
+    hw_speedup = 10.0
+    supporting_fact_classes = ("combine-demand",)
+
+    #: Packets at or above this size are not worth combining.
+    SMALL_PACKET = 256
+
+    def __init__(self, batch: int = 4, kinds: tuple = ("media", "sensor")):
+        super().__init__()
+        if batch < 2:
+            raise ValueError(f"batch must be >= 2, got {batch}")
+        self.batch = int(batch)
+        self.kinds = tuple(kinds)
+        self._buffers: Dict[Hashable, List[Datagram]] = {}
+        self.packets_in = 0
+        self.frames_out = 0
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        if payload_kind(packet) not in self.kinds:
+            return False
+        if packet.dst == ship.ship_id or packet.size_bytes >= self.SMALL_PACKET:
+            return False
+        self.packets_in += 1
+        ship.record_fact("combine-demand", packet.dst)
+        buf = self._buffers.setdefault(packet.dst, [])
+        buf.append(packet)
+        if len(buf) < self.batch:
+            return True
+        del self._buffers[packet.dst]
+        self._emit(ship, packet.dst, buf)
+        return True
+
+    def _emit(self, ship, dst, packets: List[Datagram]) -> None:
+        # One shared header; payload bytes are preserved.
+        payload_bytes = sum(p.size_bytes - HEADER_BYTES for p in packets)
+        frame = Datagram(packets[0].src, dst,
+                         size_bytes=HEADER_BYTES + payload_bytes,
+                         ttl=max(p.ttl for p in packets),
+                         created_at=min(p.created_at for p in packets),
+                         flow_id=packets[0].flow_id,
+                         payload={"kind": "combined",
+                                  "count": len(packets),
+                                  "inner": [p.payload for p in packets]})
+        frame.meta["combined"] = True
+        self.frames_out += 1
+        ship.send_toward(frame)
+
+    def flush(self, ship) -> int:
+        flushed = 0
+        for dst in list(self._buffers):
+            buf = self._buffers.pop(dst)
+            if len(buf) == 1:
+                ship.send_toward(buf[0])
+            elif buf:
+                self._emit(ship, dst, buf)
+            flushed += 1
+        return flushed
+
+    def on_deactivate(self, ship) -> None:
+        self.flush(ship)
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(packets_in=self.packets_in, frames_out=self.frames_out)
+        return desc

@@ -1,0 +1,74 @@
+"""Delegation role (First Level Profiling).
+
+"Delegation: the active node is performing tasks on behalf of another
+active node which are delegated by means of capsules, e.g. becoming a
+unified messaging node which migrates closer to a nomadic user while
+she moves."  The role executes delegated task capsules locally and
+replies with results; it records *task-origin* facts so the wandering
+engine can migrate the function toward where the tasks come from —
+exactly the nomadic-service behaviour of the example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from ..substrates.phys import Datagram
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class DelegationRole(Role):
+    """Executes tasks delegated by other nodes via capsules."""
+
+    role_id = "fn.delegation"
+    level = ProfilingLevel.FIRST
+    default_modal = False
+    cpu_ops_per_packet = 20_000
+    code_size_bytes = 8_192
+    hw_cells = 512
+    hw_speedup = 4.0
+    supporting_fact_classes = ("task-origin",)
+
+    def __init__(self):
+        super().__init__()
+        self.tasks_executed = 0
+        self.task_ops_total = 0.0
+        self.origins: Dict[Hashable, int] = {}
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        if payload_kind(packet) != "task":
+            return False
+        # A delegate intercepts task capsules anywhere on their path —
+        # that is what lets the "unified messaging node" keep serving a
+        # nomadic user while it migrates closer to her.
+        payload = packet.payload
+        ops = float(payload.get("ops", 50_000))
+        reply_to = payload.get("reply_to", packet.src)
+        origin = payload.get("origin", packet.src)
+        self.origins[origin] = self.origins.get(origin, 0) + 1
+        ship.record_fact("task-origin", origin)
+        self.tasks_executed += 1
+        self.task_ops_total += ops
+        delay = ship.nodeos.cpu.execute(ops, "delegated-task")
+        result = Datagram(ship.ship_id, reply_to,
+                          size_bytes=int(payload.get("result_bytes", 256)),
+                          flow_id=packet.flow_id,
+                          payload={"kind": "task-result",
+                                   "task": payload.get("task"),
+                                   "executed_by": ship.ship_id})
+        ship.sim.call_in(delay, ship.send_toward, result,
+                         name="task-result")
+        return True
+
+    def dominant_origin(self) -> Hashable:
+        """The node most tasks come from (the migration target hint)."""
+        if not self.origins:
+            return None
+        return max(sorted(self.origins, key=repr),
+                   key=lambda o: self.origins[o])
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(tasks=self.tasks_executed,
+                    dominant_origin=self.dominant_origin())
+        return desc

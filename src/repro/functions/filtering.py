@@ -1,0 +1,74 @@
+"""Filtering role (Second Level Profiling, cf. fusion).
+
+Kulkarni & Minden: "Filtering (cf. fusion): packet dropping or some
+other kind of bandwidth reduction technique."  The role drops packets
+failing a quality/predicate test — e.g. discarding MPEG enhancement
+layers below a quality floor on a congested branch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .base import ProfilingLevel, Role, payload_kind
+
+Predicate = Callable[[object], bool]
+
+
+class FilteringRole(Role):
+    """Predicate-based in-network packet dropping."""
+
+    role_id = "fn.filtering"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 2_500
+    code_size_bytes = 3_072
+    hw_cells = 160
+    hw_speedup = 18.0
+    supporting_fact_classes = ("filter-demand",)
+
+    def __init__(self, min_quality: float = 0.5,
+                 predicate: Optional[Predicate] = None,
+                 kinds: tuple = ("media",)):
+        super().__init__()
+        if not (0.0 <= min_quality <= 1.0):
+            raise ValueError(f"min_quality out of [0,1]: {min_quality}")
+        self.min_quality = float(min_quality)
+        self.predicate = predicate
+        self.kinds = tuple(kinds)
+        self.dropped = 0
+        self.passed = 0
+        self.bytes_dropped = 0
+
+    def _should_drop(self, packet) -> bool:
+        if self.predicate is not None:
+            return self.predicate(packet)
+        quality = (packet.payload or {}).get("quality", 1.0) \
+            if isinstance(packet.payload, dict) else 1.0
+        return quality < self.min_quality
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        if payload_kind(packet) not in self.kinds:
+            return False
+        if packet.dst == ship.ship_id:
+            return False
+        ship.record_fact("filter-demand", packet.flow_id)
+        if self._should_drop(packet):
+            self.dropped += 1
+            self.bytes_dropped += packet.size_bytes
+            ship.sim.trace.emit("role.filter.drop", ship=ship.ship_id,
+                                packet=packet.packet_id)
+            return True  # absorbed (dropped)
+        self.passed += 1
+        return False  # pass through to normal forwarding
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.dropped + self.passed
+        return self.dropped / total if total else 0.0
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(dropped=self.dropped, passed=self.passed,
+                    drop_rate=round(self.drop_rate, 4))
+        return desc

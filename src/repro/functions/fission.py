@@ -1,0 +1,91 @@
+"""Fission role (First Level Profiling).
+
+"Fission: the active node is delivering more data than it receives, e.g.
+generating additional packets for multicasting."  The role maintains a
+multicast membership table fed by subscribe/unsubscribe control packets
+and expands group-addressed media into one copy per subscriber —
+"user-specific multicast services within the network reduce the load on
+the sensors and the network backbone" (MFP discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class FissionRole(Role):
+    """In-network multicast expansion point."""
+
+    role_id = "fn.fission"
+    level = ProfilingLevel.FIRST
+    default_modal = True
+    cpu_ops_per_packet = 6_000
+    code_size_bytes = 5_120
+    hw_cells = 320
+    hw_speedup = 12.0
+    supporting_fact_classes = ("multicast-group",)
+
+    def __init__(self):
+        super().__init__()
+        self._groups: Dict[Hashable, Set[Hashable]] = {}
+        self.copies_out = 0
+        self.packets_in = 0
+
+    # -- membership ---------------------------------------------------------
+    def subscribe(self, group: Hashable, member: Hashable) -> None:
+        self._groups.setdefault(group, set()).add(member)
+
+    def unsubscribe(self, group: Hashable, member: Hashable) -> None:
+        members = self._groups.get(group)
+        if members is not None:
+            members.discard(member)
+            if not members:
+                del self._groups[group]
+
+    def members(self, group: Hashable) -> Set[Hashable]:
+        return set(self._groups.get(group, ()))
+
+    @property
+    def groups(self) -> Dict[Hashable, Set[Hashable]]:
+        return {g: set(m) for g, m in self._groups.items()}
+
+    # -- data path ------------------------------------------------------------
+    def on_packet(self, ship, packet, from_node) -> bool:
+        kind = payload_kind(packet)
+        if kind == "subscribe":
+            self.subscribe(packet.payload["group"], packet.payload["member"])
+            ship.record_fact("multicast-group", packet.payload["group"])
+            return True
+        if kind == "unsubscribe":
+            self.unsubscribe(packet.payload["group"],
+                             packet.payload["member"])
+            return True
+        group = (packet.payload or {}).get("group") \
+            if isinstance(packet.payload, dict) else None
+        if group is None or group not in self._groups:
+            return False
+        self.packets_in += 1
+        ship.record_fact("multicast-group", group)
+        for member in sorted(self._groups[group], key=repr):
+            if member == ship.ship_id:
+                ship.deliver_local(packet, from_node)
+                continue
+            copy = packet.clone()
+            copy.dst = member
+            copy.meta["fissioned"] = True
+            self.copies_out += 1
+            ship.send_toward(copy)
+        return True
+
+    @property
+    def expansion_ratio(self) -> float:
+        """Copies out per group packet in — above 1.0 means fission works."""
+        return self.copies_out / self.packets_in if self.packets_in else 0.0
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(groups={g: len(m) for g, m in self._groups.items()},
+                    expansion=round(self.expansion_ratio, 3))
+        return desc

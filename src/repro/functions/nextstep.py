@@ -1,0 +1,74 @@
+"""Next-Step role (a Viator addition to First Level Profiling).
+
+"The Next-Step function operates as an internal programmable switch
+which stores the next node role to come.  It is a standard module for
+each node/ship."  It partially corresponds to Raz & Shavitt's "Oracle".
+
+The role stores the scheduled next role and serves ship-state
+descriptions (the *Oracle* half): a ``state-request`` packet is answered
+with the ship's self-description, which is also how the Self-Reference
+Principle's "display to the external world" is realized on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..substrates.phys import Datagram
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class NextStepRole(Role):
+    """Programmable role switch + ship state oracle (standard module)."""
+
+    role_id = "fn.nextstep"
+    level = ProfilingLevel.FIRST
+    default_modal = True
+    cpu_ops_per_packet = 2_000
+    code_size_bytes = 2_048
+    hw_cells = 128
+    hw_speedup = 16.0
+    supporting_fact_classes = ()   # the standard module never fact-expires
+
+    def __init__(self):
+        super().__init__()
+        self._next_role: Optional[str] = None
+        self.history: List[Tuple[float, str]] = []
+        self.state_requests_served = 0
+
+    # -- programmable switch -------------------------------------------------
+    def set_next(self, role_id: str, now: float = 0.0) -> None:
+        self._next_role = role_id
+        self.history.append((now, role_id))
+
+    def peek_next(self) -> Optional[str]:
+        return self._next_role
+
+    def take_next(self) -> Optional[str]:
+        """Consume the stored next role (the pulse engine calls this)."""
+        role, self._next_role = self._next_role, None
+        return role
+
+    # -- data path -----------------------------------------------------------
+    def on_packet(self, ship, packet, from_node) -> bool:
+        kind = payload_kind(packet)
+        if kind == "next-step":
+            # A control capsule programs the switch remotely.
+            self.set_next(packet.payload["role"], ship.sim.now)
+            return True
+        if kind == "state-request" and packet.dst == ship.ship_id:
+            self.state_requests_served += 1
+            description = ship.describe()
+            reply = Datagram(
+                ship.ship_id, packet.payload.get("reply_to", packet.src),
+                size_bytes=256, flow_id=packet.flow_id,
+                payload={"kind": "state-reply", "state": description})
+            ship.send_toward(reply)
+            return True
+        return False
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(next_role=self._next_role,
+                    switches=len(self.history))
+        return desc

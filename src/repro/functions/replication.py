@@ -1,0 +1,76 @@
+"""Replication role (a Viator addition to First Level Profiling).
+
+"We assigned two additional roles to the First Level Profiling:
+Replication and Next-Step for packet/function replication and ship
+state description respectively. ... A capsule/shuttle replication could
+be quite useful for deploying knowledge-based services such as
+selective 'activation' of the network topology" — it corresponds
+partially to Raz & Shavitt's "Forward and Copy".
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class ReplicationRole(Role):
+    """Forward-and-copy: replicates marked packets to extra targets.
+
+    A packet asking for replication carries ``meta['replicate_to']`` (a
+    list of node ids) or a ``{"kind": "replicate", "targets": [...]}``
+    payload wrapping an inner payload.  The role fans copies out while
+    the original continues toward its destination.
+    """
+
+    role_id = "fn.replication"
+    level = ProfilingLevel.FIRST
+    default_modal = False
+    cpu_ops_per_packet = 3_000
+    code_size_bytes = 3_072
+    hw_cells = 192
+    hw_speedup = 14.0
+    supporting_fact_classes = ("replication-demand",)
+
+    def __init__(self, max_copies: int = 8):
+        super().__init__()
+        if max_copies < 1:
+            raise ValueError(f"max_copies must be >= 1, got {max_copies}")
+        self.max_copies = int(max_copies)
+        self.copies_made = 0
+        self.requests = 0
+
+    def _targets(self, packet) -> List[Hashable]:
+        targets = packet.meta.get("replicate_to")
+        if targets is None and payload_kind(packet) == "replicate":
+            targets = packet.payload.get("targets", [])
+        return list(targets or [])
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        targets = self._targets(packet)
+        if not targets:
+            return False
+        self.requests += 1
+        ship.record_fact("replication-demand", packet.dst)
+        for target in targets[: self.max_copies]:
+            if target == ship.ship_id:
+                continue
+            copy = packet.clone()
+            copy.dst = target
+            copy.meta.pop("replicate_to", None)
+            copy.meta["replica"] = True
+            self.copies_made += 1
+            ship.send_toward(copy)
+        # The original continues (Forward *and* Copy) unless it was
+        # addressed to the replication point itself.
+        if packet.dst != ship.ship_id:
+            original = packet.clone()
+            original.meta.pop("replicate_to", None)
+            ship.send_toward(original)
+        return True
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(copies=self.copies_made, requests=self.requests)
+        return desc

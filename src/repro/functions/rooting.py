@@ -1,0 +1,65 @@
+"""Rooting/propagation role (Second Level Profiling, Viator addition).
+
+"Routing and propagation of functionality were included in the Second
+Level Profiling as dependants of the caching class which refers in turn
+as a bootstrapping mechanism to the node state (Next Step) and all other
+instances of the functional classes in the First Level Profiling."
+
+The role periodically *roots* the ship's most-used function into its
+neighbourhood: it packages the function as a knowledge quantum and asks
+the ship to propagate it — this is the push half of the WN's code
+distribution ("code distribution throughout the network and inside the
+ships can be maintained by the shuttles themselves").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ProfilingLevel, Role
+
+
+class RootingPropagationRole(Role):
+    """Pushes the locally dominant function to neighbour ships."""
+
+    role_id = "fn.rooting"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 3_000
+    code_size_bytes = 4_096
+    hw_cells = 256
+    hw_speedup = 6.0
+    supporting_fact_classes = ("role-usage",)
+
+    def __init__(self, min_usage: int = 8):
+        super().__init__()
+        #: A function must have handled this many packets locally before
+        #: it is considered worth propagating.
+        self.min_usage = int(min_usage)
+        self.propagations = 0
+
+    def dominant_function(self, ship) -> Optional[str]:
+        """The ship's most exercised non-standard role, if any."""
+        best_id, best_count = None, self.min_usage - 1
+        for role_id, meta in ship.roles.items():
+            role = meta["role"]
+            if role is self or role.role_id == "fn.nextstep":
+                continue
+            if role.packets_handled > best_count:
+                best_id, best_count = role_id, role.packets_handled
+        return best_id
+
+    def on_tick(self, ship, now: float) -> None:
+        role_id = self.dominant_function(ship)
+        if role_id is None:
+            return
+        sent = ship.propagate_function(role_id)
+        if sent:
+            self.propagations += 1
+            ship.record_fact("role-usage", role_id)
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(propagations=self.propagations,
+                    min_usage=self.min_usage)
+        return desc

@@ -1,0 +1,73 @@
+"""Routing-control role (Second Level Profiling, the vertical class).
+
+Kulkarni & Minden: "Routing Control: overlaying and managing several
+virtual topologies on top of the same physical network infrastructure
+as an application-layer service."  Section D: "In Viator, routing
+control is considered as a special class of virtual vertical intra-node
+overlay of functional wandering ... This class is interdependent from
+all of the other functional classes (node roles).  For instance, we can
+generate a QoS oriented network topology on demand."
+
+The role is thin on purpose: overlay bookkeeping lives in
+:mod:`repro.routing.overlay`; the role is the per-ship handle through
+which overlay control capsules act.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class RoutingControlRole(Role):
+    """Per-ship membership management for virtual overlay networks."""
+
+    role_id = "fn.routing"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 4_500
+    code_size_bytes = 6_144
+    hw_cells = 384
+    hw_speedup = 7.0
+    supporting_fact_classes = ("overlay-demand",)
+
+    def __init__(self):
+        super().__init__()
+        #: Overlays this ship participates in: overlay_id -> role tag.
+        self.memberships: Dict[Hashable, str] = {}
+        self.join_events = 0
+        self.leave_events = 0
+
+    # -- membership (called by the OverlayManager or control capsules) ------
+    def join_overlay(self, ship, overlay_id: Hashable,
+                     tag: str = "member") -> None:
+        if overlay_id not in self.memberships:
+            self.join_events += 1
+        self.memberships[overlay_id] = tag
+        ship.record_fact("overlay-demand", overlay_id)
+
+    def leave_overlay(self, ship, overlay_id: Hashable) -> None:
+        if self.memberships.pop(overlay_id, None) is not None:
+            self.leave_events += 1
+
+    def overlays(self) -> Set[Hashable]:
+        return set(self.memberships)
+
+    # -- data path ------------------------------------------------------------
+    def on_packet(self, ship, packet, from_node) -> bool:
+        kind = payload_kind(packet)
+        if kind == "overlay-join":
+            self.join_overlay(ship, packet.payload["overlay"],
+                              packet.payload.get("tag", "member"))
+            return True
+        if kind == "overlay-leave":
+            self.leave_overlay(ship, packet.payload["overlay"])
+            return True
+        return False
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(overlays=sorted(self.memberships, key=repr),
+                    joins=self.join_events, leaves=self.leave_events)
+        return desc

@@ -1,0 +1,84 @@
+"""Security + network management role (Second Level Profiling).
+
+"We combined the security and network management classes into one single
+class" (Section D, Figure 2).  The role is the on-path enforcement and
+observability point:
+
+* *security half* — capsule authorization at the perimeter (packets with
+  invalid credentials are absorbed), per Kulkarni & Minden's "capsule
+  authorization and resource access control";
+* *management half* — "self-configuration, self-diagnosis, self-healing
+  via event reporting, accounting, configuration management and workload
+  monitoring": it accumulates counters and emits periodic reports as
+  management facts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class SecurityManagementRole(Role):
+    """Perimeter auth + accounting/monitoring in one class (Figure 2)."""
+
+    role_id = "fn.secmgmt"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 5_000
+    code_size_bytes = 7_168
+    hw_cells = 448
+    hw_speedup = 9.0
+    supporting_fact_classes = ("mgmt-event",)
+
+    def __init__(self, screen_shuttles: bool = True):
+        super().__init__()
+        self.screen_shuttles = screen_shuttles
+        self.rejected = 0
+        self.screened = 0
+        self.accounting: Dict[str, int] = {}   # kind -> packets
+        self.byte_accounting: Dict[str, int] = {}
+        self.events: List[Tuple[float, str, object]] = []
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        kind = payload_kind(packet) or type(packet).__name__.lower()
+        # -- accounting (never absorbs) ------------------------------------
+        self.accounting[kind] = self.accounting.get(kind, 0) + 1
+        self.byte_accounting[kind] = (
+            self.byte_accounting.get(kind, 0) + packet.size_bytes)
+        # -- screening --------------------------------------------------------
+        credential = getattr(packet, "credential", None)
+        if (self.screen_shuttles and credential is not None
+                and not ship.nodeos.authority.verify(credential)):
+            self.rejected += 1
+            self.events.append((ship.sim.now, "auth-reject",
+                                packet.packet_id))
+            ship.record_fact("mgmt-event", "auth-reject")
+            ship.sim.trace.emit("role.secmgmt.reject", ship=ship.ship_id,
+                                packet=packet.packet_id)
+            return True  # absorbed: unauthorized capsule goes no further
+        self.screened += 1
+        return False
+
+    def on_tick(self, ship, now: float) -> None:
+        """Workload monitoring: fold utilization into the knowledge base."""
+        backlog = ship.nodeos.cpu.backlog
+        if backlog > 0.01:
+            self.events.append((now, "cpu-backlog", round(backlog, 4)))
+            ship.record_fact("mgmt-event", "cpu-backlog")
+
+    def report(self) -> Dict:
+        """The management half's event/accounting report."""
+        return {
+            "screened": self.screened,
+            "rejected": self.rejected,
+            "accounting": dict(self.accounting),
+            "bytes": dict(self.byte_accounting),
+            "events": len(self.events),
+        }
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(self.report())
+        return desc

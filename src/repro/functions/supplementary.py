@@ -1,0 +1,84 @@
+"""Supplementary-services role (Second Level Profiling).
+
+Kulkarni & Minden: "Supplementary Services: adding new feature to the
+packets without altering, but depending on their contents, e.g.
+content-based buffering."  The role implements exactly the named
+example: packets whose content matches a held key are buffered at the
+ship until a release event, without modifying them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from .base import ProfilingLevel, Role, payload_kind
+
+
+class SupplementaryRole(Role):
+    """Content-based buffering: hold matching packets until released."""
+
+    role_id = "fn.supplementary"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 3_000
+    code_size_bytes = 4_096
+    hw_cells = 256
+    hw_speedup = 5.0
+    supporting_fact_classes = ("buffer-demand",)
+
+    def __init__(self, max_buffered: int = 64):
+        super().__init__()
+        if max_buffered < 1:
+            raise ValueError(f"max_buffered must be >= 1, got {max_buffered}")
+        self.max_buffered = int(max_buffered)
+        self._holds: Dict[Hashable, List] = {}    # hold key -> packets
+        self.buffered = 0
+        self.released = 0
+        self.overflow_forwards = 0
+
+    # -- control -----------------------------------------------------------
+    def hold(self, key: Hashable) -> None:
+        """Start buffering packets whose content matches ``key``."""
+        self._holds.setdefault(key, [])
+
+    def release(self, ship, key: Hashable) -> int:
+        """Forward everything held for ``key``; returns packets released."""
+        packets = self._holds.pop(key, [])
+        for packet in packets:
+            ship.send_toward(packet)
+        self.released += len(packets)
+        return len(packets)
+
+    def holding(self, key: Hashable) -> int:
+        return len(self._holds.get(key, ()))
+
+    # -- data path ------------------------------------------------------------
+    def on_packet(self, ship, packet, from_node) -> bool:
+        kind = payload_kind(packet)
+        if kind == "buffer-hold":
+            self.hold(packet.payload["key"])
+            ship.record_fact("buffer-demand", packet.payload["key"])
+            return True
+        if kind == "buffer-release":
+            self.release(ship, packet.payload["key"])
+            return True
+        # Content matching: buffer without altering the packet.
+        content_key = (packet.payload or {}).get("content_key") \
+            if isinstance(packet.payload, dict) else None
+        if content_key is None or content_key not in self._holds:
+            return False
+        if packet.dst == ship.ship_id:
+            return False
+        bucket = self._holds[content_key]
+        if len(bucket) >= self.max_buffered:
+            self.overflow_forwards += 1
+            return False  # buffer full: degrade to pass-through
+        bucket.append(packet)
+        self.buffered += 1
+        return True
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(holds={k: len(v) for k, v in self._holds.items()},
+                    buffered=self.buffered, released=self.released)
+        return desc

@@ -1,0 +1,83 @@
+"""Transcoding role (Second Level Profiling).
+
+Kulkarni & Minden: "Transcoding: transforming user data / content into
+another form."  Section D adds: "Since most of the network traffic
+carries large amounts of rich multimedia content, a transcoding function
+for congestion control and local, feedback-enabled content-, user- and
+resource-dependent QoS management is also useful."
+
+The role re-encodes media packets to a target encoding, scaling their
+size by the encoding's compression factor at a substantial CPU cost —
+the classic latency-for-bandwidth trade the feedback controllers pull
+on when a downstream branch congests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..substrates.phys import HEADER_BYTES
+from .base import ProfilingLevel, Role, payload_kind
+
+#: Known encodings and their size factor relative to the raw stream.
+ENCODINGS: Dict[str, float] = {
+    "raw": 1.0,
+    "mpeg4-high": 0.6,
+    "mpeg4-low": 0.3,
+    "thumbnail": 0.1,
+}
+
+
+class TranscodingRole(Role):
+    """Re-encodes media content to a (smaller) target encoding."""
+
+    role_id = "fn.transcoding"
+    level = ProfilingLevel.SECOND
+    default_modal = False
+    cpu_ops_per_packet = 40_000   # transcoding is compute-heavy
+    code_size_bytes = 12_288
+    hw_cells = 768
+    hw_speedup = 24.0             # and the best hardware-acceleration target
+    supporting_fact_classes = ("transcode-demand",)
+
+    def __init__(self, target_encoding: str = "mpeg4-low"):
+        super().__init__()
+        if target_encoding not in ENCODINGS:
+            raise ValueError(f"unknown encoding {target_encoding!r}")
+        self.target_encoding = target_encoding
+        self.transcoded = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def on_packet(self, ship, packet, from_node) -> bool:
+        if payload_kind(packet) != "media":
+            return False
+        if packet.dst == ship.ship_id:
+            return False
+        current = packet.payload.get("encoding", "raw")
+        if current not in ENCODINGS:
+            current = "raw"
+        if ENCODINGS[current] <= ENCODINGS[self.target_encoding]:
+            return False  # already at or below the target rate
+        ship.record_fact("transcode-demand", packet.flow_id)
+        self.bytes_in += packet.size_bytes
+        factor = ENCODINGS[self.target_encoding] / ENCODINGS[current]
+        body = packet.size_bytes - HEADER_BYTES
+        packet.size_bytes = HEADER_BYTES + max(16, int(body * factor))
+        packet.payload = dict(packet.payload)
+        packet.payload["encoding"] = self.target_encoding
+        packet.meta["transcoded_by"] = ship.ship_id
+        self.transcoded += 1
+        self.bytes_out += packet.size_bytes
+        ship.send_toward(packet)
+        return True
+
+    @property
+    def compression_achieved(self) -> float:
+        return self.bytes_out / self.bytes_in if self.bytes_in else 1.0
+
+    def describe(self):
+        desc = super().describe()
+        desc.update(target=self.target_encoding, transcoded=self.transcoded,
+                    compression=round(self.compression_achieved, 4))
+        return desc

@@ -1,0 +1,11 @@
+"""Routing: WLI adaptive ad-hoc protocol, baselines, QoS, overlays."""
+
+from .adaptive import Route, WLIAdaptiveRouter
+from .dv import DistanceVectorRouter, FloodingRouter
+from .overlay import Overlay, OverlayManager
+from .qos import QosDemand, path_qos, topology_on_demand
+from .static import StaticRouter
+
+__all__ = ["Route", "WLIAdaptiveRouter", "DistanceVectorRouter",
+           "FloodingRouter", "Overlay", "OverlayManager", "QosDemand",
+           "path_qos", "topology_on_demand", "StaticRouter"]

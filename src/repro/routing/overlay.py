@@ -1,0 +1,183 @@
+"""Virtual overlay networks (vertical wandering, Figure 4).
+
+"Routing Control: overlaying and managing several virtual topologies on
+top of the same physical network infrastructure" — the
+:class:`OverlayManager` spawns, reshapes (*clustering*) and removes
+virtual overlays over one physical topology.  Each overlay is a
+QoS-filtered subgraph with its own membership; ships participate via
+their :class:`~repro.functions.routing_control.RoutingControlRole`.
+
+Figure 4's two labelled operations are methods here: :meth:`spawn`
+(a new "Virtual Overlay X Network" appears) and :meth:`cluster`
+(an overlay contracts onto the nodes actually using it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..substrates.phys import Topology
+from .qos import QosDemand, path_qos, topology_on_demand
+
+NodeId = Hashable
+
+_overlay_seq = itertools.count(1)
+
+
+class Overlay:
+    """One virtual topology over the physical network."""
+
+    def __init__(self, overlay_id: str, demand: QosDemand,
+                 virtual: Topology, members: Set[NodeId],
+                 created_at: float = 0.0):
+        self.overlay_id = overlay_id
+        self.demand = demand
+        self.virtual = virtual
+        self.members = set(members)
+        self.created_at = created_at
+        self.reshapes = 0
+
+    def path(self, src: NodeId, dst: NodeId) -> Optional[List[NodeId]]:
+        if src not in self.virtual or dst not in self.virtual:
+            return None
+        return self.virtual.path(src, dst)
+
+    def connected(self) -> bool:
+        live = [n for n in self.virtual.nodes if self.virtual.node_up(n)]
+        if len(live) <= 1:
+            return True
+        return self.virtual.is_connected()
+
+    def __repr__(self) -> str:
+        return (f"<Overlay {self.overlay_id} members={len(self.members)} "
+                f"links={len(self.virtual.links)}>")
+
+
+class OverlayManager:
+    """Spawns and maintains virtual overlays over one physical topology."""
+
+    def __init__(self, sim, physical: Topology):
+        self.sim = sim
+        self.physical = physical
+        self.overlays: Dict[str, Overlay] = {}
+        self._ships: Dict[NodeId, object] = {}
+        self.spawned = 0
+        self.removed = 0
+        self._synced_version = -1
+
+    # -- ship participation -------------------------------------------------
+    def register_ship(self, ship) -> None:
+        self._ships[ship.ship_id] = ship
+
+    def _notify_join(self, overlay: Overlay) -> None:
+        from ..functions import RoutingControlRole
+        for member in overlay.members:
+            ship = self._ships.get(member)
+            if ship is None or not ship.has_role(RoutingControlRole.role_id):
+                continue
+            ship.role(RoutingControlRole.role_id).join_overlay(
+                ship, overlay.overlay_id)
+
+    def _notify_leave(self, overlay: Overlay,
+                      leavers: Iterable[NodeId]) -> None:
+        from ..functions import RoutingControlRole
+        for member in leavers:
+            ship = self._ships.get(member)
+            if ship is None or not ship.has_role(RoutingControlRole.role_id):
+                continue
+            ship.role(RoutingControlRole.role_id).leave_overlay(
+                ship, overlay.overlay_id)
+
+    # -- lifecycle ----------------------------------------------------------
+    def spawn(self, demand: QosDemand,
+              members: Optional[Iterable[NodeId]] = None,
+              overlay_id: Optional[str] = None) -> Overlay:
+        """Generate a QoS-oriented virtual topology on demand (Figure 4)."""
+        oid = overlay_id or f"overlay-{next(_overlay_seq)}"
+        if oid in self.overlays:
+            raise ValueError(f"overlay {oid} already exists")
+        member_set = set(members) if members is not None \
+            else set(self.physical.nodes)
+        virtual = topology_on_demand(self.physical, demand, member_set)
+        overlay = Overlay(oid, demand, virtual, member_set,
+                          created_at=self.sim.now)
+        self.overlays[oid] = overlay
+        self.spawned += 1
+        self._notify_join(overlay)
+        self.sim.trace.emit("overlay.spawn", overlay=oid,
+                            members=len(member_set),
+                            links=len(virtual.links))
+        return overlay
+
+    def remove(self, overlay_id: str) -> None:
+        overlay = self.overlays.pop(overlay_id, None)
+        if overlay is None:
+            return
+        self.removed += 1
+        self._notify_leave(overlay, overlay.members)
+        self.sim.trace.emit("overlay.remove", overlay=overlay_id)
+
+    def cluster(self, overlay_id: str,
+                active_members: Iterable[NodeId]) -> Overlay:
+        """Contract an overlay onto its actually-active members.
+
+        Figure 4's *Clustering*: the virtual network tightens around the
+        nodes using it, releasing the rest.
+        """
+        overlay = self.overlays[overlay_id]
+        active = set(active_members) & overlay.members
+        leavers = overlay.members - active
+        overlay.members = active
+        overlay.virtual = topology_on_demand(self.physical, overlay.demand,
+                                             active)
+        overlay.reshapes += 1
+        self._notify_leave(overlay, leavers)
+        self.sim.trace.emit("overlay.cluster", overlay=overlay_id,
+                            members=len(active), released=len(leavers))
+        return overlay
+
+    def resync(self) -> int:
+        """Refresh every overlay against the current physical topology.
+
+        Called when the physical network changed (mobility, failures);
+        returns how many overlays were rebuilt.
+        """
+        if self._synced_version == self.physical.version:
+            return 0
+        self._synced_version = self.physical.version
+        rebuilt = 0
+        for overlay in self.overlays.values():
+            overlay.virtual = topology_on_demand(
+                self.physical, overlay.demand, overlay.members)
+            overlay.reshapes += 1
+            rebuilt += 1
+        return rebuilt
+
+    # -- measurements ---------------------------------------------------------
+    def best_overlay_path(self, src: NodeId,
+                          dst: NodeId) -> Tuple[Optional[str],
+                                                Optional[List[NodeId]]]:
+        """The lowest-latency admissible path across all overlays."""
+        self.resync()
+        best: Tuple[Optional[str], Optional[List[NodeId]], float] = \
+            (None, None, float("inf"))
+        for oid in sorted(self.overlays):
+            path = self.overlays[oid].path(src, dst)
+            if path is None:
+                continue
+            latency = path_qos(self.overlays[oid].virtual, path)["latency"]
+            if latency < best[2]:
+                best = (oid, path, latency)
+        return best[0], best[1]
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Per-overlay membership/link view (bench F4 series rows)."""
+        self.resync()
+        return {oid: {"members": sorted(o.members, key=repr),
+                      "links": len(o.virtual.links),
+                      "connected": o.connected()}
+                for oid, o in sorted(self.overlays.items())}
+
+    def __repr__(self) -> str:
+        return f"<OverlayManager overlays={len(self.overlays)}>"

@@ -1,0 +1,117 @@
+"""QoS demands and QoS-aware path evaluation.
+
+"For instance, we can generate a QoS oriented network topology on
+demand" (Section D) — this module defines what "QoS oriented" means:
+a :class:`QosDemand` constrains per-link latency/bandwidth (and path
+latency / hop count); :func:`topology_on_demand` filters the physical
+network down to the subgraph satisfying the demand, which the overlay
+manager then instantiates as a virtual topology.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional
+
+from ..substrates.phys import Topology
+
+NodeId = Hashable
+
+
+class QosDemand:
+    """A QoS constraint set for a virtual topology or a path."""
+
+    def __init__(self, max_link_latency: Optional[float] = None,
+                 min_bandwidth: Optional[float] = None,
+                 max_path_latency: Optional[float] = None,
+                 max_hops: Optional[int] = None,
+                 name: str = "qos"):
+        if max_link_latency is not None and max_link_latency <= 0:
+            raise ValueError("max_link_latency must be positive")
+        if min_bandwidth is not None and min_bandwidth <= 0:
+            raise ValueError("min_bandwidth must be positive")
+        self.max_link_latency = max_link_latency
+        self.min_bandwidth = min_bandwidth
+        self.max_path_latency = max_path_latency
+        self.max_hops = max_hops
+        self.name = name
+
+    # -- link / path admission ------------------------------------------------
+    def admits_link(self, link) -> bool:
+        if not link.up:
+            return False
+        if (self.max_link_latency is not None
+                and link.latency > self.max_link_latency):
+            return False
+        if (self.min_bandwidth is not None
+                and link.bandwidth < self.min_bandwidth):
+            return False
+        return True
+
+    def admits_path(self, topology: Topology,
+                    path: Iterable[NodeId]) -> bool:
+        nodes = list(path)
+        if len(nodes) < 2:
+            return True
+        if self.max_hops is not None and len(nodes) - 1 > self.max_hops:
+            return False
+        latency = 0.0
+        for a, b in zip(nodes, nodes[1:]):
+            if not topology.has_link(a, b):
+                return False
+            link = topology.link(a, b)
+            if not self.admits_link(link):
+                return False
+            latency += link.latency
+        if (self.max_path_latency is not None
+                and latency > self.max_path_latency):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.max_link_latency is not None:
+            parts.append(f"lat<={self.max_link_latency}")
+        if self.min_bandwidth is not None:
+            parts.append(f"bw>={self.min_bandwidth:.3g}")
+        if self.max_path_latency is not None:
+            parts.append(f"path<={self.max_path_latency}")
+        if self.max_hops is not None:
+            parts.append(f"hops<={self.max_hops}")
+        return f"<QosDemand {self.name}: {' '.join(parts) or 'any'}>"
+
+
+def topology_on_demand(physical: Topology, demand: QosDemand,
+                       members: Optional[Iterable[NodeId]] = None) -> Topology:
+    """The QoS-admissible subgraph of the physical network.
+
+    ``members`` restricts the virtual topology to a node subset (the
+    overlay's participants); None means every physical node.
+    """
+    member_set = set(members) if members is not None else set(physical.nodes)
+    virtual = Topology()
+    for node in physical.nodes:
+        if node in member_set:
+            virtual.add_node(node)
+            if not physical.node_up(node):
+                virtual.set_node_state(node, False)
+    for link in physical.links:
+        if (link.a in member_set and link.b in member_set
+                and demand.admits_link(link)):
+            virtual.add_link(link.a, link.b, link.latency, link.bandwidth,
+                             name=link.name)
+    return virtual
+
+
+def path_qos(topology: Topology, path: List[NodeId]) -> dict:
+    """Measured QoS figures of a concrete path."""
+    if len(path) < 2:
+        return {"latency": 0.0, "hops": 0,
+                "bottleneck_bandwidth": float("inf")}
+    latency = 0.0
+    bottleneck = float("inf")
+    for a, b in zip(path, path[1:]):
+        link = topology.link(a, b)
+        latency += link.latency
+        bottleneck = min(bottleneck, link.bandwidth)
+    return {"latency": latency, "hops": len(path) - 1,
+            "bottleneck_bandwidth": bottleneck}

@@ -1,0 +1,7 @@
+"""Self-healing: detection, genome archive, functional reconstruction."""
+
+from .detector import HeartbeatDetector
+from .healer import GenomeArchive, HealingEvent, SelfHealer
+
+__all__ = ["HeartbeatDetector", "GenomeArchive", "HealingEvent",
+           "SelfHealer"]

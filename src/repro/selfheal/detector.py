@@ -1,0 +1,130 @@
+"""Failure detection.
+
+Footnote 18: "Self-healing in the WLI context implies reflection
+(monitoring) and detection of service facility and hardware failures,
+automatical re-routing around the failure, as well as automatic
+aggregation and reconstruction of the disrupted functionality."
+
+Detection here is honest (no oracle): ships probe their neighbours with
+periodic heartbeats; a neighbour that misses ``suspicion_threshold``
+consecutive heartbeats is *suspected*.  Suspicions are reported to the
+healer, which owns the reconstruction policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Set, Tuple
+
+from ..substrates.phys import Datagram
+from ..substrates.sim import Simulator
+
+NodeId = Hashable
+SuspicionHandler = Callable[[NodeId, NodeId], None]   # (suspect, reporter)
+
+
+class HeartbeatDetector:
+    """Neighbour heartbeat failure detector across a set of ships."""
+
+    def __init__(self, sim: Simulator, ships: Dict[NodeId, object],
+                 interval: float = 5.0, suspicion_threshold: int = 3):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        self.sim = sim
+        self.ships = ships
+        self.interval = float(interval)
+        self.suspicion_threshold = int(suspicion_threshold)
+        #: (observer, peer) -> consecutive misses.
+        self._misses: Dict[Tuple[NodeId, NodeId], int] = {}
+        #: (observer, peer) -> heartbeats seen since last check.
+        self._seen: Dict[Tuple[NodeId, NodeId], int] = {}
+        self._suspected: Set[NodeId] = set()
+        self._handlers: List[SuspicionHandler] = []
+        self.heartbeats_sent = 0
+        self._task = None
+        for ship in ships.values():
+            ship.on_deliver(self._make_sink(ship.ship_id))
+
+    def _make_sink(self, observer: NodeId):
+        def sink(packet, from_node):
+            payload = packet.payload
+            if isinstance(payload, dict) and payload.get("kind") == "heartbeat":
+                key = (observer, payload["origin"])
+                self._seen[key] = self._seen.get(key, 0) + 1
+        return sink
+
+    # -- control ------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = self.sim.every(self.interval, self._round)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def on_suspicion(self, fn: SuspicionHandler) -> None:
+        self._handlers.append(fn)
+
+    # -- the heartbeat round -----------------------------------------------
+    def _round(self) -> None:
+        # 1. Evaluate last round's receptions.  The monitored set is
+        # every node we share a *wire* with, up or not: a dead node
+        # keeps its links (and goes silent on them), whereas a mobile
+        # peer that left radio range loses the link entirely and is
+        # rightly dropped from monitoring rather than suspected.
+        for observer_ship in list(self.ships.values()):
+            if not observer_ship.alive:
+                continue
+            observer = observer_ship.ship_id
+            topology = observer_ship.fabric.topology
+            for peer in topology.neighbors(observer, only_up=False):
+                key = (observer, peer)
+                if self._seen.get(key, 0) > 0:
+                    self._misses[key] = 0
+                    if peer in self._suspected and self._peer_alive(peer):
+                        self._suspected.discard(peer)
+                else:
+                    misses = self._misses.get(key, 0) + 1
+                    self._misses[key] = misses
+                    if (misses >= self.suspicion_threshold
+                            and peer not in self._suspected):
+                        self._suspect(peer, observer)
+            # Nodes that stopped being neighbours keep their miss slate.
+        self._seen.clear()
+        # 2. Send this round's heartbeats.
+        for ship in self.ships.values():
+            if not ship.alive:
+                continue
+            beat = Datagram(ship.ship_id, Datagram.BROADCAST,
+                            size_bytes=48, ttl=1,
+                            payload={"kind": "heartbeat",
+                                     "origin": ship.ship_id})
+            self.heartbeats_sent += 1
+            ship.fabric.broadcast(ship.ship_id, beat)
+
+    def _peer_alive(self, peer: NodeId) -> bool:
+        ship = self.ships.get(peer)
+        return ship is not None and ship.alive
+
+    def _suspect(self, peer: NodeId, reporter: NodeId) -> None:
+        self._suspected.add(peer)
+        self.sim.trace.emit("selfheal.suspect", suspect=peer,
+                            reporter=reporter)
+        for fn in self._handlers:
+            fn(peer, reporter)
+
+    @property
+    def suspected(self) -> Set[NodeId]:
+        return set(self._suspected)
+
+    def clear_suspicion(self, peer: NodeId) -> None:
+        self._suspected.discard(peer)
+        for key in list(self._misses):
+            if key[1] == peer:
+                self._misses[key] = 0
+
+    def __repr__(self) -> str:
+        return (f"<HeartbeatDetector suspected={sorted(self._suspected, key=repr)} "
+                f"beats={self.heartbeats_sent}>")

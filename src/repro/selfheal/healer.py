@@ -1,0 +1,163 @@
+"""Self-healing: genome-archive-based functional reconstruction.
+
+The healing pipeline of footnote 18, realized with WLI mechanisms:
+
+* **reflection/monitoring** — a :class:`GenomeArchive` periodically
+  snapshots every ship's genome (genetic transcoding into the network's
+  "long term memory");
+* **detection** — a :class:`~repro.selfheal.detector.HeartbeatDetector`
+  raises suspicions;
+* **re-routing** — happens in the routing layer by itself (routes decay
+  / oracle recomputes);
+* **reconstruction** — the :class:`SelfHealer` transcribes a dead
+  ship's archived genome into a healthy surrogate ship, restoring the
+  lost functionality ("automatic aggregation and reconstruction of the
+  disrupted functionality").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, NamedTuple, Optional
+
+from ..core.genetics import Genome, encode_ship, transcribe
+from ..substrates.sim import Simulator
+
+NodeId = Hashable
+
+
+class GenomeArchive:
+    """Periodic genome snapshots of every ship (long-term memory)."""
+
+    def __init__(self, sim: Simulator, ships: Dict[NodeId, object],
+                 interval: float = 10.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.ships = ships
+        self.interval = float(interval)
+        self._genomes: Dict[NodeId, Genome] = {}
+        self.snapshots_taken = 0
+        self._task = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self.snapshot_all()
+            self._task = self.sim.every(self.interval, self.snapshot_all)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def snapshot_all(self) -> int:
+        count = 0
+        for ship in self.ships.values():
+            if ship.alive:
+                self._genomes[ship.ship_id] = encode_ship(ship,
+                                                          self.sim.now)
+                count += 1
+        self.snapshots_taken += 1
+        return count
+
+    def genome_of(self, ship_id: NodeId) -> Optional[Genome]:
+        return self._genomes.get(ship_id)
+
+    def __len__(self) -> int:
+        return len(self._genomes)
+
+
+class HealingEvent(NamedTuple):
+    time: float
+    dead_ship: NodeId
+    surrogate: NodeId
+    roles_restored: List[str]
+    detection_delay: float
+
+
+class SelfHealer:
+    """Reconstructs dead ships' functionality on healthy surrogates."""
+
+    def __init__(self, sim: Simulator, ships: Dict[NodeId, object],
+                 archive: GenomeArchive, detector, catalog,
+                 confirm_rounds: float = 0.0):
+        self.sim = sim
+        self.ships = ships
+        self.archive = archive
+        self.detector = detector
+        self.catalog = catalog
+        self.confirm_rounds = confirm_rounds
+        self.events: List[HealingEvent] = []
+        self._healed: set = set()
+        self._death_times: Dict[NodeId, float] = {}
+        detector.on_suspicion(self._on_suspicion)
+        sim.trace.subscribe("ship.die", self._on_death_trace)
+
+    def _on_death_trace(self, rec) -> None:
+        self._death_times[rec.fields["ship"]] = rec.time
+
+    # -- healing ------------------------------------------------------------
+    def _on_suspicion(self, suspect: NodeId, reporter: NodeId) -> None:
+        ship = self.ships.get(suspect)
+        if ship is not None and ship.alive:
+            # False suspicion (partition, congestion): do not heal.
+            self.detector.clear_suspicion(suspect)
+            return
+        if suspect in self._healed:
+            return
+        self.heal(suspect)
+
+    def pick_surrogate(self, dead: NodeId) -> Optional[object]:
+        """The healthiest candidate: fewest roles, then lowest id.
+
+        Prefers former neighbours of the dead ship (service locality).
+        """
+        genome = self.archive.genome_of(dead)
+        dead_roles = set(genome.modal_roles + genome.auxiliary_roles) \
+            if genome else set()
+        candidates = [s for s in self.ships.values()
+                      if s.alive and s.ship_id != dead]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda s: (len(set(s.roles) | dead_roles),
+                                  repr(s.ship_id)))
+
+    def heal(self, dead: NodeId) -> Optional[HealingEvent]:
+        genome = self.archive.genome_of(dead)
+        if genome is None:
+            self.sim.trace.emit("selfheal.no_genome", ship=dead)
+            return None
+        surrogate = self.pick_surrogate(dead)
+        if surrogate is None:
+            return None
+        # Restore the performing state too when the surrogate is idle —
+        # "automatic ... reconstruction of the disrupted functionality".
+        report = transcribe(genome, surrogate, self.catalog,
+                            activate=surrogate.active_role_id is None)
+        died_at = self._death_times.get(dead, self.sim.now)
+        event = HealingEvent(self.sim.now, dead, surrogate.ship_id,
+                             report.roles_acquired,
+                             detection_delay=self.sim.now - died_at)
+        self.events.append(event)
+        self._healed.add(dead)
+        self.sim.trace.emit("selfheal.heal", dead=dead,
+                            surrogate=surrogate.ship_id,
+                            restored=report.roles_acquired)
+        return event
+
+    def restoration_ratio(self, dead: NodeId) -> float:
+        """Fraction of the dead ship's roles now alive elsewhere."""
+        genome = self.archive.genome_of(dead)
+        if genome is None:
+            return 0.0
+        wanted = set(genome.modal_roles + genome.auxiliary_roles)
+        if not wanted:
+            return 1.0
+        restored = set()
+        for ship in self.ships.values():
+            if ship.alive:
+                restored |= wanted & set(ship.roles)
+        return len(restored) / len(wanted)
+
+    def __repr__(self) -> str:
+        return f"<SelfHealer healed={len(self.events)}>"

@@ -1,0 +1,8 @@
+"""Classic active-network substrate (ANTS-like, the 1G-WN baseline)."""
+
+from .capsule import Capsule, CodeReply, CodeRequest
+from .node import AntsNode, build_ants_network
+from .registry import ProtocolRegistry, forwarding_handler
+
+__all__ = ["Capsule", "CodeReply", "CodeRequest", "AntsNode",
+           "build_ants_network", "ProtocolRegistry", "forwarding_handler"]

@@ -1,0 +1,73 @@
+"""ANTS-style capsules.
+
+The paper's Table 1 reference model leans on ANTS (Wetherall et al.,
+OPENARCH'98): packets ("capsules") reference a *code group*; nodes that
+lack the code demand-load it from the previous hop.  A capsule "may carry
+program code, but do[es] not execute it" — the node does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from ..phys import Datagram
+
+NodeId = Hashable
+
+
+class Capsule(Datagram):
+    """A datagram tagged with the code that must process it at each node."""
+
+    __slots__ = ("code_id", "code_version", "prev_hop", "credential", "data")
+
+    def __init__(self, src: NodeId, dst: NodeId, code_id: str,
+                 size_bytes: int = 512, ttl: int = 64,
+                 code_version: int = 1, credential: Any = None,
+                 data: Any = None, **kw):
+        super().__init__(src, dst, size_bytes=size_bytes, ttl=ttl, **kw)
+        self.code_id = code_id
+        self.code_version = int(code_version)
+        #: Updated at every hop so a node knows whom to demand-load from.
+        self.prev_hop: Optional[NodeId] = None
+        self.credential = credential
+        self.data = data
+
+    def clone(self) -> "Capsule":
+        twin = Capsule(self.src, self.dst, self.code_id,
+                       size_bytes=self.size_bytes, ttl=self.ttl,
+                       code_version=self.code_version,
+                       credential=self.credential, data=self.data,
+                       flow_id=self.flow_id)
+        twin.created_at = self.created_at
+        twin.hops = self.hops
+        twin.prev_hop = self.prev_hop
+        twin.meta = dict(self.meta)
+        return twin
+
+    def __repr__(self) -> str:
+        return (f"<Capsule #{self.packet_id} {self.src}->{self.dst} "
+                f"code={self.code_id}>")
+
+
+class CodeRequest(Datagram):
+    """Demand-pull: 'send me the code for this code_id'."""
+
+    __slots__ = ("code_id", "min_version", "requester")
+
+    def __init__(self, src: NodeId, dst: NodeId, code_id: str,
+                 min_version: int = 1):
+        super().__init__(src, dst, size_bytes=64, ttl=8)
+        self.code_id = code_id
+        self.min_version = min_version
+        self.requester = src
+
+
+class CodeReply(Datagram):
+    """Demand-pull response carrying a code module."""
+
+    __slots__ = ("module",)
+
+    def __init__(self, src: NodeId, dst: NodeId, module):
+        # The reply's wire size is dominated by the code it carries.
+        super().__init__(src, dst, size_bytes=64 + module.size_bytes, ttl=8)
+        self.module = module

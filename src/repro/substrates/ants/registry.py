@@ -1,0 +1,59 @@
+"""The network-wide protocol (code) registry.
+
+In ANTS, code groups are identified by (a fingerprint of) their code; any
+node holding the code can serve it to a neighbour.  We model the code
+itself as a :class:`~repro.substrates.nodeos.CodeModule` whose ``entry``
+is a Python callable ``handler(node, capsule) -> None`` — the simulated
+program semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..nodeos import CodeKind, CodeModule
+
+CapsuleHandler = Callable[..., None]   # handler(node, capsule)
+
+
+class ProtocolRegistry:
+    """Maps code ids to their modules (with executable handlers).
+
+    One registry per simulation — it stands for "the set of protocols
+    that exist in the world", not for any node's knowledge.  Nodes only
+    run code that has reached their cache.
+    """
+
+    def __init__(self):
+        self._modules: Dict[str, CodeModule] = {}
+
+    def register(self, code_id: str, handler: CapsuleHandler,
+                 size_bytes: int = 4096, version: int = 1,
+                 name: str = "") -> CodeModule:
+        module = CodeModule(code_id, name=name or code_id, version=version,
+                            size_bytes=size_bytes, kind=CodeKind.EE_CODE,
+                            entry=handler)
+        self._modules[code_id] = module
+        return module
+
+    def register_module(self, module: CodeModule) -> CodeModule:
+        self._modules[module.code_id] = module
+        return module
+
+    def get(self, code_id: str) -> Optional[CodeModule]:
+        return self._modules.get(code_id)
+
+    def __contains__(self, code_id: str) -> bool:
+        return code_id in self._modules
+
+    def handler(self, code_id: str) -> Optional[CapsuleHandler]:
+        module = self._modules.get(code_id)
+        return module.entry if module is not None else None
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+
+def forwarding_handler(node, capsule) -> None:
+    """The default capsule program: plain forwarding toward ``dst``."""
+    node.forward_capsule(capsule)

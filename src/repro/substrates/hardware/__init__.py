@@ -1,0 +1,7 @@
+"""Reconfigurable hardware substrate (the 3G-WN layer, simulated)."""
+
+from .fabric import Bitstream, GateFabric, HardwareError, Region
+from .modules import Backplane, HardwareModule, ModuleSlot
+
+__all__ = ["Bitstream", "GateFabric", "HardwareError", "Region",
+           "Backplane", "HardwareModule", "ModuleSlot"]

@@ -1,0 +1,5 @@
+"""Legacy passive-IP substrate (baseline and interoperability partner)."""
+
+from .router import LegacyRouter, build_legacy_network
+
+__all__ = ["LegacyRouter", "build_legacy_network"]

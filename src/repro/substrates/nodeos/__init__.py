@@ -1,0 +1,18 @@
+"""Node operating system substrate (the 2G-WN programmability layer)."""
+
+from .codecache import CodeCache, CodeKind, CodeModule
+from .ee import EERegistry, EEState, ExecutionEnvironment
+from .nodeos import (COST_BIND_EE, COST_DRIVER_INSTALL,
+                     COST_EXECUTE_PER_BYTE, COST_FORWARD,
+                     COST_INSTALL_PER_BYTE, NodeOS, NodeOSError)
+from .scheduler import CpuScheduler
+from .security import (Action, Credential, CredentialAuthority, Quota,
+                       SecurityManager)
+
+__all__ = [
+    "CodeCache", "CodeKind", "CodeModule", "EERegistry", "EEState",
+    "ExecutionEnvironment", "NodeOS", "NodeOSError", "CpuScheduler",
+    "Action", "Credential", "CredentialAuthority", "Quota",
+    "SecurityManager", "COST_BIND_EE", "COST_DRIVER_INSTALL",
+    "COST_EXECUTE_PER_BYTE", "COST_FORWARD", "COST_INSTALL_PER_BYTE",
+]

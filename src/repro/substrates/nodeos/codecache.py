@@ -1,0 +1,178 @@
+"""Code modules and the node code cache.
+
+Active networks live and die by code distribution.  A :class:`CodeModule`
+is the unit the paper's shuttles carry ("program code ... for processing
+packets", driver routines delivered by netbots, bitstreams for the
+reconfigurable fabric).  The :class:`CodeCache` is the per-node LRU store
+("May accommodate some residential program code", Table 1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class CodeKind:
+    """What a code module reconfigures when installed."""
+
+    EE_CODE = "ee-code"      # software for an execution environment
+    DRIVER = "driver"        # NodeOS-level driver (netbot delivery)
+    BITSTREAM = "bitstream"  # hardware fabric configuration
+    GENOME = "genome"        # genetic transcoding payload
+
+    ALL = (EE_CODE, DRIVER, BITSTREAM, GENOME)
+
+
+class CodeModule:
+    """An immutable descriptor of transportable code.
+
+    ``entry`` is the simulated behaviour — typically a role-class name or
+    a callable — never inspected by the cache itself.
+    """
+
+    __slots__ = ("code_id", "name", "version", "size_bytes", "kind",
+                 "entry", "requires")
+
+    def __init__(self, code_id: str, name: str = "", version: int = 1,
+                 size_bytes: int = 4096, kind: str = CodeKind.EE_CODE,
+                 entry: Any = None,
+                 requires: Optional[Iterable[str]] = None):
+        if kind not in CodeKind.ALL:
+            raise ValueError(f"unknown code kind {kind!r}")
+        if size_bytes <= 0:
+            raise ValueError(f"non-positive code size {size_bytes}")
+        if version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        self.code_id = code_id
+        self.name = name or code_id
+        self.version = int(version)
+        self.size_bytes = int(size_bytes)
+        self.kind = kind
+        self.entry = entry
+        self.requires: Tuple[str, ...] = tuple(requires or ())
+
+    def successor(self, entry: Any = None,
+                  size_bytes: Optional[int] = None) -> "CodeModule":
+        """A new version of this module (for upgrade experiments)."""
+        return CodeModule(self.code_id, self.name, self.version + 1,
+                          size_bytes or self.size_bytes, self.kind,
+                          entry if entry is not None else self.entry,
+                          self.requires)
+
+    def __repr__(self) -> str:
+        return (f"<CodeModule {self.code_id} v{self.version} "
+                f"{self.kind} {self.size_bytes}B>")
+
+
+class CodeCache:
+    """A byte-budgeted LRU cache of :class:`CodeModule` objects.
+
+    Pinned modules (the node's *modal*, resident functions) are never
+    evicted; auxiliary code competes for the remaining budget.
+    """
+
+    def __init__(self, capacity_bytes: int = 1 << 20):
+        if capacity_bytes <= 0:
+            raise ValueError(f"non-positive capacity {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._modules: "OrderedDict[str, CodeModule]" = OrderedDict()
+        self._pinned: set = set()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.installs = 0
+
+    # -- queries ----------------------------------------------------------
+    def __contains__(self, code_id: str) -> bool:
+        return code_id in self._modules
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def lookup(self, code_id: str,
+               min_version: int = 1) -> Optional[CodeModule]:
+        """LRU-touching lookup; counts hit/miss statistics."""
+        mod = self._modules.get(code_id)
+        if mod is None or mod.version < min_version:
+            self.misses += 1
+            return None
+        self._modules.move_to_end(code_id)
+        self.hits += 1
+        return mod
+
+    def peek(self, code_id: str) -> Optional[CodeModule]:
+        """Non-touching, non-counting lookup."""
+        return self._modules.get(code_id)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def modules(self) -> List[CodeModule]:
+        return list(self._modules.values())
+
+    # -- mutation ---------------------------------------------------------
+    def install(self, module: CodeModule, pin: bool = False) -> bool:
+        """Install (or upgrade) a module; returns False if it cannot fit.
+
+        An older version of the same ``code_id`` is replaced in place.
+        """
+        old = self._modules.get(module.code_id)
+        freed = old.size_bytes if old is not None else 0
+        if module.size_bytes > self.capacity_bytes:
+            return False
+        needed = module.size_bytes - freed
+        if not self._make_room(needed, keep=module.code_id):
+            return False
+        if old is not None:
+            self.used_bytes -= old.size_bytes
+            del self._modules[module.code_id]
+        self._modules[module.code_id] = module
+        self.used_bytes += module.size_bytes
+        self.installs += 1
+        if pin:
+            self._pinned.add(module.code_id)
+        return True
+
+    def _make_room(self, needed: int, keep: str) -> bool:
+        if needed <= 0:
+            return True
+        while self.used_bytes + needed > self.capacity_bytes:
+            victim = next(
+                (cid for cid in self._modules
+                 if cid not in self._pinned and cid != keep), None)
+            if victim is None:
+                return False
+            self.used_bytes -= self._modules[victim].size_bytes
+            del self._modules[victim]
+            self.evictions += 1
+        return True
+
+    def pin(self, code_id: str) -> None:
+        if code_id not in self._modules:
+            raise KeyError(f"cannot pin unknown module {code_id!r}")
+        self._pinned.add(code_id)
+
+    def unpin(self, code_id: str) -> None:
+        self._pinned.discard(code_id)
+
+    def is_pinned(self, code_id: str) -> bool:
+        return code_id in self._pinned
+
+    def evict(self, code_id: str) -> Optional[CodeModule]:
+        """Explicit removal (ignores pinning — caller decides policy)."""
+        mod = self._modules.pop(code_id, None)
+        if mod is not None:
+            self.used_bytes -= mod.size_bytes
+            self._pinned.discard(code_id)
+        return mod
+
+    def missing_dependencies(self, module: CodeModule) -> List[str]:
+        return [dep for dep in module.requires if dep not in self._modules]
+
+    def __repr__(self) -> str:
+        return (f"<CodeCache {self.used_bytes}/{self.capacity_bytes}B "
+                f"modules={len(self._modules)} hit_rate={self.hit_rate:.2f}>")

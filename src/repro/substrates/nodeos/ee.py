@@ -1,0 +1,168 @@
+"""Execution environments (EEs) and the EE registry.
+
+Figure 2 of the paper shows a ship's internal organization as a bank of
+execution environments — one "registry" EE per function, with *modal*
+(resident, default-service) functions prioritized for access and
+*auxiliary* (optional, supplementary-service) ones installed on demand.
+The :class:`EERegistry` realizes exactly that layout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from .codecache import CodeModule
+
+_ee_ids = itertools.count(1)
+
+
+class EEState:
+    EMPTY = "empty"        # allocated, no code bound
+    READY = "ready"        # code bound, idle
+    ACTIVE = "active"      # currently the node's operating function
+    SUSPENDED = "suspended"
+
+
+class ExecutionEnvironment:
+    """One sandbox capable of running one net function's code."""
+
+    __slots__ = ("ee_id", "label", "modal", "priority", "state", "module",
+                 "invocations", "busy_time", "bound_at")
+
+    def __init__(self, label: str, modal: bool = False, priority: int = 0):
+        self.ee_id = next(_ee_ids)
+        self.label = label
+        self.modal = modal
+        # Modal functions are "priorized for access": lower number = first.
+        self.priority = priority if priority else (0 if modal else 10)
+        self.state = EEState.EMPTY
+        self.module: Optional[CodeModule] = None
+        self.invocations = 0
+        self.busy_time = 0.0
+        self.bound_at: Optional[float] = None
+
+    def bind(self, module: CodeModule, now: float = 0.0) -> None:
+        self.module = module
+        self.state = EEState.READY
+        self.bound_at = now
+
+    def unbind(self) -> Optional[CodeModule]:
+        mod, self.module = self.module, None
+        self.state = EEState.EMPTY
+        return mod
+
+    @property
+    def bound(self) -> bool:
+        return self.module is not None
+
+    def activate(self) -> None:
+        if not self.bound:
+            raise RuntimeError(f"cannot activate empty EE {self.label}")
+        self.state = EEState.ACTIVE
+
+    def deactivate(self) -> None:
+        if self.state == EEState.ACTIVE:
+            self.state = EEState.READY
+
+    def suspend(self) -> None:
+        if self.state in (EEState.READY, EEState.ACTIVE):
+            self.state = EEState.SUSPENDED
+
+    def resume(self) -> None:
+        if self.state == EEState.SUSPENDED:
+            self.state = EEState.READY
+
+    def record_invocation(self, duration: float) -> None:
+        self.invocations += 1
+        self.busy_time += duration
+
+    def __repr__(self) -> str:
+        kind = "modal" if self.modal else "aux"
+        code = self.module.code_id if self.module else "-"
+        return f"<EE {self.label} {kind} {self.state} code={code}>"
+
+
+class EERegistry:
+    """The bank of EEs inside one node, split modal / auxiliary.
+
+    ``max_auxiliary`` caps how many optional EEs a node can host — the
+    knob the security quota (``max_ees``) and the hardware generation
+    both constrain.
+    """
+
+    def __init__(self, max_auxiliary: int = 8):
+        if max_auxiliary < 0:
+            raise ValueError("max_auxiliary must be >= 0")
+        self.max_auxiliary = max_auxiliary
+        self._ees: Dict[str, ExecutionEnvironment] = {}
+
+    # -- allocation -------------------------------------------------------
+    def allocate(self, label: str, modal: bool = False) -> ExecutionEnvironment:
+        if label in self._ees:
+            raise ValueError(f"EE label {label!r} already allocated")
+        if not modal and self.auxiliary_count >= self.max_auxiliary:
+            raise RuntimeError(
+                f"auxiliary EE budget exhausted ({self.max_auxiliary})")
+        ee = ExecutionEnvironment(label, modal=modal)
+        self._ees[label] = ee
+        return ee
+
+    def free(self, label: str) -> Optional[ExecutionEnvironment]:
+        return self._ees.pop(label, None)
+
+    def get(self, label: str) -> Optional[ExecutionEnvironment]:
+        return self._ees.get(label)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._ees
+
+    def __len__(self) -> int:
+        return len(self._ees)
+
+    # -- views ------------------------------------------------------------
+    @property
+    def modal_ees(self) -> List[ExecutionEnvironment]:
+        return [ee for ee in self._ees.values() if ee.modal]
+
+    @property
+    def auxiliary_ees(self) -> List[ExecutionEnvironment]:
+        return [ee for ee in self._ees.values() if not ee.modal]
+
+    @property
+    def auxiliary_count(self) -> int:
+        return len(self.auxiliary_ees)
+
+    @property
+    def active_ee(self) -> Optional[ExecutionEnvironment]:
+        for ee in self._ees.values():
+            if ee.state == EEState.ACTIVE:
+                return ee
+        return None
+
+    def in_priority_order(self) -> List[ExecutionEnvironment]:
+        """Modal-first access order (Figure 2's prioritization)."""
+        return sorted(self._ees.values(),
+                      key=lambda ee: (ee.priority, ee.ee_id))
+
+    def find_by_code(self, code_id: str) -> Optional[ExecutionEnvironment]:
+        for ee in self.in_priority_order():
+            if ee.module is not None and ee.module.code_id == code_id:
+                return ee
+        return None
+
+    def layout(self) -> Dict[str, Any]:
+        """A serializable description (used by genetic transcoding)."""
+        return {
+            label: {
+                "modal": ee.modal,
+                "state": ee.state,
+                "code": ee.module.code_id if ee.module else None,
+                "version": ee.module.version if ee.module else None,
+            }
+            for label, ee in sorted(self._ees.items())
+        }
+
+    def __repr__(self) -> str:
+        return (f"<EERegistry modal={len(self.modal_ees)} "
+                f"aux={self.auxiliary_count}/{self.max_auxiliary}>")

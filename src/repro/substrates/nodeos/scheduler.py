@@ -1,0 +1,64 @@
+"""CPU scheduler / cycle accounting for a node.
+
+Capsule processing, role reconfiguration, transcoding, and resonance
+updates all cost simulated CPU work.  The scheduler converts abstract
+operation counts into simulated delays and keeps utilization statistics,
+serializing work FIFO when the node is saturated (a single logical core —
+*parallel roles* in the paper share it, they do not multiply it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...substrates.sim import Simulator
+
+
+class CpuScheduler:
+    """Accounts CPU work in 'ops' against a node's ops/second budget."""
+
+    def __init__(self, sim: Simulator, ops_per_second: float = 1e8,
+                 name: str = "cpu"):
+        if ops_per_second <= 0:
+            raise ValueError(f"non-positive CPU rate {ops_per_second}")
+        self.sim = sim
+        self.ops_per_second = float(ops_per_second)
+        self.name = name
+        self._free_at = 0.0          # when the core next goes idle
+        self.total_ops = 0.0
+        self.busy_time = 0.0
+        self.jobs = 0
+        self.by_category: Dict[str, float] = {}
+
+    def execute(self, ops: float, category: str = "misc") -> float:
+        """Debit ``ops`` of work; returns the completion *delay* from now.
+
+        Work is serialized: if the core is busy until T, a new job starts
+        at T.  The returned delay is therefore queue wait + service time.
+        """
+        if ops < 0:
+            raise ValueError(f"negative work {ops}")
+        now = self.sim.now
+        service = ops / self.ops_per_second
+        start = max(now, self._free_at)
+        self._free_at = start + service
+        self.total_ops += ops
+        self.busy_time += service
+        self.jobs += 1
+        self.by_category[category] = self.by_category.get(category, 0.0) + ops
+        return self._free_at - now
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of queued work ahead of a job submitted now."""
+        return max(0.0, self._free_at - self.sim.now)
+
+    def utilization(self, horizon: float) -> float:
+        """Busy fraction over ``horizon`` seconds of simulated time."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    def __repr__(self) -> str:
+        return (f"<CpuScheduler {self.name} {self.ops_per_second:.3g}ops/s "
+                f"jobs={self.jobs} backlog={self.backlog:.4g}s>")

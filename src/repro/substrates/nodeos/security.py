@@ -1,0 +1,159 @@
+"""Security manager: capsule authorization and resource access control.
+
+Kulkarni & Minden's *Security Management* protocol class ("capsule
+authorization and resource access control") is a first-class function
+role in the Viator model (merged with network management, Figure 2).
+This module is the NodeOS half: principals, capability policies, and
+per-principal resource quotas that every arriving capsule/shuttle is
+checked against before execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class Action:
+    """Things a capsule may be authorized to do on a node."""
+
+    EXECUTE = "execute"            # run carried code in an EE
+    INSTALL_CODE = "install-code"  # persist code into the cache
+    RECONFIGURE = "reconfigure"    # change node role / EE layout
+    RECONFIGURE_HW = "reconfigure-hw"  # load bitstreams (3G+)
+    SPAWN = "spawn"                # create new capsules (jets)
+    READ_STATE = "read-state"      # genetic transcoding / Next-Step reads
+    AGGREGATE = "aggregate"        # join node clusters
+
+    ALL = (EXECUTE, INSTALL_CODE, RECONFIGURE, RECONFIGURE_HW, SPAWN,
+           READ_STATE, AGGREGATE)
+
+
+class Credential:
+    """A (simulated) signed identity carried by capsules.
+
+    The token is a deterministic MAC of (principal, issuer_secret); a
+    forged credential fails verification.  This models authorization
+    without pulling in real cryptography.
+    """
+
+    __slots__ = ("principal", "token")
+
+    def __init__(self, principal: str, token: str):
+        self.principal = principal
+        self.token = token
+
+    def __repr__(self) -> str:
+        return f"<Credential {self.principal}>"
+
+
+def _mac(principal: str, secret: str) -> str:
+    return hashlib.sha256(f"{principal}|{secret}".encode()).hexdigest()[:16]
+
+
+class CredentialAuthority:
+    """Issues and verifies credentials for a network-wide trust domain."""
+
+    def __init__(self, secret: str = "viator-domain"):
+        self._secret = secret
+
+    def issue(self, principal: str) -> Credential:
+        return Credential(principal, _mac(principal, self._secret))
+
+    def verify(self, cred: Optional[Credential]) -> bool:
+        if cred is None:
+            return False
+        return cred.token == _mac(cred.principal, self._secret)
+
+
+class Quota:
+    """Per-principal resource budget (bytes of cache, EEs, spawns)."""
+
+    __slots__ = ("cache_bytes", "max_ees", "max_spawns_per_window")
+
+    def __init__(self, cache_bytes: int = 256 * 1024, max_ees: int = 4,
+                 max_spawns_per_window: int = 32):
+        self.cache_bytes = cache_bytes
+        self.max_ees = max_ees
+        self.max_spawns_per_window = max_spawns_per_window
+
+
+class SecurityManager:
+    """Policy + quota enforcement point of a NodeOS.
+
+    Policies are (principal, action) pairs; ``"*"`` wildcards either
+    side.  Denials are recorded so the management role can report them.
+    """
+
+    def __init__(self, authority: CredentialAuthority,
+                 default_allow: Optional[Set[str]] = None):
+        self.authority = authority
+        self._grants: Set[Tuple[str, str]] = set()
+        self._revocations: Set[Tuple[str, str]] = set()
+        self._quotas: Dict[str, Quota] = {}
+        self.default_quota = Quota()
+        # A freshly booted node lets verified principals execute and read
+        # state; anything stronger needs an explicit grant.
+        for action in (default_allow
+                       if default_allow is not None
+                       else {Action.EXECUTE, Action.READ_STATE}):
+            self._grants.add(("*", action))
+        self.checks = 0
+        self.denials: List[Tuple[float, str, str]] = []
+        self._spawn_counts: Dict[str, int] = {}
+
+    # -- policy -----------------------------------------------------------
+    def grant(self, principal: str, action: str) -> None:
+        if action not in Action.ALL and action != "*":
+            raise ValueError(f"unknown action {action!r}")
+        self._grants.add((principal, action))
+        self._revocations.discard((principal, action))
+
+    def revoke(self, principal: str, action: str) -> None:
+        self._revocations.add((principal, action))
+
+    def set_quota(self, principal: str, quota: Quota) -> None:
+        self._quotas[principal] = quota
+
+    def quota_for(self, principal: str) -> Quota:
+        return self._quotas.get(principal, self.default_quota)
+
+    # -- enforcement ------------------------------------------------------
+    def authorize(self, cred: Optional[Credential], action: str,
+                  now: float = 0.0) -> bool:
+        """True iff the credential verifies and policy allows the action."""
+        self.checks += 1
+        if not self.authority.verify(cred):
+            self.denials.append((now, "<unverified>", action))
+            return False
+        principal = cred.principal
+        if ((principal, action) in self._revocations
+                or (principal, "*") in self._revocations):
+            self.denials.append((now, principal, action))
+            return False
+        allowed = ((principal, action) in self._grants
+                   or (principal, "*") in self._grants
+                   or ("*", action) in self._grants
+                   or ("*", "*") in self._grants)
+        if not allowed:
+            self.denials.append((now, principal, action))
+        return allowed
+
+    def charge_spawn(self, principal: str) -> bool:
+        """Account one capsule spawn against the principal's window quota."""
+        used = self._spawn_counts.get(principal, 0)
+        if used >= self.quota_for(principal).max_spawns_per_window:
+            return False
+        self._spawn_counts[principal] = used + 1
+        return True
+
+    def reset_spawn_window(self) -> None:
+        self._spawn_counts.clear()
+
+    @property
+    def denial_count(self) -> int:
+        return len(self.denials)
+
+    def __repr__(self) -> str:
+        return (f"<SecurityManager grants={len(self._grants)} "
+                f"checks={self.checks} denials={self.denial_count}>")

@@ -1,0 +1,18 @@
+"""Physical network substrate: topology, links, packets, mobility, failures."""
+
+from .fabric import NetworkFabric
+from .failures import FailureInjector
+from .mobility import MobilityModel, RandomWaypoint, StaticPlacement
+from .packet import HEADER_BYTES, Datagram
+from .radio import RadioPlane
+from .topology import (Link, LinkState, Topology, TopologyError,
+                       figure3_topology, grid_topology, line_topology,
+                       random_topology, ring_topology, star_topology)
+
+__all__ = [
+    "NetworkFabric", "FailureInjector", "MobilityModel", "RandomWaypoint",
+    "StaticPlacement", "Datagram", "HEADER_BYTES", "RadioPlane", "Link",
+    "LinkState", "Topology", "TopologyError", "figure3_topology",
+    "grid_topology", "line_topology", "random_topology", "ring_topology",
+    "star_topology",
+]

@@ -1,0 +1,145 @@
+"""Network fabric: binds a topology to a simulator and delivers packets.
+
+The fabric models per-link, per-direction FIFO transmission (token
+bucket), propagation latency, TTL, and loss on down links.  Hosts attach
+with :meth:`NetworkFabric.attach` and must expose::
+
+    host.receive(packet, from_node)   # called at delivery time
+
+Delivery of a packet on a link that goes down mid-flight is dropped —
+the paper's ad-hoc scenarios depend on this loss mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Protocol, Tuple
+
+from ..sim import Simulator, TokenBucket
+from .packet import Datagram
+from .topology import Link, Topology, TopologyError
+
+NodeId = Hashable
+
+
+class Host(Protocol):
+    def receive(self, packet: Datagram, from_node: NodeId) -> None: ...
+
+
+class NetworkFabric:
+    """Delivers datagrams between hosts attached to topology nodes."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 loss_rate: float = 0.0):
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate out of range: {loss_rate}")
+        self.sim = sim
+        self.topology = topology
+        self.loss_rate = float(loss_rate)
+        self._hosts: Dict[NodeId, Host] = {}
+        self._buckets: Dict[Tuple, TokenBucket] = {}
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.bytes_delivered = 0
+
+    # -- attachment -------------------------------------------------------
+    def attach(self, node: NodeId, host: Host) -> None:
+        if node not in self.topology:
+            raise TopologyError(f"no node {node!r} in topology")
+        self._hosts[node] = host
+
+    def detach(self, node: NodeId) -> None:
+        self._hosts.pop(node, None)
+
+    def host(self, node: NodeId) -> Optional[Host]:
+        return self._hosts.get(node)
+
+    # -- transmission -----------------------------------------------------
+    def _bucket(self, link: Link, direction: NodeId) -> TokenBucket:
+        key = (id(link), direction)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            # One MTU of burst keeps short packets latency-bound rather
+            # than rate-bound, like a real line card.
+            bucket = TokenBucket(self.sim, rate=link.bandwidth,
+                                 burst=1500.0, name=f"{link.name}:{direction}")
+            self._buckets[key] = bucket
+        return bucket
+
+    def send(self, from_node: NodeId, to_node: NodeId,
+             packet: Datagram) -> bool:
+        """Transmit one hop.  Returns False if dropped at send time.
+
+        Drops happen when: the link does not exist or is down, either
+        endpoint is down, the TTL is exhausted, or random loss strikes.
+        """
+        self.packets_sent += 1
+        if not self.topology.has_link(from_node, to_node):
+            return self._drop(packet, from_node, to_node, "no-link")
+        link = self.topology.link(from_node, to_node)
+        if not link.up:
+            return self._drop(packet, from_node, to_node, "link-down")
+        if not (self.topology.node_up(from_node)
+                and self.topology.node_up(to_node)):
+            return self._drop(packet, from_node, to_node, "node-down")
+        if packet.ttl <= 0:
+            return self._drop(packet, from_node, to_node, "ttl")
+        if self.loss_rate > 0.0:
+            rng = self.sim.rng.stream("fabric.loss")
+            lost = rng.random() < self.loss_rate
+            # FEC-protected packets (protocol boosters) survive a single
+            # loss event: they only die if a second draw also strikes.
+            if lost and packet.meta.get("fec"):
+                lost = rng.random() < self.loss_rate
+            if lost:
+                link.drops += 1
+                return self._drop(packet, from_node, to_node, "loss")
+
+        queue_wait = self._bucket(link, from_node).consume(packet.size_bytes)
+        serialization = packet.size_bytes / link.bandwidth
+        delay = queue_wait + serialization + link.latency
+        self.sim.call_in(delay, self._deliver, link, from_node, to_node,
+                         packet, name="deliver")
+        return True
+
+    def _deliver(self, link: Link, from_node: NodeId, to_node: NodeId,
+                 packet: Datagram) -> None:
+        # Link may have flapped while the packet was in flight.
+        if not link.up or not self.topology.node_up(to_node):
+            self._drop(packet, from_node, to_node, "in-flight")
+            return
+        host = self._hosts.get(to_node)
+        if host is None:
+            self._drop(packet, from_node, to_node, "no-host")
+            return
+        packet.ttl -= 1
+        packet.hops += 1
+        link.bytes_carried += packet.size_bytes
+        link.packets_carried += 1
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size_bytes
+        self.sim.trace.emit("fabric.deliver", link=link.name,
+                            packet=packet.packet_id, to=to_node)
+        host.receive(packet, from_node)
+
+    def _drop(self, packet: Datagram, from_node: NodeId, to_node: NodeId,
+              reason: str) -> bool:
+        self.packets_dropped += 1
+        self.sim.trace.emit("fabric.drop", reason=reason,
+                            packet=packet.packet_id,
+                            src=from_node, dst=to_node)
+        return False
+
+    def broadcast(self, from_node: NodeId, packet: Datagram) -> int:
+        """Send a copy to every up neighbour; returns copies sent."""
+        sent = 0
+        for peer in self.topology.neighbors(from_node):
+            copy = packet.clone()
+            if self.send(from_node, peer, copy):
+                sent += 1
+        return sent
+
+    def __repr__(self) -> str:
+        return (f"<NetworkFabric hosts={len(self._hosts)} "
+                f"delivered={self.packets_delivered} "
+                f"dropped={self.packets_dropped}>")

@@ -1,0 +1,140 @@
+"""Failure injection.
+
+The paper appeared at the *Fault-Tolerant Parallel and Distributed
+Systems* workshop and leans on self-healing (footnote 18): "a fault-
+tolerant network which adapts automatically to defects in its node
+connectivity".  This injector produces those defects: link flaps and node
+crashes with exponential inter-arrival and repair times.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from ..sim import Simulator
+from .topology import Topology
+
+NodeId = Hashable
+
+
+class FailureInjector:
+    """Schedules random link and node failures (and repairs) on a topology.
+
+    Parameters
+    ----------
+    link_mtbf / node_mtbf:
+        Mean time between failures per link / node (seconds).  ``None``
+        disables that failure class.
+    link_mttr / node_mttr:
+        Mean time to repair.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 link_mtbf: Optional[float] = 300.0,
+                 link_mttr: float = 30.0,
+                 node_mtbf: Optional[float] = None,
+                 node_mttr: float = 60.0,
+                 spare_nodes: Optional[List[NodeId]] = None):
+        self.sim = sim
+        self.topology = topology
+        self.link_mtbf = link_mtbf
+        self.link_mttr = float(link_mttr)
+        self.node_mtbf = node_mtbf
+        self.node_mttr = float(node_mttr)
+        # Nodes that must never be failed (e.g. traffic sources/sinks).
+        self.spare_nodes = set(spare_nodes or [])
+        self.link_failures = 0
+        self.node_failures = 0
+        self.history: List[Tuple[float, str, object]] = []
+        self._running = False
+
+    def _exp(self, mean: float, stream: str) -> float:
+        return self.sim.rng.stream(stream).expovariate(1.0 / mean)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        if self.link_mtbf:
+            self.sim.call_in(self._exp(self.link_mtbf, "fail.link"),
+                             self._fail_link, name="fail-link")
+        if self.node_mtbf:
+            self.sim.call_in(self._exp(self.node_mtbf, "fail.node"),
+                             self._fail_node, name="fail-node")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- link failures ----------------------------------------------------
+    def _fail_link(self) -> None:
+        if not self._running:
+            return
+        up_links = [l for l in self.topology.links if l.up]
+        if up_links:
+            rng = self.sim.rng.stream("fail.link.pick")
+            link = up_links[rng.randrange(len(up_links))]
+            self.topology.set_link_state(link.a, link.b, False)
+            self.link_failures += 1
+            self.history.append((self.sim.now, "link-down", link.name))
+            self.sim.trace.emit("failure.link.down", link=link.name,
+                                a=link.a, b=link.b)
+            self.sim.call_in(self._exp(self.link_mttr, "fail.link.repair"),
+                             self._repair_link, link, name="repair-link")
+        self.sim.call_in(self._exp(self.link_mtbf, "fail.link"),
+                         self._fail_link, name="fail-link")
+
+    def _repair_link(self, link) -> None:
+        if not self.topology.has_link(link.a, link.b):
+            return  # radio plane removed it meanwhile
+        self.topology.set_link_state(link.a, link.b, True)
+        self.history.append((self.sim.now, "link-up", link.name))
+        self.sim.trace.emit("failure.link.up", link=link.name,
+                            a=link.a, b=link.b)
+
+    # -- node failures ----------------------------------------------------
+    def _fail_node(self) -> None:
+        if not self._running:
+            return
+        candidates = [n for n in self.topology.nodes
+                      if self.topology.node_up(n)
+                      and n not in self.spare_nodes]
+        if candidates:
+            rng = self.sim.rng.stream("fail.node.pick")
+            node = candidates[rng.randrange(len(candidates))]
+            self.topology.set_node_state(node, False)
+            self.node_failures += 1
+            self.history.append((self.sim.now, "node-down", node))
+            self.sim.trace.emit("failure.node.down", node=node)
+            self.sim.call_in(self._exp(self.node_mttr, "fail.node.repair"),
+                             self._repair_node, node, name="repair-node")
+        self.sim.call_in(self._exp(self.node_mtbf, "fail.node"),
+                         self._fail_node, name="fail-node")
+
+    def _repair_node(self, node: NodeId) -> None:
+        if node in self.topology.nodes:
+            self.topology.set_node_state(node, True)
+            self.history.append((self.sim.now, "node-up", node))
+            self.sim.trace.emit("failure.node.up", node=node)
+
+    def fail_link_now(self, a: NodeId, b: NodeId,
+                      repair_after: Optional[float] = None) -> None:
+        """Deterministic, scripted failure (used by tests and benches)."""
+        self.topology.set_link_state(a, b, False)
+        self.link_failures += 1
+        self.history.append((self.sim.now, "link-down",
+                             self.topology.link(a, b).name))
+        self.sim.trace.emit("failure.link.down",
+                            link=self.topology.link(a, b).name, a=a, b=b)
+        if repair_after is not None:
+            self.sim.call_in(repair_after, self._repair_link,
+                             self.topology.link(a, b), name="repair-link")
+
+    def fail_node_now(self, node: NodeId,
+                      repair_after: Optional[float] = None) -> None:
+        self.topology.set_node_state(node, False)
+        self.node_failures += 1
+        self.history.append((self.sim.now, "node-down", node))
+        self.sim.trace.emit("failure.node.down", node=node)
+        if repair_after is not None:
+            self.sim.call_in(repair_after, self._repair_node, node,
+                             name="repair-node")

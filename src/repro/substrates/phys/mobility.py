@@ -1,0 +1,152 @@
+"""Node mobility models.
+
+The paper's ships are *mobile* active nodes ("active ad-hoc networks");
+we simulate the standard random-waypoint model over a rectangular plane,
+plus a static placement model for wired scenarios.  Positions are plain
+numpy arrays so the radio plane can vectorize range tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim import Simulator
+
+NodeId = Hashable
+PositionListener = Callable[[], None]
+
+
+class MobilityModel:
+    """Base: a set of node positions on a 2-D plane, updated over time."""
+
+    def __init__(self, sim: Simulator, area: Tuple[float, float] = (1000.0, 1000.0)):
+        self.sim = sim
+        self.area = (float(area[0]), float(area[1]))
+        self._order: List[NodeId] = []
+        self._index: Dict[NodeId, int] = {}
+        self._pos = np.zeros((0, 2))
+        self._listeners: List[PositionListener] = []
+
+    # -- membership -------------------------------------------------------
+    def add_node(self, node: NodeId,
+                 position: Optional[Tuple[float, float]] = None) -> None:
+        if node in self._index:
+            raise ValueError(f"node {node!r} already placed")
+        if position is None:
+            rng = self.sim.rng.np_stream("mobility.place")
+            position = (rng.uniform(0, self.area[0]),
+                        rng.uniform(0, self.area[1]))
+        self._index[node] = len(self._order)
+        self._order.append(node)
+        self._pos = np.vstack([self._pos, np.asarray(position, dtype=float)])
+
+    def remove_node(self, node: NodeId) -> None:
+        i = self._index.pop(node)
+        self._order.pop(i)
+        self._pos = np.delete(self._pos, i, axis=0)
+        for n, j in self._index.items():
+            if j > i:
+                self._index[n] = j - 1
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return list(self._order)
+
+    # -- positions --------------------------------------------------------
+    def position(self, node: NodeId) -> Tuple[float, float]:
+        p = self._pos[self._index[node]]
+        return (float(p[0]), float(p[1]))
+
+    def positions(self) -> Tuple[List[NodeId], np.ndarray]:
+        """(node order, Nx2 position matrix) — the vectorized view."""
+        return list(self._order), self._pos.copy()
+
+    def set_position(self, node: NodeId, x: float, y: float) -> None:
+        self._pos[self._index[node]] = (x, y)
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        pa = self._pos[self._index[a]]
+        pb = self._pos[self._index[b]]
+        return float(np.hypot(*(pa - pb)))
+
+    # -- change notification ----------------------------------------------
+    def on_update(self, fn: PositionListener) -> None:
+        self._listeners.append(fn)
+
+    def _notify(self) -> None:
+        for fn in self._listeners:
+            fn()
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes never move (wired scenarios)."""
+
+
+class RandomWaypoint(MobilityModel):
+    """Classic random-waypoint mobility.
+
+    Each node picks a uniform destination, moves toward it at a uniform
+    speed from ``[speed_min, speed_max]``, pauses ``pause`` seconds, and
+    repeats.  Positions advance in discrete ticks of ``tick`` seconds —
+    the radio plane recomputes connectivity after every tick.
+    """
+
+    def __init__(self, sim: Simulator,
+                 area: Tuple[float, float] = (1000.0, 1000.0),
+                 speed_min: float = 1.0, speed_max: float = 10.0,
+                 pause: float = 2.0, tick: float = 1.0):
+        super().__init__(sim, area)
+        if speed_min <= 0 or speed_max < speed_min:
+            raise ValueError("need 0 < speed_min <= speed_max")
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self.speed_min = float(speed_min)
+        self.speed_max = float(speed_max)
+        self.pause = float(pause)
+        self.tick = float(tick)
+        self._targets: Dict[NodeId, np.ndarray] = {}
+        self._speeds: Dict[NodeId, float] = {}
+        self._pause_until: Dict[NodeId, float] = {}
+        self._task = None
+
+    def start(self) -> None:
+        """Begin moving nodes (idempotent)."""
+        if self._task is None:
+            self._task = self.sim.every(self.tick, self._step)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _pick_target(self, node: NodeId) -> None:
+        rng = self.sim.rng.stream("mobility.waypoint")
+        self._targets[node] = np.array([rng.uniform(0, self.area[0]),
+                                        rng.uniform(0, self.area[1])])
+        self._speeds[node] = rng.uniform(self.speed_min, self.speed_max)
+
+    def _step(self) -> None:
+        now = self.sim.now
+        moved = False
+        for node in self._order:
+            if self._pause_until.get(node, 0.0) > now:
+                continue
+            if node not in self._targets:
+                self._pick_target(node)
+            i = self._index[node]
+            pos = self._pos[i]
+            target = self._targets[node]
+            delta = target - pos
+            dist = float(np.hypot(*delta))
+            step = self._speeds[node] * self.tick
+            if dist <= step:
+                self._pos[i] = target
+                del self._targets[node]
+                self._pause_until[node] = now + self.pause
+            else:
+                self._pos[i] = pos + delta * (step / dist)
+            moved = True
+        if moved:
+            self._notify()

@@ -1,0 +1,78 @@
+"""Wire-level packet envelope.
+
+Everything transmitted over a link — legacy datagrams, ANTS capsules,
+Viator shuttles — is (or wraps) a :class:`Datagram`.  The fabric only
+cares about ``src``, ``dst``, and ``size_bytes``; substrates attach their
+semantics in subclasses or in ``payload``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Hashable, Optional
+
+_packet_ids = itertools.count(1)
+
+#: Fixed per-packet header overhead in bytes (IPv4-ish).
+HEADER_BYTES = 20
+
+
+class Datagram:
+    """A transmittable unit.
+
+    Attributes
+    ----------
+    src, dst:
+        Origin and final destination node ids.  ``dst`` may be the
+        broadcast sentinel :data:`BROADCAST`.
+    size_bytes:
+        Total wire size including header.
+    ttl:
+        Remaining hop budget; the fabric decrements per hop and drops at 0.
+    payload:
+        Opaque application data (never inspected by the fabric).
+    """
+
+    BROADCAST = "*"
+
+    __slots__ = ("packet_id", "src", "dst", "size_bytes", "ttl", "payload",
+                 "created_at", "hops", "meta", "flow_id")
+
+    def __init__(self, src: Hashable, dst: Hashable,
+                 size_bytes: int = 512, ttl: int = 64,
+                 payload: Any = None, created_at: float = 0.0,
+                 flow_id: Optional[Hashable] = None):
+        if size_bytes < HEADER_BYTES:
+            raise ValueError(
+                f"size {size_bytes} smaller than header {HEADER_BYTES}")
+        if ttl < 1:
+            raise ValueError(f"ttl must be >= 1, got {ttl}")
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.size_bytes = int(size_bytes)
+        self.ttl = int(ttl)
+        self.payload = payload
+        self.created_at = created_at
+        self.hops = 0
+        self.flow_id = flow_id if flow_id is not None else self.packet_id
+        self.meta: Dict[str, Any] = {}
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == self.BROADCAST
+
+    def age(self, now: float) -> float:
+        return now - self.created_at
+
+    def clone(self) -> "Datagram":
+        """A fresh packet id with copied header fields (for fission)."""
+        twin = Datagram(self.src, self.dst, self.size_bytes, self.ttl,
+                        self.payload, self.created_at, flow_id=self.flow_id)
+        twin.hops = self.hops
+        twin.meta = dict(self.meta)
+        return twin
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} #{self.packet_id} "
+                f"{self.src}->{self.dst} {self.size_bytes}B ttl={self.ttl}>")

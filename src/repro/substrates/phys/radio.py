@@ -1,0 +1,68 @@
+"""Radio plane: range-based connectivity for mobile (ad-hoc) scenarios.
+
+Whenever the mobility model reports movement, the plane recomputes which
+node pairs are within ``radio_range`` (vectorized pairwise distances) and
+adds/removes topology links accordingly.  Link churn events are traced as
+``radio.link.up`` / ``radio.link.down`` — the adaptive routing protocol
+and the self-healing layer key off exactly these events.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set, Tuple
+
+import numpy as np
+
+from ..sim import Simulator
+from .mobility import MobilityModel
+from .topology import Topology
+
+NodeId = Hashable
+
+
+class RadioPlane:
+    """Maintains the topology as the range graph of a mobility model."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 mobility: MobilityModel, radio_range: float = 250.0,
+                 latency: float = 0.005, bandwidth: float = 1_000_000.0):
+        if radio_range <= 0:
+            raise ValueError(f"radio_range must be positive: {radio_range}")
+        self.sim = sim
+        self.topology = topology
+        self.mobility = mobility
+        self.radio_range = float(radio_range)
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.link_up_events = 0
+        self.link_down_events = 0
+        mobility.on_update(self.recompute)
+
+    def _pairs_in_range(self) -> Set[Tuple[NodeId, NodeId]]:
+        order, pos = self.mobility.positions()
+        n = len(order)
+        if n < 2:
+            return set()
+        diff = pos[:, None, :] - pos[None, :, :]
+        dist = np.hypot(diff[..., 0], diff[..., 1])
+        ii, jj = np.where(np.triu(dist <= self.radio_range, k=1))
+        return {(order[i], order[j]) for i, j in zip(ii.tolist(), jj.tolist())}
+
+    def recompute(self) -> None:
+        """Synchronize topology links with current node positions."""
+        desired = self._pairs_in_range()
+        existing = {tuple(sorted((l.a, l.b), key=repr))
+                    for l in self.topology.links}
+        desired_norm = {tuple(sorted(p, key=repr)) for p in desired}
+        for a, b in desired_norm - existing:
+            self.topology.add_link(a, b, self.latency, self.bandwidth)
+            self.link_up_events += 1
+            self.sim.trace.emit("radio.link.up", a=a, b=b)
+        for a, b in existing - desired_norm:
+            self.topology.remove_link(a, b)
+            self.link_down_events += 1
+            self.sim.trace.emit("radio.link.down", a=a, b=b)
+
+    def __repr__(self) -> str:
+        return (f"<RadioPlane range={self.radio_range} "
+                f"ups={self.link_up_events} downs={self.link_down_events}>")

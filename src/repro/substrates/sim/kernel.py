@@ -1,0 +1,211 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a binary-heap agenda of :class:`~repro.substrates.
+sim.events.Event` objects and advances simulated time by popping the
+earliest event.  Processes (generator coroutines) are layered on top in
+:mod:`repro.substrates.sim.process`.
+
+Design notes
+------------
+* Deterministic: ties broken by ``(priority, seq)``; all randomness comes
+  from :class:`~repro.substrates.sim.rng.RngRegistry` streams owned by the
+  simulator, never from global state.
+* The kernel is single-threaded by construction — the concurrency of the
+  Wandering Network is *simulated* concurrency, which keeps every
+  experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from .errors import SchedulingError
+from .events import Event, NORMAL
+from .rng import RngRegistry
+from .trace import TraceBus
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named RNG stream derived through :attr:`rng`
+        is a deterministic function of this seed and the stream name.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+        self.rng = RngRegistry(seed)
+        self.trace = TraceBus(self)
+        self.seed = seed
+
+    # -- time -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+    def schedule_at(self, time: float, priority: int = NORMAL,
+                    name: Optional[str] = None) -> Event:
+        """Create and enqueue a bare event at absolute ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} (now={self._now})")
+        ev = Event(time, priority, name=name)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule(self, delay: float, priority: int = NORMAL,
+                 name: Optional[str] = None) -> Event:
+        """Create and enqueue a bare event ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, priority, name=name)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                priority: int = NORMAL, name: Optional[str] = None) -> Event:
+        """Call ``fn(*args)`` at absolute simulated ``time``."""
+        ev = self.schedule_at(time, priority, name=name or getattr(
+            fn, "__name__", "call"))
+        ev.add_callback(lambda _ev: fn(*args))
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[..., Any], *args: Any,
+                priority: int = NORMAL, name: Optional[str] = None) -> Event:
+        """Call ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn, *args,
+                            priority=priority, name=name)
+
+    def every(self, interval: float, fn: Callable[..., Any], *args: Any,
+              start: Optional[float] = None, jitter: float = 0.0,
+              stream: str = "kernel.every") -> "PeriodicTask":
+        """Call ``fn(*args)`` every ``interval`` seconds (optionally jittered).
+
+        Returns a :class:`PeriodicTask` handle whose :meth:`~PeriodicTask.
+        stop` method cancels future firings.
+        """
+        return PeriodicTask(self, interval, fn, args, start=start,
+                            jitter=jitter, stream=stream)
+
+    # -- execution --------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next pending event, or ``float('inf')``."""
+        while self._heap and not self._heap[0].pending:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else float("inf")
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.pending:
+                continue
+            self._now = ev.time
+            ev.fire()
+            self.events_executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the agenda empties, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the final simulated time.
+        """
+        self._running = True
+        self._stopped = False
+        if until is not None and until < self._now:
+            raise SchedulingError(
+                f"run(until={until}) is in the past (now={self._now})")
+        executed = 0
+        try:
+            while not self._stopped:
+                nxt = self.peek()
+                if nxt == float("inf"):
+                    break
+                if until is not None and nxt > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+            else:
+                # stop() was called; clock stays at the stopping event.
+                pass
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for ev in self._heap if ev.pending)
+
+    def agenda(self) -> Iterator[Event]:
+        """Pending events in fire order (for debugging/inspection)."""
+        return iter(sorted((ev for ev in self._heap if ev.pending),
+                           key=Event.sort_key))
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self._now:.6g} pending={self.pending_events} "
+                f"executed={self.events_executed}>")
+
+
+class PeriodicTask:
+    """Handle for a repeating callback created by :meth:`Simulator.every`."""
+
+    def __init__(self, sim: Simulator, interval: float,
+                 fn: Callable[..., Any], args: tuple,
+                 start: Optional[float] = None, jitter: float = 0.0,
+                 stream: str = "kernel.every"):
+        if interval <= 0:
+            raise SchedulingError(f"non-positive interval: {interval}")
+        self.sim = sim
+        self.interval = float(interval)
+        self.fn = fn
+        self.args = args
+        self.jitter = float(jitter)
+        self.stream = stream
+        self.fired = 0
+        self._stopped = False
+        self._event: Optional[Event] = None
+        first = self.interval if start is None else max(0.0, start - sim.now)
+        self._arm(first)
+
+    def _arm(self, delay: float) -> None:
+        if self._stopped:
+            return
+        if self.jitter > 0.0:
+            delay += self.sim.rng.stream(self.stream).uniform(0, self.jitter)
+        self._event = self.sim.call_in(delay, self._fire, name="periodic")
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fired += 1
+        self.fn(*self.args)
+        self._arm(self.interval)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

@@ -1,0 +1,259 @@
+"""Generator-coroutine processes on top of the event kernel.
+
+A process is a Python generator driven by the kernel.  It may yield:
+
+* :class:`~repro.substrates.sim.events.Timeout` — sleep;
+* :class:`~repro.substrates.sim.events.Signal` — wait for a trigger;
+* :class:`~repro.substrates.sim.events.Event` — wait for a bare event;
+* another :class:`Process` — join (wait for it to finish);
+* ``None`` — yield the floor for one zero-delay step (lets simultaneous
+  events interleave deterministically).
+
+The value sent back into the generator is the timeout value, the signal's
+trigger value, the event's ``value``, or the joined process's return
+value, respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from .errors import CancelledError, InterruptError, SimulationError
+from .events import Event, Signal, Timeout
+from .kernel import Simulator
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running simulation process.
+
+    Do not instantiate directly — use :func:`spawn`.
+    """
+
+    __slots__ = ("sim", "gen", "name", "_done", "_result", "_error",
+                 "_waiters", "_pending_event", "_waiting_signal",
+                 "_interrupt", "started_at", "finished_at")
+
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self._done = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._waiters: List["Process"] = []
+        self._pending_event: Optional[Event] = None
+        self._waiting_signal: Optional[Signal] = None
+        self._interrupt: Optional[InterruptError] = None
+        self.started_at = sim.now
+        self.finished_at: Optional[float] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"process {self.name} not finished")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def failed(self) -> bool:
+        return self._done and self._error is not None
+
+    # -- control ----------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process at its wait."""
+        if self._done:
+            return
+        self._interrupt = InterruptError(cause)
+        self._detach()
+        # Deliver on the agenda so interrupts are ordered like other events.
+        self.sim.call_in(0.0, self._deliver_interrupt, name=f"intr:{self.name}")
+
+    def cancel(self) -> None:
+        """Stop the process where it waits (raises CancelledError inside)."""
+        if self._done:
+            return
+        self._detach()
+        try:
+            self.gen.throw(CancelledError())
+        except (StopIteration, CancelledError):
+            pass
+        except InterruptError:
+            pass
+        self._finish(None, None)
+
+    def _detach(self) -> None:
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_signal is not None:
+            self._waiting_signal._unregister(self)
+            self._waiting_signal = None
+
+    def _deliver_interrupt(self) -> None:
+        if self._done or self._interrupt is None:
+            return
+        exc, self._interrupt = self._interrupt, None
+        self._step_throw(exc)
+
+    # -- engine -----------------------------------------------------------
+    def _start(self) -> None:
+        self.sim.call_in(0.0, self._step_send, None, name=f"start:{self.name}")
+
+    def _wake(self, value: Any) -> None:
+        """Called by a Signal trigger."""
+        self._waiting_signal = None
+        self.sim.call_in(0.0, self._step_send, value, name=f"wake:{self.name}")
+
+    def _step_send(self, value: Any) -> None:
+        if self._done:
+            return
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except BaseException as exc:  # noqa: BLE001 — process bodies may raise anything
+            self._finish(None, exc)
+            return
+        self._handle_yield(yielded)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if self._done:
+            return
+        try:
+            yielded = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self._finish(None, err)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if yielded is None:
+            yielded = Timeout(0.0)
+        if isinstance(yielded, Timeout):
+            ev = self.sim.schedule(yielded.delay, name=f"sleep:{self.name}")
+            value = yielded.value
+            ev.add_callback(lambda _ev: self._resume_from_event(value))
+            self._pending_event = ev
+        elif isinstance(yielded, Signal):
+            self._waiting_signal = yielded
+            yielded._register(self)
+        elif isinstance(yielded, Event):
+            if yielded.fired:
+                self.sim.call_in(0.0, self._step_send, yielded.value,
+                                 name=f"resume:{self.name}")
+            else:
+                self._pending_event = yielded
+                yielded.add_callback(
+                    lambda ev: self._resume_from_event(ev.value))
+        elif isinstance(yielded, Process):
+            other = yielded
+            if other._done:
+                self.sim.call_in(0.0, self._resume_join, other,
+                                 name=f"join:{self.name}")
+            else:
+                other._waiters.append(self)
+        else:
+            self._finish(None, SimulationError(
+                f"process {self.name} yielded unsupported {yielded!r}"))
+
+    def _resume_from_event(self, value: Any) -> None:
+        self._pending_event = None
+        self._step_send(value)
+
+    def _resume_join(self, other: "Process") -> None:
+        if other._error is not None:
+            self._step_throw(other._error)
+        else:
+            self._step_send(other._result)
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+        self._done = True
+        self._result = result
+        self._error = error
+        self.finished_at = self.sim.now
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.call_in(0.0, waiter._resume_join, self,
+                             name=f"join:{waiter.name}")
+        if error is not None and not waiters:
+            raise error
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(sim: Simulator, gen: ProcessGen, name: Optional[str] = None) -> Process:
+    """Start a generator as a simulation process."""
+    if name is None:
+        name = getattr(gen, "__name__", "proc")
+    proc = Process(sim, gen, name)
+    proc._start()
+    return proc
+
+
+def wait_all(sim: Simulator, processes) -> Process:
+    """A process that finishes when *all* given processes have finished.
+
+    Its result is the list of their results, in input order.  Usage:
+    ``results = yield wait_all(sim, [p1, p2, p3])``.
+    """
+    procs = list(processes)
+
+    def waiter():
+        results = []
+        for proc in procs:
+            results.append((yield proc))
+        return results
+
+    return spawn(sim, waiter(), name="wait-all")
+
+
+def wait_any(sim: Simulator, processes) -> Process:
+    """A process that finishes when *any* given process finishes.
+
+    Its result is ``(index, result)`` of the first finisher (ties break
+    by input order).  The others keep running.
+    """
+    procs = list(processes)
+
+    def waiter():
+        done = Signal("wait-any")
+        for i, proc in enumerate(procs):
+            if proc.done:
+                return (i, proc.result)
+
+            def notify(ev=None, i=i, proc=proc):
+                if not done.trigger_count:
+                    done.trigger((i, proc._result))
+
+            proc._waiters.append(_CallbackWaiter(sim, notify))
+        return (yield done)
+
+    return spawn(sim, waiter(), name="wait-any")
+
+
+class _CallbackWaiter:
+    """Adapter letting a plain callback sit in a Process waiter list."""
+
+    __slots__ = ("sim", "fn", "name")
+
+    def __init__(self, sim: Simulator, fn):
+        self.sim = sim
+        self.fn = fn
+        self.name = "callback-waiter"
+
+    def _resume_join(self, other: "Process") -> None:
+        self.fn()

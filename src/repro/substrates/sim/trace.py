@@ -1,0 +1,98 @@
+"""Trace / metrics bus.
+
+A lightweight publish-subscribe channel carried by the simulator.  Any
+component may ``emit(topic, **fields)``; analysis code subscribes by topic
+prefix.  Records are cheap tuples so tracing a long run stays fast; when
+no subscriber matches a topic the emit is a dictionary miss and two string
+operations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    topic: str
+    fields: Dict[str, Any]
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Topic-based pub/sub attached to a :class:`Simulator`.
+
+    Topics are dot-separated (e.g. ``"ship.role.change"``).  A subscriber
+    registered for ``"ship"`` receives every topic starting with
+    ``"ship."`` as well as ``"ship"`` itself.
+    """
+
+    def __init__(self, sim):
+        self._sim = sim
+        self._subs: Dict[str, List[Subscriber]] = defaultdict(list)
+        self._record_all: Optional[List[TraceRecord]] = None
+        self.emitted = 0
+
+    # -- subscription -----------------------------------------------------
+    def subscribe(self, prefix: str, fn: Subscriber) -> Subscriber:
+        self._subs[prefix].append(fn)
+        return fn
+
+    def unsubscribe(self, prefix: str, fn: Subscriber) -> None:
+        try:
+            self._subs[prefix].remove(fn)
+        except (KeyError, ValueError):
+            pass
+
+    def record_all(self) -> List[TraceRecord]:
+        """Start recording every emit; returns the live record list."""
+        if self._record_all is None:
+            self._record_all = []
+        return self._record_all
+
+    # -- emission ---------------------------------------------------------
+    def emit(self, topic: str, **fields: Any) -> None:
+        self.emitted += 1
+        rec: Optional[TraceRecord] = None
+        if self._record_all is not None:
+            rec = TraceRecord(self._sim.now, topic, fields)
+            self._record_all.append(rec)
+        if not self._subs:
+            return
+        # Walk the prefix chain: "a.b.c" notifies "a.b.c", "a.b", "a".
+        part = topic
+        while True:
+            subs = self._subs.get(part)
+            if subs:
+                if rec is None:
+                    rec = TraceRecord(self._sim.now, topic, fields)
+                for fn in list(subs):
+                    fn(rec)
+            cut = part.rfind(".")
+            if cut < 0:
+                break
+            part = part[:cut]
+
+    def counter(self, prefix: str) -> "TraceCounter":
+        """Convenience: a counter subscribed to ``prefix``."""
+        counter = TraceCounter()
+        self.subscribe(prefix, counter)
+        return counter
+
+
+class TraceCounter:
+    """Counts records per full topic; callable as a subscriber."""
+
+    def __init__(self):
+        self.counts: Dict[str, int] = defaultdict(int)
+        self.total = 0
+
+    def __call__(self, rec: TraceRecord) -> None:
+        self.counts[rec.topic] += 1
+        self.total += 1
+
+    def __getitem__(self, topic: str) -> int:
+        return self.counts.get(topic, 0)

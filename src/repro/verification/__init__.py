@@ -1,0 +1,14 @@
+"""Formal verification: TLA-style specs and an explicit-state checker."""
+
+from .checker import CheckResult, ModelChecker, Violation
+from .specs import (AdaptiveRoutingSpec, BrokenCounterSpec, CounterSpec,
+                    DockingSpec,
+                    JetReplicationSpec, LivenessBrokenSpec,
+                    ProactiveRoutingSpec)
+from .tla import FrozenState, Invariant, Spec, TemporalProperty
+
+__all__ = ["CheckResult", "ModelChecker", "Violation",
+           "AdaptiveRoutingSpec", "DockingSpec", "JetReplicationSpec",
+           "ProactiveRoutingSpec",
+           "BrokenCounterSpec", "CounterSpec", "LivenessBrokenSpec",
+           "FrozenState", "Invariant", "Spec", "TemporalProperty"]

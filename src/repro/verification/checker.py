@@ -1,0 +1,235 @@
+"""Explicit-state model checker (the reproduction's TLC stand-in).
+
+Breadth-first exhaustive exploration of a :class:`~repro.verification.
+tla.Spec`'s reachable states with:
+
+* invariant checking on every state, with shortest counterexample
+  traces (BFS predecessor chains);
+* deadlock detection;
+* liveness checking by Tarjan SCC condensation of the reachable graph
+  (terminal-SCC analysis of "eventually-always" / "always-eventually"
+  properties under weak fairness).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from .tla import FrozenState, Spec
+
+
+class Violation(NamedTuple):
+    kind: str                 # "invariant" / "deadlock" / "temporal"
+    name: str
+    state: Optional[FrozenState]
+    trace: Tuple[Tuple[str, FrozenState], ...]   # (action, state) chain
+
+
+class CheckResult(NamedTuple):
+    ok: bool
+    states: int
+    transitions: int
+    diameter: int
+    violations: Tuple[Violation, ...]
+    elapsed_seconds: float
+    complete: bool            # False if max_states truncated the search
+
+    def summary(self) -> str:
+        status = "OK (bug-free)" if self.ok else \
+            f"{len(self.violations)} violation(s)"
+        completeness = "exhaustive" if self.complete else "TRUNCATED"
+        return (f"{status}: {self.states} states, "
+                f"{self.transitions} transitions, depth {self.diameter}, "
+                f"{completeness}, {self.elapsed_seconds:.2f}s")
+
+
+class ModelChecker:
+    """Exhaustive BFS checker for Spec instances."""
+
+    def __init__(self, spec: Spec, max_states: Optional[int] = None,
+                 stop_at_first_violation: bool = False):
+        self.spec = spec
+        self.max_states = max_states
+        self.stop_at_first_violation = stop_at_first_violation
+        # Filled by check():
+        self._parent: Dict[FrozenState, Tuple[Optional[FrozenState], str]] = {}
+        self._succ: Dict[FrozenState, List[Tuple[str, FrozenState]]] = {}
+
+    # -- trace reconstruction -----------------------------------------------
+    def _trace_to(self, state: FrozenState
+                  ) -> Tuple[Tuple[str, FrozenState], ...]:
+        chain: List[Tuple[str, FrozenState]] = []
+        cursor: Optional[FrozenState] = state
+        while cursor is not None:
+            parent, action = self._parent[cursor]
+            chain.append((action, cursor))
+            cursor = parent
+        chain.reverse()
+        return tuple(chain)
+
+    # -- the search -----------------------------------------------------------
+    def check(self, check_liveness: bool = True) -> CheckResult:
+        started = time.perf_counter()
+        violations: List[Violation] = []
+        self._parent.clear()
+        self._succ.clear()
+
+        frontier: deque = deque()
+        depth: Dict[FrozenState, int] = {}
+        for init in self.spec.init_states():
+            if init in self._parent:
+                continue
+            self._parent[init] = (None, "Init")
+            depth[init] = 0
+            frontier.append(init)
+
+        transitions = 0
+        diameter = 0
+        truncated = False
+
+        while frontier:
+            state = frontier.popleft()
+            diameter = max(diameter, depth[state])
+
+            for inv in self.spec.invariants:
+                if not inv.holds(state):
+                    violations.append(Violation(
+                        "invariant", inv.name, state,
+                        self._trace_to(state)))
+                    if self.stop_at_first_violation:
+                        return self._result(violations, transitions,
+                                            diameter, started, False)
+
+            successors = list(self.spec.next_states(state))
+            self._succ[state] = successors
+            if not successors and self.spec.check_deadlock:
+                violations.append(Violation("deadlock", "deadlock", state,
+                                            self._trace_to(state)))
+                if self.stop_at_first_violation:
+                    return self._result(violations, transitions, diameter,
+                                        started, False)
+            for action, succ in successors:
+                transitions += 1
+                if succ not in self._parent:
+                    if (self.max_states is not None
+                            and len(self._parent) >= self.max_states):
+                        truncated = True
+                        continue
+                    self._parent[succ] = (state, action)
+                    depth[succ] = depth[state] + 1
+                    frontier.append(succ)
+
+        if check_liveness and not truncated:
+            violations.extend(self._check_liveness())
+
+        return self._result(violations, transitions, diameter, started,
+                            not truncated)
+
+    def _result(self, violations, transitions, diameter, started,
+                complete) -> CheckResult:
+        return CheckResult(ok=not violations, states=len(self._parent),
+                           transitions=transitions, diameter=diameter,
+                           violations=tuple(violations),
+                           elapsed_seconds=time.perf_counter() - started,
+                           complete=complete)
+
+    # -- liveness (terminal SCC analysis) -------------------------------------
+    def _tarjan_sccs(self) -> List[List[FrozenState]]:
+        """Iterative Tarjan over the explored graph."""
+        index: Dict[FrozenState, int] = {}
+        lowlink: Dict[FrozenState, int] = {}
+        on_stack: Set[FrozenState] = set()
+        stack: List[FrozenState] = []
+        sccs: List[List[FrozenState]] = []
+        counter = [0]
+
+        for root in self._succ:
+            if root in index:
+                continue
+            work: List[Tuple[FrozenState, int]] = [(root, 0)]
+            while work:
+                node, child_i = work[-1]
+                if child_i == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                succs = self._succ.get(node, ())
+                advanced = False
+                while child_i < len(succs):
+                    child = succs[child_i][1]
+                    child_i += 1
+                    if child not in self._succ:
+                        continue  # truncated edge
+                    if child not in index:
+                        work[-1] = (node, child_i)
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work[-1] = (node, child_i)
+                if child_i >= len(succs):
+                    work.pop()
+                    if lowlink[node] == index[node]:
+                        scc: List[FrozenState] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack.discard(member)
+                            scc.append(member)
+                            if member == node:
+                                break
+                        sccs.append(scc)
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent],
+                                              lowlink[node])
+        return sccs
+
+    def _terminal_sccs(self) -> List[List[FrozenState]]:
+        sccs = self._tarjan_sccs()
+        membership: Dict[FrozenState, int] = {}
+        for i, scc in enumerate(sccs):
+            for state in scc:
+                membership[state] = i
+        terminal: List[List[FrozenState]] = []
+        for i, scc in enumerate(sccs):
+            escapes = False
+            for state in scc:
+                for _, succ in self._succ.get(state, ()):
+                    if membership.get(succ, i) != i:
+                        escapes = True
+                        break
+                if escapes:
+                    break
+            if not escapes:
+                terminal.append(scc)
+        return terminal
+
+    def _check_liveness(self) -> List[Violation]:
+        if not self.spec.temporal_properties:
+            return []
+        violations: List[Violation] = []
+        terminal = self._terminal_sccs()
+        for prop in self.spec.temporal_properties:
+            for scc in terminal:
+                if prop.kind == "eventually-always":
+                    bad = next((s for s in scc
+                                if not prop.predicate(s)), None)
+                    if bad is not None:
+                        violations.append(Violation(
+                            "temporal", prop.name, bad,
+                            self._trace_to(bad)))
+                        break
+                else:  # always-eventually
+                    if not any(prop.predicate(s) for s in scc):
+                        witness = scc[0]
+                        violations.append(Violation(
+                            "temporal", prop.name, witness,
+                            self._trace_to(witness)))
+                        break
+        return violations

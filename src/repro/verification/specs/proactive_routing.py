@@ -1,0 +1,250 @@
+"""Formal specification of the proactive (hello/advertisement) half of
+the WLI adaptive routing protocol.
+
+The reactive core is covered by :class:`~repro.verification.specs.
+adaptive_routing.AdaptiveRoutingSpec`.  This spec exists because the
+model/implementation cross-validation test found a *real* routing loop
+in the proactive half (the classic two-node count-to-infinity of naive
+distance-vector hellos) that the reactive model could not express.  The
+implementation was fixed with split horizon + poisoned reverse; this
+spec models exactly that advertisement rule and verifies what DV theory
+predicts — and nothing stronger:
+
+* **NoTwoNodeLoops** (invariant, split-horizon only) — mutual
+  next-hop pointing between two nodes never happens; with
+  ``split_horizon=False`` the checker finds exactly this loop (the bug
+  the cross-validation test caught in the implementation);
+* **CostSane** — route costs are positive and below the infinity bound;
+* **LoopsAreTransient** (liveness) — live-route cycles of any length
+  (split horizon cannot prevent 3-node loops) are always broken
+  eventually by counting to infinity: no behaviour ends inside a loop;
+* **Convergence** (liveness) — once churn stops, every node connected
+  to the target eventually holds a route and keeps it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..tla import FrozenState, Spec
+
+Node = str
+LinkSet = FrozenSet[Tuple[Node, Node]]
+
+
+def _norm(a: Node, b: Node) -> Tuple[Node, Node]:
+    return (a, b) if a <= b else (b, a)
+
+
+class ProactiveRoutingSpec(Spec):
+    """Distance-vector hellos with split horizon + poisoned reverse."""
+
+    name = "wli-proactive-routing"
+    check_deadlock = True
+
+    def __init__(self, nodes: Iterable[Node] = ("a", "b", "t"),
+                 initial_links: Optional[Iterable[Tuple[Node, Node]]] = None,
+                 churn_budget: int = 1,
+                 split_horizon: bool = True):
+        super().__init__()
+        self.nodes: Tuple[Node, ...] = tuple(nodes)
+        self.target = self.nodes[-1]
+        if initial_links is None:
+            initial_links = list(zip(self.nodes, self.nodes[1:]))
+        self.initial_links: LinkSet = frozenset(
+            _norm(a, b) for a, b in initial_links)
+        self.all_links = tuple(sorted(
+            _norm(a, b) for a, b in combinations(self.nodes, 2)))
+        self.churn_budget = int(churn_budget)
+        self.split_horizon = split_horizon
+        self.infinity = len(self.nodes) + 2
+
+        self.invariant("TypeOK")(self._inv_type_ok)
+        self.invariant("CostSane")(self._inv_cost_sane)
+        # The property split horizon buys; the naive variant violates it.
+        self.invariant("NoTwoNodeLoops")(self._inv_no_two_node_loops)
+        self.temporal("LoopsAreTransient")(self._inv_loop_free)
+        self.temporal("Convergence")(self._prop_convergence)
+
+    # -- state helpers ------------------------------------------------------
+    @staticmethod
+    def _pack(routes: Dict[Node, Optional[Tuple[Node, int]]]):
+        return tuple(sorted(routes.items()))
+
+    def _neighbors(self, links: LinkSet, node: Node) -> List[Node]:
+        out = []
+        for a, b in links:
+            if a == node:
+                out.append(b)
+            elif b == node:
+                out.append(a)
+        return sorted(out)
+
+    def _connected(self, links: LinkSet, a: Node, b: Node) -> bool:
+        frontier, seen = [a], {a}
+        while frontier:
+            node = frontier.pop()
+            if node == b:
+                return True
+            for peer in self._neighbors(links, node):
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return False
+
+    def _advertised_cost(self, routes, sender: Node,
+                         receiver: Node) -> Optional[int]:
+        """What `sender` tells `receiver` its target-cost is."""
+        if sender == self.target:
+            return 0
+        route = routes.get(sender)
+        if route is None:
+            return None
+        next_hop, cost = route
+        if self.split_horizon and next_hop == receiver:
+            return self.infinity   # poisoned reverse
+        return cost
+
+    # -- Init / Next ----------------------------------------------------------
+    def init_states(self):
+        yield FrozenState(
+            links=self.initial_links,
+            churn=self.churn_budget,
+            routes=self._pack({n: None for n in self.nodes
+                               if n != self.target}),
+        )
+
+    def next_states(self, state: FrozenState):
+        produced = False
+        links: LinkSet = state["links"]
+        # environment churn
+        if state["churn"] > 0:
+            for link in self.all_links:
+                produced = True
+                if link in links:
+                    yield (f"LoseLink({link[0]}~{link[1]})",
+                           state.updated(links=links - {link},
+                                         churn=state["churn"] - 1))
+                else:
+                    yield (f"RestoreLink({link[0]}~{link[1]})",
+                           state.updated(links=links | {link},
+                                         churn=state["churn"] - 1))
+        # advertisements
+        routes = dict(state["routes"])
+        for sender in self.nodes:
+            for receiver in self._neighbors(links, sender):
+                if receiver == self.target:
+                    continue
+                advertised = self._advertised_cost(routes, sender,
+                                                   receiver)
+                if advertised is None:
+                    continue
+                successor = self._receive(routes, receiver, sender,
+                                          advertised)
+                if successor is not None:
+                    new_state = state.updated(routes=successor)
+                    if new_state != state:
+                        produced = True
+                        yield (f"Advertise({sender}->{receiver})",
+                               new_state)
+        # expiry of routes over dead links / via poisoned next hops
+        for node, route in routes.items():
+            if route is None:
+                continue
+            next_hop, _ = route
+            if _norm(node, next_hop) not in links:
+                updated = dict(routes)
+                updated[node] = None
+                produced = True
+                yield (f"Expire({node})",
+                       state.updated(routes=self._pack(updated)))
+        if not produced:
+            yield ("Stutter", state)
+
+    def _receive(self, routes, receiver: Node, sender: Node,
+                 advertised: int):
+        """The implementation's acceptance rule."""
+        new_cost = min(advertised + 1, self.infinity)
+        current = routes.get(receiver)
+        if new_cost >= self.infinity:
+            # Poisoned: drop the route if it goes through the sender.
+            if current is not None and current[0] == sender:
+                updated = dict(routes)
+                updated[receiver] = None
+                return self._pack(updated)
+            return None
+        accept = (current is None
+                  or new_cost < current[1]
+                  or current[0] == sender)
+        if not accept:
+            return None
+        updated = dict(routes)
+        updated[receiver] = (sender, new_cost)
+        return self._pack(updated)
+
+    # -- invariants ------------------------------------------------------------
+    def _inv_type_ok(self, state: FrozenState) -> bool:
+        node_set = set(self.nodes)
+        if not all(set(l) <= node_set for l in state["links"]):
+            return False
+        for node, route in dict(state["routes"]).items():
+            if node not in node_set or node == self.target:
+                return False
+            if route is not None:
+                next_hop, cost = route
+                if next_hop not in node_set or next_hop == node:
+                    return False
+        return 0 <= state["churn"] <= self.churn_budget
+
+    def _inv_cost_sane(self, state: FrozenState) -> bool:
+        return all(route is None or 1 <= route[1] < self.infinity
+                   for route in dict(state["routes"]).values())
+
+    def _inv_no_two_node_loops(self, state: FrozenState) -> bool:
+        routes = dict(state["routes"])
+        links: LinkSet = state["links"]
+        for node, route in routes.items():
+            if route is None or _norm(node, route[0]) not in links:
+                continue
+            back = routes.get(route[0])
+            if back is not None and back[0] == node \
+                    and _norm(route[0], node) in links:
+                return False
+        return True
+
+    def _inv_loop_free(self, state: FrozenState) -> bool:
+        """No cycle among *live* routes (both hops up).
+
+        Transient pointers over dead links are the expiry action's
+        business; a cycle of live routes would persist forever."""
+        links: LinkSet = state["links"]
+        routes = dict(state["routes"])
+        for start in self.nodes:
+            visited = {start}
+            node = start
+            while node != self.target:
+                route = routes.get(node)
+                if route is None or _norm(node, route[0]) not in links:
+                    break  # dead end: no cycle along this walk
+                node = route[0]
+                if node in visited:
+                    return False   # revisited a node before the target
+                visited.add(node)
+        return True
+
+    # -- liveness ----------------------------------------------------------------
+    def _prop_convergence(self, state: FrozenState) -> bool:
+        if state["churn"] > 0:
+            return True
+        links: LinkSet = state["links"]
+        routes = dict(state["routes"])
+        for node in self.nodes:
+            if node == self.target:
+                continue
+            if not self._connected(links, node, self.target):
+                continue
+            route = routes.get(node)
+            if route is None or _norm(node, route[0]) not in links:
+                return False
+        return True

@@ -1,0 +1,68 @@
+"""Tiny specifications used to validate the checker itself.
+
+A checker that cannot find planted bugs proves nothing when it reports
+"bug-free" on the routing spec — these specs plant the bugs.
+"""
+
+from __future__ import annotations
+
+from ..tla import FrozenState, Spec
+
+
+class CounterSpec(Spec):
+    """A modular counter; invariant 0 <= x < n holds, liveness x==0 recurs."""
+
+    name = "counter"
+
+    def __init__(self, n: int = 5):
+        super().__init__()
+        self.n = n
+        self.invariant("InRange")(lambda s: 0 <= s["x"] < self.n)
+        self.temporal("HitsZero", kind="always-eventually")(
+            lambda s: s["x"] == 0)
+
+    def init_states(self):
+        yield FrozenState(x=0)
+
+    def next_states(self, state):
+        yield ("Increment", state.updated(x=(state["x"] + 1) % self.n))
+
+
+class BrokenCounterSpec(Spec):
+    """Overflows past its bound — the invariant must be caught."""
+
+    name = "broken-counter"
+
+    def __init__(self, n: int = 5):
+        super().__init__()
+        self.n = n
+        self.invariant("InRange")(lambda s: 0 <= s["x"] < self.n)
+
+    def init_states(self):
+        yield FrozenState(x=0)
+
+    def next_states(self, state):
+        if state["x"] <= self.n:  # off-by-one: reaches x == n
+            yield ("Increment", state.updated(x=state["x"] + 1))
+        else:
+            yield ("Stutter", state)
+
+
+class LivenessBrokenSpec(Spec):
+    """Can lock into a state where progress never happens again."""
+
+    name = "liveness-broken"
+
+    def __init__(self):
+        super().__init__()
+        self.temporal("EventuallyAlwaysDone")(lambda s: s["done"])
+
+    def init_states(self):
+        yield FrozenState(done=False, stuck=False)
+
+    def next_states(self, state):
+        if state["stuck"]:
+            yield ("Stutter", state)
+            return
+        yield ("Finish", state.updated(done=True, stuck=True))
+        yield ("GetStuck", state.updated(done=False, stuck=True))

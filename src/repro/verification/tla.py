@@ -1,0 +1,162 @@
+"""A small TLA-style specification framework.
+
+Section E: "we applied the WLI model framework for the formal
+specification and verification of a generic adaptive routing protocol
+for active ad-hoc wireless networks ... four DIN A4 pages of bug-free
+TLA+ code, with Lamport's TLC model checker."
+
+Neither that TLA+ code nor TLC is available here, so this package
+rebuilds the *method* from scratch: a specification is an initial-state
+set plus a next-state relation over immutable states, with named
+invariants (safety) and temporal properties (liveness, checked on the
+reachable state graph).  The checker lives in
+:mod:`repro.verification.checker`.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Iterable, Iterator, List, Mapping,
+                    Optional, Tuple)
+
+
+class FrozenState(Mapping):
+    """An immutable, hashable variable assignment (one TLA state).
+
+    Values must themselves be hashable (use tuples/frozensets, never
+    lists/sets/dicts).
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, mapping: Optional[Mapping] = None, **kw: Any):
+        data = dict(mapping or {})
+        data.update(kw)
+        self._items: Tuple[Tuple[str, Any], ...] = tuple(
+            sorted(data.items()))
+        try:
+            self._hash = hash(self._items)
+        except TypeError as exc:
+            raise TypeError(
+                f"state contains unhashable value: {exc}") from exc
+
+    # -- Mapping interface -----------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        for k, v in self._items:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return (k for k, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenState):
+            return self._items == other._items
+        return NotImplemented
+
+    # -- functional update --------------------------------------------------
+    def updated(self, **changes: Any) -> "FrozenState":
+        data = dict(self._items)
+        data.update(changes)
+        return FrozenState(data)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"FrozenState({inner})"
+
+
+Predicate = Callable[[FrozenState], bool]
+Action = Tuple[str, FrozenState]      # (action name, successor state)
+
+
+class Invariant:
+    """A named safety property: must hold in every reachable state."""
+
+    def __init__(self, name: str, predicate: Predicate):
+        self.name = name
+        self.predicate = predicate
+
+    def holds(self, state: FrozenState) -> bool:
+        return bool(self.predicate(state))
+
+    def __repr__(self) -> str:
+        return f"<Invariant {self.name}>"
+
+
+class TemporalProperty:
+    """A liveness property checked on the reachable state graph.
+
+    ``kind``:
+
+    * ``"eventually-always"`` — every infinite behaviour ends up inside
+      states satisfying the predicate (all states of every *terminal*
+      SCC satisfy it);
+    * ``"always-eventually"`` — the predicate recurs forever on every
+      infinite behaviour (every terminal SCC *contains* a satisfying
+      state).
+
+    Both readings assume weak fairness over all actions, which is what
+    terminal-SCC analysis encodes.
+    """
+
+    KINDS = ("eventually-always", "always-eventually")
+
+    def __init__(self, name: str, predicate: Predicate,
+                 kind: str = "eventually-always"):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown temporal kind {kind!r}")
+        self.name = name
+        self.predicate = predicate
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"<TemporalProperty {self.name} ({self.kind})>"
+
+
+class Spec:
+    """Base class for specifications.
+
+    Subclasses implement :meth:`init_states` and :meth:`next_states`
+    and populate :attr:`invariants` / :attr:`temporal_properties`.
+    """
+
+    name = "spec"
+    #: When True, states without successors are reported as deadlocks.
+    check_deadlock = True
+
+    def __init__(self):
+        self.invariants: List[Invariant] = []
+        self.temporal_properties: List[TemporalProperty] = []
+
+    # -- to implement ------------------------------------------------------
+    def init_states(self) -> Iterable[FrozenState]:
+        raise NotImplementedError
+
+    def next_states(self, state: FrozenState) -> Iterable[Action]:
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------------
+    def invariant(self, name: str):
+        """Decorator: register a safety invariant."""
+        def register(fn: Predicate) -> Predicate:
+            self.invariants.append(Invariant(name, fn))
+            return fn
+        return register
+
+    def temporal(self, name: str, kind: str = "eventually-always"):
+        """Decorator: register a temporal (liveness) property."""
+        def register(fn: Predicate) -> Predicate:
+            self.temporal_properties.append(
+                TemporalProperty(name, fn, kind))
+            return fn
+        return register
+
+    def __repr__(self) -> str:
+        return (f"<Spec {self.name} invariants={len(self.invariants)} "
+                f"temporal={len(self.temporal_properties)}>")

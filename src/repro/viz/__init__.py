@@ -1,0 +1,10 @@
+"""ASCII visualisation of snapshots, timelines and overlays."""
+
+from .ascii_art import (ROLE_GLYPHS, glyph, render_overlays,
+                        render_snapshot, render_topology,
+                        render_resonance,
+                        render_wandering_timeline, sparkline)
+
+__all__ = ["ROLE_GLYPHS", "glyph", "render_overlays", "render_snapshot",
+           "render_resonance", "render_topology",
+           "render_wandering_timeline", "sparkline"]

@@ -1,0 +1,150 @@
+"""ASCII renderings of the paper's figures.
+
+Text output only — the benches print these so a run visually regenerates
+Figure 1 (network snapshot with per-node shapes/functions), Figure 3
+(horizontal wandering timeline) and Figure 4 (overlay stack).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Sequence
+
+#: Glyphs for the functional roles (the "different shapes" of Figure 1).
+ROLE_GLYPHS = {
+    None: ".",
+    "fn.fusion": "F",
+    "fn.fission": "X",
+    "fn.caching": "C",
+    "fn.delegation": "D",
+    "fn.replication": "R",
+    "fn.nextstep": "n",
+    "fn.filtering": "f",
+    "fn.combining": "c",
+    "fn.transcoding": "T",
+    "fn.secmgmt": "S",
+    "fn.boosting": "B",
+    "fn.routing": "V",
+    "fn.supplementary": "s",
+    "fn.rooting": "r",
+}
+
+
+def glyph(role_id: Optional[str]) -> str:
+    return ROLE_GLYPHS.get(role_id, "?")
+
+
+def render_snapshot(snapshot: Dict) -> str:
+    """Render one WanderingNetwork.snapshot() as text (Figure 1 frame)."""
+    lines = [f"t={snapshot['time']:.1f}s  "
+             f"entropy={snapshot['entropy']:.3f}"]
+    for ship_id, info in sorted(snapshot["ships"].items(),
+                                key=lambda kv: repr(kv[0])):
+        g = glyph(info["active"])
+        roles = ",".join(r.replace("fn.", "") for r in info["roles"])
+        lines.append(f"  [{g}] {ship_id!s:<6} active={info['active'] or '-':<18}"
+                     f" facts={info['facts']:<4} roles={roles}")
+    if snapshot.get("virtual_networks"):
+        lines.append("  virtual outstanding networks:")
+        for role_id, members in sorted(snapshot["virtual_networks"].items()):
+            lines.append(f"    {role_id:<20} "
+                         f"{{{', '.join(str(m) for m in members)}}}")
+    return "\n".join(lines)
+
+
+def render_wandering_timeline(frames: Sequence[Dict],
+                              node_order: Optional[Iterable[Hashable]] = None
+                              ) -> str:
+    """Figure 3 as text: one row per node, one glyph column per frame.
+
+    ``frames`` are WanderingNetwork.snapshot() dicts taken over time.
+    """
+    if not frames:
+        return "(no frames)"
+    if node_order is None:
+        node_order = sorted(frames[0]["ships"], key=repr)
+    nodes = list(node_order)
+    header = "node    | " + " ".join(
+        f"{frame['time']:>4.0f}" for frame in frames)
+    lines = [header, "-" * len(header)]
+    for node in nodes:
+        cells = []
+        for frame in frames:
+            info = frame["ships"].get(node)
+            cells.append(f"   {glyph(info['active']) if info else 'x'}")
+        lines.append(f"{node!s:<7} | " + " ".join(cells))
+    legend = ", ".join(f"{g}={r.replace('fn.', '') if r else 'idle'}"
+                       for r, g in sorted(ROLE_GLYPHS.items(),
+                                          key=lambda kv: kv[1])
+                       if any(g == c.strip() for line in lines[2:]
+                              for c in line.split("|")[1].split()))
+    return "\n".join(lines + [f"legend: {legend}"])
+
+
+def render_overlays(overlay_snapshot: Dict[str, Dict]) -> str:
+    """Figure 4 as text: the stack of virtual overlay networks."""
+    if not overlay_snapshot:
+        return "(no overlays)"
+    lines = []
+    for overlay_id, info in sorted(overlay_snapshot.items()):
+        status = "connected" if info["connected"] else "PARTITIONED"
+        members = ", ".join(str(m) for m in info["members"])
+        lines.append(f"  {overlay_id:<14} links={info['links']:<3} "
+                     f"{status:<12} members={{{members}}}")
+    return "\n".join(["virtual overlay networks:"] + lines)
+
+
+#: Block glyphs for sparkline rendering, lowest to highest.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of a numeric series.
+
+    Used by benches to show entropy/latency series compactly; constant
+    series render flat, empty series render as ``(empty)``.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return "(empty)"
+    if width is not None and len(data) > width:
+        # Downsample by striding (keep first and last).
+        stride = len(data) / width
+        data = [data[int(i * stride)] for i in range(width - 1)] + \
+            [data[-1]]
+    lo, hi = min(data), max(data)
+    if hi - lo < 1e-12:
+        return _SPARK_BLOCKS[0] * len(data)
+    out = []
+    for v in data:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_BLOCKS) - 1))
+        out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def render_resonance(field, top: int = 8) -> str:
+    """The network's long-term memory: strongest structural couplings,
+    with bar lengths proportional to coupling strength."""
+    couplings = field.strongest_couplings(top=top)
+    if not couplings:
+        return "(no couplings learned yet)"
+    peak = couplings[0][2]
+    lines = ["network resonance (function ~ fact class):"]
+    for fn, cls, value in couplings:
+        bar = "#" * max(1, int(round(value / peak * 24)))
+        lines.append(f"  {fn:<18} ~ {cls:<18} {bar} {value:.1f}")
+    return "\n".join(lines)
+
+
+def render_topology(topology, glyphs: Optional[Dict[Hashable, str]] = None
+                    ) -> str:
+    """Adjacency-list view of the physical network."""
+    lines = ["physical network:"]
+    for node in sorted(topology.nodes, key=repr):
+        mark = (glyphs or {}).get(node, "o")
+        peers = ", ".join(
+            f"{peer}({topology.link(node, peer).name})"
+            for peer in sorted(topology.neighbors(node, only_up=False),
+                               key=repr))
+        state = "" if topology.node_up(node) else " DOWN"
+        lines.append(f"  [{mark}] {node!s:<6}{state} -- {peers}")
+    return "\n".join(lines)

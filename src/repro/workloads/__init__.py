@@ -1,0 +1,11 @@
+"""Workload generators: media, sensors, web content, multicast, nomadic."""
+
+from .adapter import attach_sink, inject
+from .media import MediaStreamSource, OnOffSource, SensorField
+from .multicast import MulticastSession
+from .nomadic import NomadicUser
+from .web import ContentWorkload, OriginServer
+
+__all__ = ["attach_sink", "inject", "MediaStreamSource", "OnOffSource", "SensorField",
+           "MulticastSession", "NomadicUser", "ContentWorkload",
+           "OriginServer"]

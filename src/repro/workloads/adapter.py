@@ -1,0 +1,35 @@
+"""Host adapters: run one workload on any substrate.
+
+The Table 1 benchmark runs the *same* traffic on legacy routers, ANTS
+nodes and Viator ships; those hosts expose slightly different APIs.
+The adapter normalizes injection and delivery hookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable
+
+from ..substrates.phys import Datagram
+
+NodeId = Hashable
+
+
+def inject(hosts: Dict[NodeId, object], src: NodeId,
+           packet: Datagram) -> bool:
+    """Send ``packet`` from ``src`` regardless of substrate."""
+    host = hosts[src]
+    if hasattr(host, "send_toward"):               # Ship
+        host.originate(packet)
+        return True
+    if hasattr(packet, "code_id") and hasattr(host, "forward_capsule"):
+        return host.originate(packet)               # AntsNode + Capsule
+    if hasattr(host, "soft_state"):                 # AntsNode + datagram
+        packet.created_at = host.sim.now
+        host.receive(packet, src)
+        return True
+    return host.originate(packet)                   # LegacyRouter
+
+
+def attach_sink(hosts: Dict[NodeId, object], node: NodeId,
+                fn: Callable) -> None:
+    hosts[node].on_deliver(fn)

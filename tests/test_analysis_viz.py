@@ -1,0 +1,297 @@
+"""Tests for analysis collectors and ASCII visualisation."""
+
+import math
+
+import pytest
+
+from repro.analysis import (DeliveryCollector, LatencyCollector,
+                            LinkLoadCollector, TimeSeries, active_census,
+                            change_rate, entropy, format_table,
+                            role_census, role_entropy,
+                            virtual_outstanding_networks)
+from repro.core import WanderingNetwork
+from repro.functions import CachingRole, FusionRole
+from repro.substrates.phys import Datagram, line_topology, ring_topology
+from repro.substrates.sim import Simulator
+from repro.viz import (glyph, render_overlays, render_snapshot,
+                       render_topology, render_wandering_timeline)
+
+
+class TestEntropy:
+    def test_uniform_distribution_max(self):
+        assert entropy({"a": 1, "b": 1}) == pytest.approx(1.0)
+        assert entropy({"a": 1, "b": 1, "c": 1, "d": 1}) == pytest.approx(2.0)
+
+    def test_degenerate_distribution_zero(self):
+        assert entropy({"a": 10}) == 0.0
+        assert entropy({}) == 0.0
+
+    def test_counts_from_member_lists(self):
+        assert entropy({"a": [1, 2], "b": [3, 4]}) == pytest.approx(1.0)
+
+
+class TestRoleCensus:
+    def make(self):
+        wn = WanderingNetwork(ring_topology(4))
+        wn.deploy_role(FusionRole, at=0, activate=True)
+        wn.deploy_role(CachingRole, at=1, activate=True)
+        wn.deploy_role(CachingRole, at=2)
+        return wn
+
+    def test_role_census_counts_holders(self):
+        wn = self.make()
+        census = role_census(wn.alive_ships())
+        assert census[CachingRole.role_id] == [1, 2]
+        assert census[FusionRole.role_id] == [0]
+
+    def test_active_census_counts_performers(self):
+        wn = self.make()
+        census = active_census(wn.alive_ships())
+        assert census[CachingRole.role_id] == [1]
+        assert census[None] == [2, 3]
+
+    def test_virtual_outstanding_networks_excludes_idle(self):
+        wn = self.make()
+        nets = virtual_outstanding_networks(wn.alive_ships())
+        assert None not in nets
+        assert set(nets) == {FusionRole.role_id, CachingRole.role_id}
+
+    def test_role_entropy_grows_with_specialization(self):
+        wn = WanderingNetwork(ring_topology(4))
+        assert role_entropy(wn.alive_ships()) == 0.0
+        wn.deploy_role(FusionRole, at=0, activate=True)
+        assert role_entropy(wn.alive_ships()) > 0.0
+
+    def test_change_rate(self):
+        wn = self.make()
+        rate = change_rate(wn.alive_ships(), (0.0, 10.0))
+        assert rate == pytest.approx(2 / (4 * 10.0))
+
+
+class TestCollectors:
+    def test_latency_collector(self):
+        sim = Simulator()
+
+        class Host:
+            def __init__(self):
+                self.handlers = []
+
+            def on_deliver(self, fn):
+                self.handlers.append(fn)
+
+        host = Host()
+        collector = LatencyCollector(sim)
+        collector.attach(host)
+        sim.call_in(3.0, lambda: host.handlers[0](
+            Datagram(0, 1, created_at=1.0), 0))
+        sim.run()
+        assert collector.count == 1
+        assert collector.mean() == pytest.approx(2.0)
+        assert collector.summary()["p50"] == pytest.approx(2.0)
+
+    def test_delivery_collector_ratio(self):
+        collector = DeliveryCollector()
+        collector.record_sent("f", 4)
+        for _ in range(3):
+            collector._on_deliver(Datagram(0, 1, flow_id="f"), 0)
+        assert collector.ratio("f") == pytest.approx(0.75)
+        assert collector.ratio() == pytest.approx(0.75)
+
+    def test_link_load_collector(self):
+        topo = line_topology(3)
+        collector = LinkLoadCollector(topo)
+        collector.mark()
+        topo.link(0, 1).bytes_carried += 500
+        topo.link(1, 2).bytes_carried += 300
+        assert collector.bytes_since_mark() == 800
+        assert collector.bytes_since_mark(links=["0~1"]) == 500
+
+    def test_timeseries(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 2.0), (2, 3.0)]:
+            ts.sample(t, v)
+        assert len(ts) == 3
+        assert ts.last() == 3.0
+        assert ts.max() == 3.0
+        assert ts.mean_after(1.0) == pytest.approx(2.5)
+        assert ts.is_nondecreasing()
+        ts.sample(3, 0.0)
+        assert not ts.is_nondecreasing()
+
+    def test_format_table(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "bb" in lines[-1]
+
+
+class TestViz:
+    def test_glyphs_unique(self):
+        from repro.viz import ROLE_GLYPHS
+        glyphs = list(ROLE_GLYPHS.values())
+        assert len(glyphs) == len(set(glyphs))
+
+    def test_render_snapshot(self):
+        wn = WanderingNetwork(ring_topology(3))
+        wn.deploy_role(FusionRole, at=0, activate=True)
+        text = render_snapshot(wn.snapshot())
+        assert "[F]" in text
+        assert "fn.fusion" in text
+        assert "virtual outstanding networks" in text
+
+    def test_render_wandering_timeline(self):
+        wn = WanderingNetwork(ring_topology(3))
+        frames = [wn.snapshot()]
+        wn.deploy_role(CachingRole, at=1, activate=True)
+        frames.append(wn.snapshot())
+        text = render_wandering_timeline(frames)
+        assert "C" in text
+        assert "legend" in text
+
+    def test_render_overlays(self):
+        from repro.routing import OverlayManager, QosDemand
+        wn = WanderingNetwork(ring_topology(4))
+        wn.overlays.spawn(QosDemand(), overlay_id="ov-a")
+        text = render_overlays(wn.overlays.snapshot())
+        assert "ov-a" in text
+        assert "connected" in text
+
+    def test_render_topology(self):
+        topo = line_topology(3)
+        topo.set_node_state(1, False)
+        text = render_topology(topo)
+        assert "DOWN" in text
+        assert "physical network" in text
+
+    def test_empty_inputs(self):
+        assert render_wandering_timeline([]) == "(no frames)"
+        assert render_overlays({}) == "(no overlays)"
+
+
+class TestSparkline:
+    def test_empty(self):
+        from repro.viz import sparkline
+        assert sparkline([]) == "(empty)"
+
+    def test_constant_series_flat(self):
+        from repro.viz import sparkline
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_monotone_series_rises(self):
+        from repro.viz import sparkline
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_downsampling_keeps_endpoints(self):
+        from repro.viz import sparkline
+        values = list(range(100))
+        line = sparkline(values, width=10)
+        assert len(line) == 10
+        assert line[0] == "▁" and line[-1] == "█"
+
+
+class TestArchitectureRecommendation:
+    def run_network(self):
+        from repro.core import WanderingNetworkConfig
+        from repro.workloads import ContentWorkload
+        wn = WanderingNetwork(
+            line_topology(5, latency=0.02),
+            WanderingNetworkConfig(seed=91, pulse_interval=5.0,
+                                   resonance_enabled=False,
+                                   horizontal_wandering=False))
+        wn.deploy_role(CachingRole, at=2, activate=True)
+        web = ContentWorkload(wn.sim, wn.ships, clients=[0], origin=4,
+                              n_items=5, zipf_s=2.0,
+                              request_interval=0.3)
+        web.start()
+        wn.run(until=120.0)
+        return wn
+
+    def test_earned_residency_recommended(self):
+        from repro.analysis import recommend_architecture
+        wn = self.run_network()
+        rec = recommend_architecture(wn.alive_ships(), wn.engine,
+                                     min_handled=10)
+        placements = rec.placements_for(CachingRole.role_id)
+        assert placements
+        assert placements[0].node == 2
+        assert "handled" in placements[0].reason
+
+    def test_retirement_of_diffuse_functions(self):
+        from repro.analysis import recommend_architecture
+        from repro.core import WanderEvent
+        wn = self.run_network()
+        # Forge a heavily wandering but never-productive function.
+        for i in range(4):
+            wn.engine.events.append(WanderEvent(
+                float(i), "migrate", "fn.boosting", i, i + 1))
+        rec = recommend_architecture(wn.alive_ships(), wn.engine,
+                                     churn_threshold=3)
+        assert "fn.boosting" in rec.retire
+        assert any("diffuse" in note for note in rec.notes)
+
+    def test_apply_recommendation_provisions_fresh_network(self):
+        from repro.analysis import (apply_recommendation,
+                                    recommend_architecture)
+        wn = self.run_network()
+        rec = recommend_architecture(wn.alive_ships(), wn.engine,
+                                     min_handled=10)
+        fresh = WanderingNetwork(line_topology(5))
+        deployed = apply_recommendation(rec, fresh)
+        assert deployed >= 1
+        assert fresh.ship(2).has_role(CachingRole.role_id)
+        assert fresh.ship(2).roles[CachingRole.role_id]["modal"]
+
+    def test_empty_run_yields_dynamic_note(self):
+        from repro.analysis import recommend_architecture
+        wn = WanderingNetwork(line_topology(3))
+        rec = recommend_architecture(wn.alive_ships(), wn.engine)
+        assert rec.modal_placements == []
+        assert any("fully dynamic" in n for n in rec.notes)
+
+
+class TestRenderResonance:
+    def test_renders_bars(self):
+        from repro.viz import render_resonance
+        wn = WanderingNetwork(ring_topology(3))
+        wn.deploy_role(CachingRole, at=0, activate=True)
+        wn.ship(0).record_fact("content-request", "k", weight=3.0)
+        wn.resonance.observe(wn.alive_ships())
+        text = render_resonance(wn.resonance)
+        assert "fn.caching" in text
+        assert "#" in text
+
+    def test_empty_field(self):
+        from repro.viz import render_resonance
+        wn = WanderingNetwork(ring_topology(2))
+        assert "no couplings" in render_resonance(wn.resonance)
+
+
+class TestApplyRecommendationCaps:
+    def test_max_per_role_cap(self):
+        from repro.analysis import (ArchitectureRecommendation, Placement,
+                                    apply_recommendation)
+        rec = ArchitectureRecommendation(
+            modal_placements=[
+                Placement("fn.caching", n, 10.0 - n, "test")
+                for n in range(4)],
+            retire=[], notes=[])
+        wn = WanderingNetwork(ring_topology(4))
+        deployed = apply_recommendation(rec, wn, max_per_role=2)
+        assert deployed == 2
+        holders = [n for n in wn.ships
+                   if wn.ship(n).has_role("fn.caching")]
+        assert holders == [0, 1]   # the two highest-scored placements
+
+    def test_unknown_targets_and_roles_skipped(self):
+        from repro.analysis import (ArchitectureRecommendation, Placement,
+                                    apply_recommendation)
+        rec = ArchitectureRecommendation(
+            modal_placements=[Placement("fn.ghost", 0, 1.0, "x"),
+                              Placement("fn.caching", 99, 1.0, "x")],
+            retire=[], notes=[])
+        wn = WanderingNetwork(ring_topology(3))
+        assert apply_recommendation(rec, wn) == 0

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out and "verify" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Viator" in out
+        assert "fn.fusion" in out
+        assert "fn.rooting" in out
+
+    def test_verify_reports_bug_free(self, capsys):
+        assert main(["verify", "--churn", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "wli-adaptive-routing" in out
+        assert "wli-jet-replication" in out
+        assert "bug-free" in out
+        assert "VIOLATION" not in out
+
+    def test_demo_runs_and_reports(self, capsys):
+        assert main(["demo", "--nodes", "6", "--until", "30",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "entropy" in out
+        assert "pulses=" in out
+
+    def test_demo_without_resonance(self, capsys):
+        assert main(["demo", "--nodes", "4", "--until", "20",
+                     "--no-resonance"]) == 0
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "physical network" in out
+        assert "overlay-video" in out
+        assert "N1" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCliDeterminism:
+    def test_demo_output_is_bit_for_bit_reproducible(self):
+        import subprocess
+        import sys
+
+        def run():
+            return subprocess.run(
+                [sys.executable, "-m", "repro", "demo", "--nodes", "6",
+                 "--until", "60", "--seed", "7"],
+                capture_output=True, text=True, timeout=120)
+
+        first, second = run(), run()
+        assert first.returncode == second.returncode == 0
+        assert first.stdout == second.stdout

@@ -1,0 +1,182 @@
+"""Unit tests for facts, knowledge bases, net functions and quanta (PMP)."""
+
+import math
+
+import pytest
+
+from repro.core.knowledge import (DEFAULT_DECAY_RATE, Fact, KnowledgeBase,
+                                  KnowledgeQuantum, NetFunction)
+
+
+class TestFact:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fact("c", 1, weight=0.0)
+        with pytest.raises(ValueError):
+            Fact("c", 1, threshold=-1.0)
+
+    def test_weight_decays_exponentially(self):
+        fact = Fact("c", "v", created_at=0.0, weight=1.0)
+        w0 = fact.weight(0.0)
+        w100 = fact.weight(100.0)
+        assert w0 == pytest.approx(1.0)
+        assert w100 == pytest.approx(math.exp(-DEFAULT_DECAY_RATE * 100))
+
+    def test_touch_boosts_weight(self):
+        fact = Fact("c", "v", created_at=0.0, weight=1.0)
+        fact.touch(10.0)
+        assert fact.weight(10.0) > 1.0
+        assert fact.accesses == 1
+
+    def test_alive_threshold(self):
+        fact = Fact("c", "v", created_at=0.0, weight=1.0, threshold=0.5)
+        assert fact.alive(0.0)
+        assert not fact.alive(1000.0)
+
+    def test_expiry_time_consistent_with_alive(self):
+        fact = Fact("c", "v", created_at=0.0, weight=2.0, threshold=0.5)
+        t = fact.expiry_time()
+        assert fact.alive(t - 1.0)
+        assert not fact.alive(t + 1.0)
+
+    def test_zero_threshold_never_expires(self):
+        fact = Fact("c", "v", threshold=0.0)
+        assert fact.expiry_time() == float("inf")
+        assert fact.alive(1e9)
+
+    def test_snapshot(self):
+        fact = Fact("link", ("a", "b"), created_at=0.0, source="n1")
+        snap = fact.snapshot(0.0)
+        assert snap["fact_class"] == "link"
+        assert snap["value"] == ("a", "b")
+        assert snap["source"] == "n1"
+
+
+class TestKnowledgeBase:
+    def test_record_and_find(self):
+        kb = KnowledgeBase()
+        fact = kb.record(Fact("c", "v", created_at=0.0), now=0.0)
+        assert kb.find("c", "v") is fact
+        assert len(kb) == 1
+
+    def test_duplicate_value_touches_existing(self):
+        kb = KnowledgeBase()
+        first = kb.record(Fact("c", "v", created_at=0.0), now=0.0)
+        second = kb.record(Fact("c", "v", created_at=5.0), now=5.0)
+        assert second is first
+        assert len(kb) == 1
+        assert first.accesses == 1
+
+    def test_capacity_displaces_weakest(self):
+        kb = KnowledgeBase(capacity=2)
+        weak = kb.record(Fact("c", "weak", created_at=0.0, weight=0.3),
+                         now=0.0)
+        strong = kb.record(Fact("c", "strong", created_at=0.0, weight=5.0),
+                           now=0.0)
+        kb.record(Fact("c", "new", created_at=0.0, weight=1.0), now=0.0)
+        assert kb.find("c", "weak") is None
+        assert kb.find("c", "strong") is strong
+        assert kb.evictions == 1
+
+    def test_sweep_evicts_below_threshold(self):
+        kb = KnowledgeBase()
+        kb.record(Fact("c", "old", created_at=0.0, weight=1.0,
+                       threshold=0.5), now=0.0)
+        kb.record(Fact("c", "fresh", created_at=100.0, weight=1.0,
+                       threshold=0.5), now=100.0)
+        dead = kb.sweep(now=100.0)
+        assert [f.value for f in dead] == ["old"]
+        assert len(kb) == 1
+
+    def test_class_weight_sums_members(self):
+        kb = KnowledgeBase()
+        kb.record(Fact("c", 1, created_at=0.0, weight=1.0), now=0.0)
+        kb.record(Fact("c", 2, created_at=0.0, weight=2.0), now=0.0)
+        kb.record(Fact("other", 3, created_at=0.0, weight=9.0), now=0.0)
+        assert kb.class_weight("c", 0.0) == pytest.approx(3.0)
+
+    def test_touch_class(self):
+        kb = KnowledgeBase()
+        kb.record(Fact("c", 1, created_at=0.0), now=0.0)
+        kb.record(Fact("c", 2, created_at=0.0), now=0.0)
+        touched = kb.touch_class("c", now=10.0)
+        assert touched == 2
+        assert all(f.accesses == 1 for f in kb.facts_of_class("c"))
+
+    def test_classes_listing(self):
+        kb = KnowledgeBase()
+        kb.record(Fact("a", 1), now=0.0)
+        kb.record(Fact("b", 1), now=0.0)
+        assert sorted(kb.classes()) == ["a", "b"]
+
+    def test_class_removed_when_empty(self):
+        kb = KnowledgeBase()
+        fact = kb.record(Fact("a", 1, created_at=0.0, threshold=0.5),
+                         now=0.0)
+        kb.sweep(now=1000.0)
+        assert kb.classes() == []
+
+
+class TestNetFunction:
+    def test_alive_while_supporting_class_alive(self):
+        kb = KnowledgeBase()
+        fn = NetFunction("fn.x", ["demand"], min_support_weight=0.5)
+        assert not fn.alive(kb, 0.0)
+        kb.record(Fact("demand", "k", created_at=0.0, weight=2.0), now=0.0)
+        assert fn.alive(kb, 0.0)
+        assert not fn.alive(kb, 1000.0)  # decayed away
+
+    def test_unconditioned_function_always_alive(self):
+        kb = KnowledgeBase()
+        fn = NetFunction("fn.std", [])
+        assert fn.alive(kb, 1e9)
+
+    def test_any_supporting_class_suffices(self):
+        kb = KnowledgeBase()
+        fn = NetFunction("fn.x", ["a", "b"], min_support_weight=0.5)
+        kb.record(Fact("b", 1, created_at=0.0, weight=1.0), now=0.0)
+        assert fn.alive(kb, 0.0)
+
+
+class TestKnowledgeQuantum:
+    def test_make_quantum_packages_strongest_facts(self):
+        kb = KnowledgeBase()
+        for i in range(20):
+            kb.record(Fact("demand", i, created_at=0.0,
+                           weight=float(i + 1)), now=0.0)
+        fn = NetFunction("fn.x", ["demand"])
+        kq = kb.make_quantum(fn, now=0.0, origin="s1", max_facts=5)
+        assert kq.function_id == "fn.x"
+        assert len(kq.fact_snapshots) == 5
+        values = [s["value"] for s in kq.fact_snapshots]
+        assert values == [19, 18, 17, 16, 15]
+
+    def test_quantum_size_scales_with_facts(self):
+        small = KnowledgeQuantum("f", [{"fact_class": "c", "value": 1}])
+        big = KnowledgeQuantum("f", [{"fact_class": "c", "value": i}
+                                     for i in range(10)])
+        assert big.size_bytes > small.size_bytes
+
+    def test_absorb_quantum_records_facts(self):
+        kb_src = KnowledgeBase()
+        for i in range(3):
+            kb_src.record(Fact("demand", i, created_at=0.0), now=0.0)
+        fn = NetFunction("fn.x", ["demand"])
+        kq = kb_src.make_quantum(fn, now=0.0)
+        kb_dst = KnowledgeBase()
+        absorbed = kb_dst.absorb_quantum(kq, now=5.0)
+        assert absorbed == 3
+        assert len(kb_dst) == 3
+        assert kb_dst.class_weight("demand", 5.0) > 0
+
+    def test_absorb_caps_imported_weight(self):
+        kq = KnowledgeQuantum("f", [{"fact_class": "c", "value": 1,
+                                     "weight": 1000.0}])
+        kb = KnowledgeBase()
+        kb.absorb_quantum(kq, now=0.0)
+        assert kb.find("c", 1).weight(0.0) <= 4.0
+
+    def test_aged_increments_generation(self):
+        kq = KnowledgeQuantum("f", [])
+        assert kq.aged().generation == 1
+        assert kq.aged().aged().generation == 2

@@ -1,0 +1,376 @@
+"""Tests for First Level Profiling roles (fusion, fission, caching,
+delegation, replication, next-step)."""
+
+import pytest
+
+from repro.core.ship import Ship
+from repro.functions import (CachingRole, DelegationRole, FissionRole,
+                             FusionRole, NextStepRole, ReplicationRole)
+from repro.routing import StaticRouter
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import Datagram, NetworkFabric, line_topology, star_topology
+from repro.substrates.sim import Simulator
+
+
+def network(topo_factory=line_topology, n=3, **kw):
+    sim = Simulator(seed=3)
+    topo = topo_factory(n) if topo_factory is not star_topology \
+        else star_topology(n)
+    fabric = NetworkFabric(sim, topo)
+    router = StaticRouter(topo)
+    authority = CredentialAuthority()
+    ships = {node: Ship(sim, fabric, node, router=router,
+                        authority=authority, **kw)
+             for node in topo.nodes}
+    return sim, topo, fabric, ships
+
+
+def media(src, dst, size=1000, stream="s1", now=0.0, **payload_extra):
+    payload = {"kind": "media", "stream": stream}
+    payload.update(payload_extra)
+    return Datagram(src, dst, size_bytes=size, created_at=now,
+                    flow_id=stream, payload=payload)
+
+
+class TestFusionRole:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FusionRole(window=1)
+        with pytest.raises(ValueError):
+            FusionRole(ratio=0.0)
+
+    def test_window_aggregation_reduces_bytes(self):
+        sim, topo, fabric, ships = network()
+        fusion = FusionRole(window=4, ratio=0.25)
+        ships[1].acquire_role(fusion)
+        ships[1].assign_role(FusionRole.role_id)
+        got = []
+        ships[2].on_deliver(lambda p, f: got.append(p))
+        for _ in range(4):
+            ships[0].send_toward(media(0, 2))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].size_bytes < 4 * 1000 * 0.3
+        assert got[0].payload["fused_from"] == 4
+
+    def test_separate_flows_fuse_separately(self):
+        sim, topo, fabric, ships = network()
+        fusion = FusionRole(window=2)
+        ships[1].acquire_role(fusion)
+        ships[1].assign_role(FusionRole.role_id)
+        got = []
+        ships[2].on_deliver(lambda p, f: got.append(p))
+        ships[0].send_toward(media(0, 2, stream="a"))
+        ships[0].send_toward(media(0, 2, stream="b"))
+        ships[0].send_toward(media(0, 2, stream="a"))
+        ships[0].send_toward(media(0, 2, stream="b"))
+        sim.run()
+        assert len(got) == 2
+        assert {p.flow_id for p in got} == {"a", "b"}
+
+    def test_non_media_passes_through(self):
+        sim, topo, fabric, ships = network()
+        ships[1].acquire_role(FusionRole())
+        ships[1].assign_role(FusionRole.role_id)
+        got = []
+        ships[2].on_deliver(lambda p, f: got.append(p))
+        ships[0].send_toward(Datagram(0, 2, payload={"kind": "other"}))
+        sim.run()
+        assert len(got) == 1
+
+    def test_flush_on_deactivate(self):
+        sim, topo, fabric, ships = network()
+        fusion = FusionRole(window=4)
+        ships[1].acquire_role(fusion)
+        ships[1].acquire_role(CachingRole())
+        ships[1].assign_role(FusionRole.role_id)
+        got = []
+        ships[2].on_deliver(lambda p, f: got.append(p))
+        for _ in range(2):
+            ships[0].send_toward(media(0, 2))
+        sim.run()
+        assert got == []          # buffered in the partial window
+        ships[1].assign_role(CachingRole.role_id)  # deactivates fusion
+        sim.run()
+        assert len(got) == 1      # flushed as one fused packet
+
+    def test_fact_recorded_per_flow(self):
+        sim, topo, fabric, ships = network()
+        ships[1].acquire_role(FusionRole(window=2))
+        ships[1].assign_role(FusionRole.role_id)
+        ships[0].send_toward(media(0, 2))
+        sim.run()
+        assert ships[1].knowledge.facts_of_class("flow")
+
+
+class TestFissionRole:
+    def test_subscribe_and_expand(self):
+        sim, topo, fabric, ships = network(star_topology, 4)
+        fission = FissionRole()
+        hub = ships[0]
+        hub.acquire_role(fission)
+        hub.assign_role(FissionRole.role_id)
+        got = {n: [] for n in (2, 3, 4)}
+        for n in (2, 3, 4):
+            ships[n].on_deliver(lambda p, f, n=n: got[n].append(p))
+        for member in (2, 3, 4):
+            hub.receive(Datagram(member, 0, payload={
+                "kind": "subscribe", "group": "g", "member": member}), member)
+        ships[1].send_toward(media(1, 0, group="g"))
+        sim.run()
+        assert all(len(v) == 1 for v in got.values())
+        assert fission.expansion_ratio == pytest.approx(3.0)
+
+    def test_unsubscribe(self):
+        sim, topo, fabric, ships = network(star_topology, 3)
+        fission = FissionRole()
+        ships[0].acquire_role(fission)
+        fission.subscribe("g", 2)
+        fission.unsubscribe("g", 2)
+        assert fission.members("g") == set()
+        assert "g" not in fission.groups
+
+    def test_local_subscriber_gets_local_delivery(self):
+        sim, topo, fabric, ships = network(n=2)
+        fission = FissionRole()
+        ships[1].acquire_role(fission)
+        ships[1].assign_role(FissionRole.role_id)
+        fission.subscribe("g", 1)
+        got = []
+        ships[1].on_deliver(lambda p, f: got.append(p))
+        ships[0].send_toward(media(0, 1, group="g"))
+        sim.run()
+        assert len(got) == 1
+
+    def test_unknown_group_passes_through(self):
+        sim, topo, fabric, ships = network()
+        ships[1].acquire_role(FissionRole())
+        ships[1].assign_role(FissionRole.role_id)
+        got = []
+        ships[2].on_deliver(lambda p, f: got.append(p))
+        ships[0].send_toward(media(0, 2, group="nobody"))
+        sim.run()
+        assert len(got) == 1
+
+
+class TestCachingRole:
+    def request(self, src, dst, key, now=0.0):
+        return Datagram(src, dst, size_bytes=96, created_at=now,
+                        flow_id=f"rq-{key}-{now}",
+                        payload={"kind": "content-request", "key": key,
+                                 "reply_to": src})
+
+    def content(self, src, dst, key, size=5000):
+        return Datagram(src, dst, size_bytes=size,
+                        payload={"kind": "content", "key": key})
+
+    def test_miss_forwards_hit_answers(self):
+        sim, topo, fabric, ships = network()
+        cache = CachingRole()
+        ships[1].acquire_role(cache)
+        ships[1].assign_role(CachingRole.role_id)
+        origin_got, client_got = [], []
+        ships[2].on_deliver(lambda p, f: origin_got.append(p))
+        ships[0].on_deliver(lambda p, f: client_got.append(p))
+        # First request misses and reaches the origin.
+        ships[0].send_toward(self.request(0, 2, "k"))
+        sim.run()
+        assert len(origin_got) == 1
+        # Content flows back through the cache and is stored.
+        ships[2].send_toward(self.content(2, 0, "k"))
+        sim.run()
+        assert len(client_got) == 1
+        assert "k" in cache
+        # Second request is served by the cache: origin sees nothing new.
+        ships[0].send_toward(self.request(0, 2, "k", now=sim.now))
+        sim.run()
+        assert len(origin_got) == 1
+        assert len(client_got) == 2
+        assert client_got[1].meta.get("cache_hit")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_by_bytes(self):
+        cache = CachingRole(capacity_bytes=10_000)
+        cache.cache_put("a", 6000)
+        cache.cache_put("b", 4000)
+        cache.cache_lookup("a")          # touch a; b becomes LRU
+        cache.cache_put("c", 4000)       # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachingRole(capacity_bytes=0)
+
+    def test_records_demand_facts(self):
+        sim, topo, fabric, ships = network()
+        ships[1].acquire_role(CachingRole())
+        ships[1].assign_role(CachingRole.role_id)
+        ships[0].send_toward(self.request(0, 2, "popular"))
+        sim.run()
+        assert ships[1].knowledge.find("content-request", "popular")
+
+
+class TestDelegationRole:
+    def task(self, src, dst, name="t1", ops=10_000, now=0.0):
+        return Datagram(src, dst, size_bytes=256, created_at=now,
+                        flow_id=name,
+                        payload={"kind": "task", "task": name, "ops": ops,
+                                 "origin": src, "reply_to": src})
+
+    def test_executes_task_and_replies(self):
+        sim, topo, fabric, ships = network()
+        delegate = DelegationRole()
+        ships[2].acquire_role(delegate)
+        ships[2].assign_role(DelegationRole.role_id)
+        got = []
+        ships[0].on_deliver(lambda p, f: got.append(p))
+        ships[0].send_toward(self.task(0, 2))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].payload["kind"] == "task-result"
+        assert got[0].payload["executed_by"] == 2
+        assert delegate.tasks_executed == 1
+
+    def test_in_transit_task_intercepted_by_delegate(self):
+        # The migrating-delegate semantics: an active delegation point
+        # on the path executes the task instead of forwarding it.
+        sim, topo, fabric, ships = network()
+        delegate = DelegationRole()
+        ships[1].acquire_role(delegate)
+        ships[1].assign_role(DelegationRole.role_id)
+        at_2, replies = [], []
+        ships[2].on_deliver(lambda p, f: at_2.append(p))
+        ships[0].on_deliver(lambda p, f: replies.append(p))
+        ships[0].send_toward(self.task(0, 2))
+        sim.run()
+        assert at_2 == []                 # absorbed at the delegate
+        assert delegate.tasks_executed == 1
+        assert replies[0].payload["executed_by"] == 1
+
+    def test_dominant_origin(self):
+        delegate = DelegationRole()
+        delegate.origins = {"a": 3, "b": 7}
+        assert delegate.dominant_origin() == "b"
+        assert DelegationRole().dominant_origin() is None
+
+
+class TestReplicationRole:
+    def test_forward_and_copy(self):
+        sim, topo, fabric, ships = network(star_topology, 3)
+        ships[0].acquire_role(ReplicationRole())
+        ships[0].assign_role(ReplicationRole.role_id)
+        got = {n: [] for n in (2, 3)}
+        for n in (2, 3):
+            ships[n].on_deliver(lambda p, f, n=n: got[n].append(p))
+        packet = Datagram(1, 2, payload={"kind": "media"})
+        packet.meta["replicate_to"] = [3]
+        ships[1].send_toward(packet)
+        sim.run()
+        assert len(got[2]) == 1   # original continues
+        assert len(got[3]) == 1   # replica delivered
+        assert got[3][0].meta.get("replica")
+
+    def test_max_copies_cap(self):
+        role = ReplicationRole(max_copies=1)
+        assert role.max_copies == 1
+        with pytest.raises(ValueError):
+            ReplicationRole(max_copies=0)
+
+    def test_no_targets_passes_through(self):
+        sim, topo, fabric, ships = network()
+        ships[1].acquire_role(ReplicationRole())
+        ships[1].assign_role(ReplicationRole.role_id)
+        got = []
+        ships[2].on_deliver(lambda p, f: got.append(p))
+        ships[0].send_toward(Datagram(0, 2, payload={"kind": "media"}))
+        sim.run()
+        assert len(got) == 1
+
+
+class TestNextStepRole:
+    def test_programmable_switch(self):
+        role = NextStepRole()
+        role.set_next("fn.fusion", now=1.0)
+        assert role.peek_next() == "fn.fusion"
+        assert role.take_next() == "fn.fusion"
+        assert role.take_next() is None
+        assert role.history == [(1.0, "fn.fusion")]
+
+    def test_state_request_served(self):
+        sim, topo, fabric, ships = network(n=2)
+        got = []
+        ships[0].on_deliver(lambda p, f: got.append(p))
+        ships[0].send_toward(Datagram(
+            0, 1, payload={"kind": "state-request", "reply_to": 0}))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].payload["kind"] == "state-reply"
+        assert got[0].payload["state"]["ship"] == 1
+
+    def test_remote_next_step_programming(self):
+        sim, topo, fabric, ships = network(n=2)
+        ships[0].send_toward(Datagram(
+            0, 1, payload={"kind": "next-step", "role": "fn.caching"}))
+        sim.run()
+        assert ships[1].next_step.peek_next() == "fn.caching"
+
+
+class TestCachingFreshness:
+    def test_ttl_expires_entries(self):
+        sim, topo, fabric, ships = network()
+        cache = CachingRole(ttl=10.0)
+        ships[1].acquire_role(cache)
+        ships[1].assign_role(CachingRole.role_id)
+        cache.cache_put("k", 5000, now=0.0)
+        assert cache.cache_lookup("k", now=5.0) == 5000
+        assert cache.cache_lookup("k", now=20.0) is None
+        assert cache.expired == 1
+        assert "k" not in cache
+
+    def test_ttl_validation(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            CachingRole(ttl=0.0)
+
+    def test_no_ttl_entries_never_expire(self):
+        cache = CachingRole()
+        cache.cache_put("k", 100, now=0.0)
+        assert cache.cache_lookup("k", now=1e9) == 100
+
+    def test_invalidate_evicts_along_path(self):
+        sim, topo, fabric, ships = network()
+        cache = CachingRole()
+        ships[1].acquire_role(cache)
+        ships[1].assign_role(CachingRole.role_id)
+        cache.cache_put("k", 5000, now=0.0)
+        # The origin (node 2) broadcasts an invalidation toward node 0.
+        ships[2].send_toward(Datagram(
+            2, 0, size_bytes=64,
+            payload={"kind": "content-invalidate", "key": "k"}))
+        sim.run()
+        assert "k" not in cache
+        assert cache.invalidations == 1
+
+    def test_stale_entry_misses_and_refetches(self):
+        sim, topo, fabric, ships = network()
+        cache = CachingRole(ttl=5.0)
+        ships[1].acquire_role(cache)
+        ships[1].assign_role(CachingRole.role_id)
+        origin_got = []
+        ships[2].on_deliver(lambda p, f: origin_got.append(p))
+        cache.cache_put("k", 5000, now=0.0)
+        # Within TTL: served locally, origin sees nothing.
+        ships[0].send_toward(Datagram(
+            0, 2, size_bytes=96, created_at=sim.now,
+            payload={"kind": "content-request", "key": "k",
+                     "reply_to": 0}))
+        sim.run()
+        assert origin_got == []
+        # Past TTL: the stale copy misses; the request reaches upstream.
+        sim.call_in(10.0, lambda: ships[0].send_toward(Datagram(
+            0, 2, size_bytes=96, created_at=sim.now,
+            payload={"kind": "content-request", "key": "k",
+                     "reply_to": 0})))
+        sim.run()
+        assert len(origin_got) == 1

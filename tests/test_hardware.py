@@ -1,0 +1,139 @@
+"""Unit tests for the reconfigurable hardware substrate."""
+
+import pytest
+
+from repro.substrates.hardware import (Backplane, Bitstream, GateFabric,
+                                       HardwareError, HardwareModule)
+from repro.substrates.nodeos import NodeOS
+from repro.substrates.sim import Simulator
+
+
+class TestBitstream:
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            Bitstream("f", cells=0)
+        with pytest.raises(HardwareError):
+            Bitstream("f", speedup=0.5)
+
+    def test_size_scales_with_cells(self):
+        small = Bitstream("f", cells=100)
+        big = Bitstream("f", cells=1000)
+        assert big.size_bytes > small.size_bytes
+
+
+class TestGateFabric:
+    def test_allocate_within_capacity(self):
+        fab = GateFabric(total_cells=1000)
+        r = fab.allocate_region(600)
+        assert fab.free_cells == 400
+        with pytest.raises(HardwareError):
+            fab.allocate_region(500)
+        fab.free_region(r)
+        assert fab.free_cells == 1000
+
+    def test_load_returns_reconfig_delay(self):
+        fab = GateFabric(total_cells=4096, reconfig_cells_per_second=1000.0)
+        region = fab.allocate_region(512)
+        delay = fab.load(region, Bitstream("fusion", cells=512))
+        assert delay == pytest.approx(0.512)
+        assert region.configured
+
+    def test_load_too_big_for_region(self):
+        fab = GateFabric()
+        region = fab.allocate_region(100)
+        with pytest.raises(HardwareError):
+            fab.load(region, Bitstream("f", cells=200))
+
+    def test_find_function_and_speedup(self):
+        fab = GateFabric()
+        region = fab.allocate_region(512)
+        fab.load(region, Bitstream("caching", cells=256, speedup=12.0))
+        assert fab.find_function("caching") is region
+        assert fab.hardware_speedup("caching") == 12.0
+        assert fab.hardware_speedup("other") == 1.0
+
+    def test_reload_replaces_function(self):
+        fab = GateFabric()
+        region = fab.allocate_region(512)
+        fab.load(region, Bitstream("a", cells=256))
+        fab.load(region, Bitstream("b", cells=256))
+        assert fab.find_function("a") is None
+        assert fab.find_function("b") is region
+        assert region.loads == 2
+
+    def test_unload(self):
+        fab = GateFabric()
+        region = fab.allocate_region(512)
+        fab.load(region, Bitstream("x", cells=100))
+        bs = fab.unload(region)
+        assert bs.function_id == "x"
+        assert not region.configured
+
+    def test_hw_reconfig_much_slower_than_ee_bind(self):
+        """The Figure 2 tier asymmetry: hardware ≫ software reconfig."""
+        sim = Simulator()
+        nos = NodeOS(sim, "n")
+        from repro.substrates.nodeos import COST_BIND_EE
+        sw_delay = COST_BIND_EE / nos.cpu.ops_per_second
+        fab = GateFabric()
+        region = fab.allocate_region(512)
+        hw_delay = fab.load(region, Bitstream("f", cells=512))
+        assert hw_delay > 100 * sw_delay
+
+
+class TestBackplane:
+    def make(self):
+        sim = Simulator()
+        nos = NodeOS(sim, "ship1")
+        cred = nos.authority.issue("netbot")
+        nos.security.grant("netbot", "reconfigure")
+        return sim, nos, cred
+
+    def test_dock_requires_driver(self):
+        sim, nos, cred = self.make()
+        plane = Backplane(slots=1)
+        mod = HardwareModule("boosting")
+        with pytest.raises(HardwareError):
+            plane.dock(mod, nos)
+        assert plane.rejections == 1
+        nos.install_driver(mod.driver, cred=cred)
+        slot = plane.dock(mod, nos)
+        assert slot.occupied
+        assert plane.docks == 1
+
+    def test_no_free_slot(self):
+        sim, nos, cred = self.make()
+        plane = Backplane(slots=1)
+        m1, m2 = HardwareModule("a"), HardwareModule("b")
+        nos.install_driver(m1.driver, cred=cred)
+        nos.install_driver(m2.driver, cred=cred)
+        plane.dock(m1, nos)
+        with pytest.raises(HardwareError):
+            plane.dock(m2, nos)
+
+    def test_eject_frees_slot(self):
+        sim, nos, cred = self.make()
+        plane = Backplane(slots=1)
+        mod = HardwareModule("a")
+        nos.install_driver(mod.driver, cred=cred)
+        slot = plane.dock(mod, nos)
+        ejected = plane.eject(slot)
+        assert ejected is mod
+        assert plane.free_slot() is slot
+
+    def test_speedup_lookup(self):
+        sim, nos, cred = self.make()
+        plane = Backplane(slots=2)
+        mod = HardwareModule("transcoding", speedup=20.0)
+        nos.install_driver(mod.driver, cred=cred)
+        plane.dock(mod, nos)
+        assert plane.hardware_speedup("transcoding") == 20.0
+        assert plane.hardware_speedup("fusion") == 1.0
+
+    def test_describe(self):
+        sim, nos, cred = self.make()
+        plane = Backplane(slots=2)
+        mod = HardwareModule("fusion")
+        nos.install_driver(mod.driver, cred=cred)
+        plane.dock(mod, nos)
+        assert plane.describe() == {"slots": 2, "modules": ["fusion"]}

@@ -1,0 +1,229 @@
+"""Integration tests: the whole autopoietic loop, end to end."""
+
+import pytest
+
+from repro.core import (Generation, WanderingNetwork,
+                        WanderingNetworkConfig)
+from repro.functions import (CachingRole, DelegationRole, FissionRole,
+                             FusionRole)
+from repro.routing import QosDemand
+from repro.selfheal import GenomeArchive, HeartbeatDetector, SelfHealer
+from repro.substrates.phys import (FailureInjector, figure3_topology,
+                                   line_topology, ring_topology)
+from repro.workloads import ContentWorkload, MediaStreamSource, NomadicUser
+
+
+class TestAutopoieticLoop:
+    def test_caching_emerges_from_demand_via_resonance(self):
+        """PMP.4 end to end: deploy caching at one node; demand at other
+        nodes plus resonance makes the function emerge there on its own."""
+        wn = WanderingNetwork(
+            line_topology(5, latency=0.02),
+            WanderingNetworkConfig(seed=13, pulse_interval=5.0,
+                                   resonance_threshold=2.0,
+                                   min_attraction=0.5))
+        wn.deploy_role(CachingRole, at=2, activate=True)
+        workload = ContentWorkload(wn.sim, wn.ships, clients=[0],
+                                   origin=4, n_items=5, zipf_s=2.0,
+                                   request_interval=0.5)
+        workload.start()
+        wn.run(until=120.0)
+        holders = wn.role_census().get(CachingRole.role_id, [])
+        assert len(holders) >= 2          # the function spread
+        assert (wn.resonance.emergences > 0
+                or wn.engine.events_of_kind("replicate"))
+
+    def test_delegation_follows_nomadic_user(self):
+        """Section D's nomadic example: the delegate wanders toward the
+        user and task latency at steady state beats the start."""
+        wn = WanderingNetwork(
+            line_topology(6, latency=0.05),
+            WanderingNetworkConfig(seed=14, pulse_interval=10.0,
+                                   min_attraction=0.3,
+                                   settle_threshold=10.0,  # always move
+                                   resonance_enabled=False))
+        wn.deploy_role(DelegationRole, at=5, activate=True)
+        user = NomadicUser(wn.sim, wn.ships, route=[0], delegate=5,
+                           dwell_time=1000.0, task_interval=1.0)
+        user.start()
+        wn.run(until=200.0)
+        census = wn.role_census()[DelegationRole.role_id]
+        # The delegation role hopped off node 5 toward node 0.
+        assert min(census) < 5
+        assert user.completion_ratio() > 0.5
+
+    def test_network_stays_under_construction(self):
+        """Figure 1's claim: role changes keep happening at steady state."""
+        wn = WanderingNetwork(
+            ring_topology(8),
+            WanderingNetworkConfig(seed=15, pulse_interval=5.0,
+                                   resonance_threshold=1.5,
+                                   min_attraction=0.4))
+        for node, role in [(0, CachingRole), (4, FusionRole)]:
+            wn.deploy_role(role, at=node, activate=True)
+        workload = ContentWorkload(wn.sim, wn.ships, clients=[2, 6],
+                                   origin=0, request_interval=1.0)
+        media = MediaStreamSource(wn.sim, wn.ships, 1, 5, rate_pps=3.0)
+        workload.start()
+        media.start()
+        wn.run(until=300.0)
+        assert len(wn.engine.events) > 0
+        assert wn.role_entropy() > 0.0
+
+    def test_deterministic_replay(self):
+        def run():
+            wn = WanderingNetwork(
+                ring_topology(6),
+                WanderingNetworkConfig(seed=42, pulse_interval=5.0))
+            wn.deploy_role(CachingRole, at=0, activate=True)
+            workload = ContentWorkload(wn.sim, wn.ships, clients=[3],
+                                       origin=0, request_interval=0.5)
+            workload.start()
+            wn.run(until=100.0)
+            return (wn.sim.events_executed, len(wn.engine.events),
+                    sorted(wn.role_census()),
+                    workload.requests_sent, len(workload.responses))
+
+        assert run() == run()
+
+
+class TestSelfHealingIntegration:
+    def test_functionality_restored_after_crash(self):
+        wn = WanderingNetwork(
+            ring_topology(6),
+            WanderingNetworkConfig(seed=16, resonance_enabled=False,
+                                   horizontal_wandering=False))
+        wn.deploy_role(CachingRole, at=2, activate=True)
+        wn.deploy_role(FusionRole, at=2)
+        archive = GenomeArchive(wn.sim, wn.ships, interval=10.0)
+        detector = HeartbeatDetector(wn.sim, wn.ships, interval=3.0,
+                                     suspicion_threshold=3)
+        healer = SelfHealer(wn.sim, wn.ships, archive, detector,
+                            wn.catalog)
+        archive.start()
+        detector.start()
+        wn.sim.call_in(30.0, wn.ship(2).die)
+        wn.run(until=120.0)
+        assert len(healer.events) == 1
+        assert healer.restoration_ratio(2) == 1.0
+        census = wn.role_census()
+        assert census[CachingRole.role_id]
+        assert 2 not in census[CachingRole.role_id]
+
+    def test_healing_under_random_link_failures(self):
+        wn = WanderingNetwork(
+            ring_topology(8),
+            WanderingNetworkConfig(seed=17, resonance_enabled=False))
+        injector = FailureInjector(wn.sim, wn.topology,
+                                   link_mtbf=60.0, link_mttr=20.0)
+        injector.start()
+        wn.deploy_role(CachingRole, at=1, activate=True)
+        wn.run(until=300.0)
+        # The ring tolerates single-link failures: the network keeps
+        # operating and the role census stays sane.
+        assert wn.role_census()[CachingRole.role_id]
+        assert injector.link_failures > 0
+
+
+class TestFigureScenarios:
+    def test_figure3_topology_specialization(self):
+        """The 6-node figure scenario: functions specialize across the
+        N1..N6 network, creating virtual outstanding networks."""
+        wn = WanderingNetwork(
+            figure3_topology(),
+            WanderingNetworkConfig(seed=18, pulse_interval=5.0,
+                                   resonance_threshold=2.0))
+        wn.deploy_role(FusionRole, at="N2", activate=True)
+        wn.deploy_role(CachingRole, at="N4", activate=True)
+        media = MediaStreamSource(wn.sim, wn.ships, "N1", "N5",
+                                  rate_pps=4.0)
+        workload = ContentWorkload(wn.sim, wn.ships, clients=["N6"],
+                                   origin="N4", request_interval=1.0)
+        media.start()
+        workload.start()
+        wn.run(until=150.0)
+        nets = wn.virtual_networks()
+        assert len(nets) >= 2
+        assert wn.role_entropy() > 0.5
+
+    def test_figure4_overlays_on_figure_topology(self):
+        wn = WanderingNetwork(figure3_topology(),
+                              WanderingNetworkConfig(seed=19))
+        # Make L4 a slow chord the QoS overlay must exclude.
+        link = wn.topology.link("N2", "N4")
+        link.latency = 1.0
+        wn.topology.version += 1
+        fast = wn.overlays.spawn(QosDemand(max_link_latency=0.1),
+                                 overlay_id="qos-video")
+        any_ov = wn.overlays.spawn(QosDemand(), overlay_id="best-effort")
+        assert not fast.virtual.has_link("N2", "N4")
+        assert any_ov.virtual.has_link("N2", "N4")
+        assert fast.connected()
+        snapshot = wn.overlays.snapshot()
+        assert set(snapshot) == {"qos-video", "best-effort"}
+
+
+class TestGenerationLadder:
+    def run_generation(self, generation):
+        wn = WanderingNetwork(
+            line_topology(4),
+            WanderingNetworkConfig(seed=20, generation=generation,
+                                   resonance_enabled=False))
+        donor = wn.ship(0)
+        donor.acquire_role(CachingRole())
+        shuttle = donor.make_genome_shuttle(2, credential=wn.credential)
+        donor.send_toward(shuttle)
+        wn.run(until=30.0)
+        return wn.ship(2).has_role(CachingRole.role_id)
+
+    def test_g4_transcribes_genomes_g2_does_not(self):
+        assert self.run_generation(Generation.G4)
+        assert not self.run_generation(Generation.G2)
+
+
+class TestWanderingNetworkOverManet:
+    """The full stack on mobile ships: WN orchestration + radio churn +
+    adaptive routing — the paper's 'active ad-hoc networks' setting."""
+
+    def test_functions_wander_while_ships_move(self):
+        from repro.substrates.phys import (RadioPlane, RandomWaypoint,
+                                           Topology)
+        from repro.workloads import ContentWorkload
+
+        topo = Topology()
+        config = WanderingNetworkConfig(seed=23, router="adaptive",
+                                        hello_interval=2.0,
+                                        pulse_interval=5.0,
+                                        resonance_threshold=2.0,
+                                        min_attraction=0.4)
+        # Build the WN over an initially empty topology, then place the
+        # ships on a radio plane.
+        n = 10
+        for node in range(n):
+            topo.add_node(node)
+        wn = WanderingNetwork(topo, config)
+        mobility = RandomWaypoint(wn.sim, area=(500, 500),
+                                  speed_min=1.0, speed_max=5.0,
+                                  pause=3.0, tick=1.0)
+        placements = {0: (50.0, 250.0), n - 1: (450.0, 250.0)}
+        for node in range(n):
+            mobility.add_node(node, placements.get(node))
+        plane = RadioPlane(wn.sim, topo, mobility, radio_range=200.0)
+        plane.recompute()
+        mobility.start()
+
+        wn.deploy_role(CachingRole, at=0, activate=True)
+        web = ContentWorkload(wn.sim, wn.ships, clients=[n - 1],
+                              origin=0, n_items=5, zipf_s=2.0,
+                              request_interval=0.5)
+        wn.sim.call_in(10.0, web.start)
+        wn.run(until=400.0)
+
+        # The network operated through churn...
+        assert plane.link_up_events + plane.link_down_events > 20
+        assert web.response_ratio() > 0.5
+        # ...and the autopoietic machinery kept working on the move.
+        assert (wn.resonance.emergences > 0
+                or len(wn.engine.events) > 0)
+        holders = wn.role_census().get(CachingRole.role_id, [])
+        assert holders

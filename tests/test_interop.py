@@ -1,0 +1,129 @@
+"""Interoperability: ships, legacy routers and ANTS nodes in ONE network.
+
+MFP (Section C.3): "active routers could also interoperate with legacy
+routers which transparently forward datagrams in the traditional
+manner.  Addressing subsets of legacy routers for interactions defines
+another dimension, the per-interoperability-task one."
+
+These tests build *mixed* networks on one fabric: Viator ships at the
+edges, passive legacy routers (or 1G ANTS nodes) in the middle.
+"""
+
+import pytest
+
+from repro.core import Directive, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE, Ship, Shuttle
+from repro.functions import CachingRole, TranscodingRole
+from repro.routing import StaticRouter
+from repro.substrates.ants import AntsNode, ProtocolRegistry
+from repro.substrates.legacy import LegacyRouter
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import Datagram, NetworkFabric, line_topology
+from repro.substrates.sim import Simulator
+
+
+def mixed_network(kinds):
+    """Build hosts per `kinds` list: 's'=ship, 'l'=legacy, 'a'=ants."""
+    sim = Simulator(seed=81)
+    topo = line_topology(len(kinds), latency=0.01)
+    fabric = NetworkFabric(sim, topo)
+    router = StaticRouter(topo)
+    authority = CredentialAuthority()
+    registry = ProtocolRegistry()
+    hosts = {}
+    for node, kind in enumerate(kinds):
+        if kind == "s":
+            hosts[node] = Ship(sim, fabric, node, router=router,
+                               authority=authority)
+            hosts[node].nodeos.security.grant("op", "*")
+        elif kind == "l":
+            hosts[node] = LegacyRouter(sim, fabric, node)
+        else:
+            hosts[node] = AntsNode(sim, fabric, node, registry)
+    cred = authority.issue("op")
+    return sim, topo, fabric, hosts, cred
+
+
+class TestShipLegacyInterop:
+    def test_data_crosses_legacy_core(self):
+        sim, topo, fabric, hosts, cred = mixed_network("slls")
+        got = []
+        hosts[3].on_deliver(lambda p, f: got.append(p))
+        hosts[0].send_toward(Datagram(0, 3, size_bytes=200,
+                                      created_at=sim.now,
+                                      payload={"kind": "media"}))
+        sim.run()
+        assert len(got) == 1
+        assert hosts[1].forwarded == 1   # the legacy core carried it
+        assert hosts[2].forwarded == 1
+
+    def test_shuttle_transits_legacy_hops_opaquely(self):
+        sim, topo, fabric, hosts, cred = mixed_network("slls")
+        shuttle = Shuttle(0, 3, directives=[
+            Directive(OP_ACQUIRE_ROLE, role_id=CachingRole.role_id,
+                      module=CachingRole.code_module()),
+            Directive(OP_ACTIVATE_ROLE, role_id=CachingRole.role_id)],
+            credential=cred)
+        hosts[0].send_toward(shuttle)
+        sim.run()
+        # The destination ship was reconfigured; the legacy routers in
+        # between forwarded the shuttle without touching it.
+        assert hosts[3].has_role(CachingRole.role_id)
+        assert hosts[3].active_role_id == CachingRole.role_id
+        assert hosts[1].forwarded >= 1
+
+    def test_active_function_at_the_edge_of_legacy_core(self):
+        # Transcoder at the far ship shrinks media that crossed the
+        # passive core untouched.
+        sim, topo, fabric, hosts, cred = mixed_network("slls")
+        # Ship 3 isn't the media dst; make a 5-node mixed net instead.
+        sim, topo, fabric, hosts, cred = mixed_network("sllss")
+        hosts[3].acquire_role(TranscodingRole(
+            target_encoding="mpeg4-low"))
+        hosts[3].assign_role(TranscodingRole.role_id)
+        got = []
+        hosts[4].on_deliver(lambda p, f: got.append(p))
+        hosts[0].send_toward(Datagram(
+            0, 4, size_bytes=1020, created_at=sim.now,
+            payload={"kind": "media", "stream": "s", "encoding": "raw"}))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].payload["encoding"] == "mpeg4-low"
+        assert got[0].size_bytes < 1020
+
+    def test_legacy_node_cannot_be_reconfigured(self):
+        sim, topo, fabric, hosts, cred = mixed_network("sls")
+        shuttle = Shuttle(0, 1, directives=[
+            Directive(OP_ACQUIRE_ROLE, role_id=CachingRole.role_id,
+                      module=CachingRole.code_module())],
+            credential=cred)
+        hosts[0].send_toward(shuttle)
+        sim.run()
+        # The legacy router has no shuttle interpreter; the shuttle is
+        # simply delivered as bytes (and goes nowhere).
+        assert not hasattr(hosts[1], "roles")
+        assert hosts[1].delivered == 1
+
+
+class TestShipAntsInterop:
+    def test_datagrams_cross_ants_core(self):
+        sim, topo, fabric, hosts, cred = mixed_network("saas")
+        got = []
+        hosts[3].on_deliver(lambda p, f: got.append(p))
+        hosts[0].send_toward(Datagram(0, 3, created_at=sim.now,
+                                      payload={"kind": "media"}))
+        sim.run()
+        assert len(got) == 1
+
+    def test_shuttles_cross_ants_core_unexecuted(self):
+        sim, topo, fabric, hosts, cred = mixed_network("saas")
+        shuttle = Shuttle(0, 3, directives=[
+            Directive(OP_ACQUIRE_ROLE, role_id=CachingRole.role_id,
+                      module=CachingRole.code_module())],
+            credential=cred)
+        hosts[0].send_toward(shuttle)
+        sim.run()
+        assert hosts[3].has_role(CachingRole.role_id)
+        # The 1G nodes never executed the shuttle (it is not a capsule
+        # of their protocol registry).
+        assert hosts[1].capsules_processed == 0
+        assert hosts[2].capsules_processed == 0

@@ -1,0 +1,191 @@
+"""Unit + integration tests for the legacy-IP and ANTS substrates."""
+
+import pytest
+
+from repro.substrates.ants import (AntsNode, Capsule, ProtocolRegistry,
+                                   build_ants_network, forwarding_handler)
+from repro.substrates.legacy import LegacyRouter, build_legacy_network
+from repro.substrates.phys import Datagram, NetworkFabric, line_topology, ring_topology
+from repro.substrates.sim import Simulator
+
+
+def legacy_net(n=4, **kw):
+    sim = Simulator(seed=1)
+    topo = line_topology(n)
+    fabric = NetworkFabric(sim, topo)
+    routers = build_legacy_network(sim, fabric, **kw)
+    return sim, topo, fabric, routers
+
+
+class TestLegacyRouter:
+    def test_end_to_end_delivery(self):
+        sim, topo, fabric, routers = legacy_net(4)
+        got = []
+        routers[3].on_deliver(lambda p, f: got.append(p))
+        routers[0].originate(Datagram(0, 3, size_bytes=100))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].hops == 3
+
+    def test_routing_table_shortest_path(self):
+        sim = Simulator(seed=1)
+        topo = ring_topology(6)
+        fabric = NetworkFabric(sim, topo)
+        routers = build_legacy_network(sim, fabric)
+        assert routers[0].next_hop(1) == 1
+        assert routers[0].next_hop(2) == 1
+        assert routers[0].next_hop(5) == 5
+        assert routers[0].next_hop(4) == 5
+
+    def test_reroute_after_failure(self):
+        sim = Simulator(seed=1)
+        topo = ring_topology(4)
+        fabric = NetworkFabric(sim, topo)
+        routers = build_legacy_network(sim, fabric)
+        assert routers[0].next_hop(1) == 1
+        topo.set_link_state(0, 1, False)
+        assert routers[0].next_hop(1) == 3   # around the ring
+
+    def test_no_route_drop(self):
+        sim, topo, fabric, routers = legacy_net(3)
+        topo.set_link_state(1, 2, False)
+        assert not routers[0].originate(Datagram(0, 2))
+        # Partition observed at node 0 — it has no route at all.
+        sim.run()
+        assert routers[0].dropped_no_route == 1
+
+    def test_convergence_delay_blackholes(self):
+        sim = Simulator(seed=1)
+        topo = ring_topology(4)
+        fabric = NetworkFabric(sim, topo)
+        routers = build_legacy_network(sim, fabric, convergence_delay=5.0)
+        got = []
+        routers[1].on_deliver(lambda p, f: got.append(p))
+        # Prime tables, then fail the direct link.
+        routers[0].originate(Datagram(0, 1, size_bytes=100))
+        sim.run()
+        assert len(got) == 1
+        topo.set_link_state(0, 1, False)
+        # During convergence the stale table still points at the dead link.
+        routers[0].originate(Datagram(0, 1, size_bytes=100))
+        sim.run()
+        assert len(got) == 1  # dropped
+        # After convergence the ring path works.
+        sim.call_in(6.0, lambda: routers[0].originate(
+            Datagram(0, 1, size_bytes=100)))
+        sim.run()
+        assert len(got) == 2
+
+    def test_broadcast_delivery(self):
+        sim, topo, fabric, routers = legacy_net(3)
+        got = []
+        routers[1].on_deliver(lambda p, f: got.append(p))
+        fabric.broadcast(0, Datagram(0, Datagram.BROADCAST))
+        sim.run()
+        assert len(got) == 1
+
+
+def ants_net(n=4, topo_factory=line_topology, cache_bytes=1 << 20):
+    sim = Simulator(seed=1)
+    topo = topo_factory(n)
+    fabric = NetworkFabric(sim, topo)
+    registry = ProtocolRegistry()
+    registry.register("proto.forward", forwarding_handler, size_bytes=4096)
+    nodes = build_ants_network(sim, fabric, registry,
+                               cache_bytes=cache_bytes)
+    return sim, topo, fabric, registry, nodes
+
+
+class TestAntsNode:
+    def test_capsule_end_to_end(self):
+        sim, topo, fabric, registry, nodes = ants_net(4)
+        got = []
+        nodes[3].on_deliver(lambda c, f: got.append(c))
+        nodes[0].originate(Capsule(0, 3, "proto.forward"))
+        sim.run()
+        assert len(got) == 1
+
+    def test_demand_pull_loads_code_downstream(self):
+        sim, topo, fabric, registry, nodes = ants_net(4)
+        nodes[0].originate(Capsule(0, 3, "proto.forward"))
+        sim.run()
+        # Every intermediate node had a miss then demand-loaded.
+        assert "proto.forward" in nodes[1].nodeos.cache
+        assert "proto.forward" in nodes[2].nodeos.cache
+        assert nodes[1].code_fetches == 1
+        assert nodes[2].code_fetches == 1
+
+    def test_second_capsule_hits_cache(self):
+        sim, topo, fabric, registry, nodes = ants_net(4)
+        got = []
+        nodes[3].on_deliver(lambda c, f: got.append((c, sim.now)))
+        nodes[0].originate(Capsule(0, 3, "proto.forward"))
+        sim.run()
+        t_first = got[0][1]
+        nodes[0].originate(Capsule(0, 3, "proto.forward"))
+        sim.run()
+        t_second = got[1][1] - t_first
+        # Warm path is faster: no code-fetch round trips.
+        assert t_second < t_first
+        assert nodes[1].code_fetches == 1  # unchanged
+
+    def test_pending_capsules_flushed_after_code_arrives(self):
+        sim, topo, fabric, registry, nodes = ants_net(3)
+        got = []
+        nodes[2].on_deliver(lambda c, f: got.append(c))
+        for _ in range(5):
+            nodes[0].originate(Capsule(0, 2, "proto.forward"))
+        sim.run()
+        assert len(got) == 5
+        # Only one code fetch per node despite 5 capsules.
+        assert nodes[1].code_fetches == 1
+
+    def test_unknown_protocol_raises_at_origin(self):
+        sim, topo, fabric, registry, nodes = ants_net(2)
+        with pytest.raises(ValueError):
+            nodes[0].originate(Capsule(0, 1, "proto.ghost"))
+
+    def test_custom_handler_runs_on_path(self):
+        sim, topo, fabric, registry, nodes = ants_net(3)
+        visits = []
+
+        def tracing_handler(node, capsule):
+            visits.append(node.node_id)
+            node.forward_capsule(capsule)
+
+        registry.register("proto.trace", tracing_handler)
+        nodes[0].originate(Capsule(0, 2, "proto.trace"))
+        sim.run()
+        assert visits == [0, 1]
+
+    def test_handler_can_use_soft_state(self):
+        sim, topo, fabric, registry, nodes = ants_net(3)
+
+        def counting_handler(node, capsule):
+            node.soft_state["count"] = node.soft_state.get("count", 0) + 1
+            node.forward_capsule(capsule)
+
+        registry.register("proto.count", counting_handler)
+        for _ in range(3):
+            nodes[0].originate(Capsule(0, 2, "proto.count"))
+        sim.run()
+        assert nodes[1].soft_state["count"] == 3
+
+    def test_cache_eviction_causes_refetch(self):
+        # Tiny cache: code evicted between bursts forces a second fetch.
+        sim, topo, fabric, registry, nodes = ants_net(3, cache_bytes=6000)
+        registry.register("proto.other", forwarding_handler, size_bytes=4096)
+        nodes[0].originate(Capsule(0, 2, "proto.forward"))
+        sim.run()
+        assert nodes[1].code_fetches == 1
+        nodes[0].originate(Capsule(0, 2, "proto.other"))   # evicts forward
+        sim.run()
+        nodes[0].originate(Capsule(0, 2, "proto.forward"))
+        sim.run()
+        assert nodes[1].code_fetches == 3
+
+    def test_processing_consumes_cpu(self):
+        sim, topo, fabric, registry, nodes = ants_net(3)
+        nodes[0].originate(Capsule(0, 2, "proto.forward"))
+        sim.run()
+        assert nodes[1].nodeos.cpu.total_ops > 0

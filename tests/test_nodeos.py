@@ -1,0 +1,388 @@
+"""Unit tests for the NodeOS substrate."""
+
+import pytest
+
+from repro.substrates.nodeos import (Action, CodeCache, CodeKind, CodeModule,
+                                     CpuScheduler, Credential,
+                                     CredentialAuthority, EERegistry, EEState,
+                                     NodeOS, NodeOSError, Quota,
+                                     SecurityManager)
+from repro.substrates.sim import Simulator
+
+
+def module(code_id="fn.a", size=1000, kind=CodeKind.EE_CODE, **kw):
+    return CodeModule(code_id, size_bytes=size, kind=kind, **kw)
+
+
+class TestCodeModule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CodeModule("x", kind="bogus")
+        with pytest.raises(ValueError):
+            CodeModule("x", size_bytes=0)
+        with pytest.raises(ValueError):
+            CodeModule("x", version=0)
+
+    def test_successor_bumps_version(self):
+        mod = module()
+        nxt = mod.successor()
+        assert nxt.version == mod.version + 1
+        assert nxt.code_id == mod.code_id
+
+
+class TestCodeCache:
+    def test_install_and_lookup(self):
+        cache = CodeCache(10_000)
+        assert cache.install(module("a", 1000))
+        assert cache.lookup("a").code_id == "a"
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = CodeCache(10_000)
+        assert cache.lookup("missing") is None
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = CodeCache(3000)
+        cache.install(module("a", 1000))
+        cache.install(module("b", 1000))
+        cache.install(module("c", 1000))
+        cache.lookup("a")                    # touch a, making b the LRU
+        cache.install(module("d", 1000))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.evictions == 1
+
+    def test_pinned_never_evicted(self):
+        cache = CodeCache(2000)
+        cache.install(module("modal", 1000), pin=True)
+        cache.install(module("x", 1000))
+        cache.install(module("y", 1000))     # must evict x, not modal
+        assert "modal" in cache
+        assert "x" not in cache
+
+    def test_install_too_big_fails(self):
+        cache = CodeCache(500)
+        assert not cache.install(module("big", 1000))
+
+    def test_all_pinned_full_fails(self):
+        cache = CodeCache(1000)
+        cache.install(module("a", 1000), pin=True)
+        assert not cache.install(module("b", 500))
+
+    def test_upgrade_in_place(self):
+        cache = CodeCache(2000)
+        mod = module("a", 1000)
+        cache.install(mod)
+        cache.install(mod.successor())
+        assert cache.peek("a").version == 2
+        assert cache.used_bytes == 1000
+
+    def test_min_version_lookup(self):
+        cache = CodeCache(2000)
+        cache.install(module("a", 1000))
+        assert cache.lookup("a", min_version=2) is None
+
+    def test_dependencies(self):
+        cache = CodeCache(10_000)
+        dep = module("base", 100)
+        mod = CodeModule("top", size_bytes=100, requires=["base"])
+        assert cache.missing_dependencies(mod) == ["base"]
+        cache.install(dep)
+        assert cache.missing_dependencies(mod) == []
+
+    def test_explicit_evict(self):
+        cache = CodeCache(2000)
+        cache.install(module("a", 500), pin=True)
+        assert cache.evict("a").code_id == "a"
+        assert cache.used_bytes == 0
+
+
+class TestSecurity:
+    def test_issue_and_verify(self):
+        auth = CredentialAuthority()
+        cred = auth.issue("operator")
+        assert auth.verify(cred)
+
+    def test_forged_credential_rejected(self):
+        auth = CredentialAuthority()
+        fake = Credential("operator", "deadbeefdeadbeef")
+        assert not auth.verify(fake)
+
+    def test_cross_domain_rejected(self):
+        cred = CredentialAuthority("domain-a").issue("p")
+        assert not CredentialAuthority("domain-b").verify(cred)
+
+    def test_default_allows_execute_only(self):
+        auth = CredentialAuthority()
+        sec = SecurityManager(auth)
+        cred = auth.issue("user")
+        assert sec.authorize(cred, Action.EXECUTE)
+        assert sec.authorize(cred, Action.READ_STATE)
+        assert not sec.authorize(cred, Action.RECONFIGURE)
+        assert sec.denial_count == 1
+
+    def test_grant_and_revoke(self):
+        auth = CredentialAuthority()
+        sec = SecurityManager(auth)
+        cred = auth.issue("op")
+        sec.grant("op", Action.RECONFIGURE)
+        assert sec.authorize(cred, Action.RECONFIGURE)
+        sec.revoke("op", Action.RECONFIGURE)
+        assert not sec.authorize(cred, Action.RECONFIGURE)
+
+    def test_unverified_credential_denied(self):
+        sec = SecurityManager(CredentialAuthority())
+        assert not sec.authorize(None, Action.EXECUTE)
+
+    def test_unknown_action_grant_rejected(self):
+        sec = SecurityManager(CredentialAuthority())
+        with pytest.raises(ValueError):
+            sec.grant("p", "fly")
+
+    def test_spawn_quota(self):
+        auth = CredentialAuthority()
+        sec = SecurityManager(auth)
+        sec.set_quota("jet", Quota(max_spawns_per_window=2))
+        assert sec.charge_spawn("jet")
+        assert sec.charge_spawn("jet")
+        assert not sec.charge_spawn("jet")
+        sec.reset_spawn_window()
+        assert sec.charge_spawn("jet")
+
+
+class TestEERegistry:
+    def test_allocate_and_bind(self):
+        reg = EERegistry()
+        ee = reg.allocate("EE1", modal=True)
+        ee.bind(module("fn"), now=1.0)
+        assert ee.bound
+        assert ee.state == EEState.READY
+        assert reg.find_by_code("fn") is ee
+
+    def test_auxiliary_budget(self):
+        reg = EERegistry(max_auxiliary=1)
+        reg.allocate("aux1")
+        with pytest.raises(RuntimeError):
+            reg.allocate("aux2")
+        reg.allocate("modal1", modal=True)  # modal unconstrained
+
+    def test_duplicate_label_rejected(self):
+        reg = EERegistry()
+        reg.allocate("EE1")
+        with pytest.raises(ValueError):
+            reg.allocate("EE1")
+
+    def test_priority_order_modal_first(self):
+        reg = EERegistry()
+        reg.allocate("aux", modal=False)
+        reg.allocate("modal", modal=True)
+        order = reg.in_priority_order()
+        assert order[0].label == "modal"
+
+    def test_activate_requires_bound(self):
+        reg = EERegistry()
+        ee = reg.allocate("EE1")
+        with pytest.raises(RuntimeError):
+            ee.activate()
+
+    def test_single_active_via_nodeos(self):
+        sim = Simulator()
+        nos = NodeOS(sim, "n1")
+        nos.provision_function("EE1", module("f1"), modal=True)
+        nos.provision_function("EE2", module("f2"), modal=True)
+        nos.activate_function("EE1")
+        nos.activate_function("EE2")
+        active = [ee for ee in nos.ees.in_priority_order()
+                  if ee.state == EEState.ACTIVE]
+        assert [ee.label for ee in active] == ["EE2"]
+
+    def test_layout_serializable(self):
+        reg = EERegistry()
+        reg.allocate("EE1", modal=True).bind(module("f1"))
+        layout = reg.layout()
+        assert layout["EE1"]["code"] == "f1"
+        assert layout["EE1"]["modal"] is True
+
+    def test_suspend_resume(self):
+        reg = EERegistry()
+        ee = reg.allocate("EE1")
+        ee.bind(module("f"))
+        ee.suspend()
+        assert ee.state == EEState.SUSPENDED
+        ee.resume()
+        assert ee.state == EEState.READY
+
+
+class TestCpuScheduler:
+    def test_service_time(self):
+        sim = Simulator()
+        cpu = CpuScheduler(sim, ops_per_second=1000.0)
+        assert cpu.execute(500.0) == pytest.approx(0.5)
+
+    def test_serialization_of_jobs(self):
+        sim = Simulator()
+        cpu = CpuScheduler(sim, ops_per_second=1000.0)
+        d1 = cpu.execute(1000.0)
+        d2 = cpu.execute(1000.0)
+        assert d1 == pytest.approx(1.0)
+        assert d2 == pytest.approx(2.0)
+
+    def test_backlog_drains_with_time(self):
+        sim = Simulator()
+        cpu = CpuScheduler(sim, ops_per_second=1000.0)
+        cpu.execute(2000.0)
+        assert cpu.backlog == pytest.approx(2.0)
+        sim.call_in(1.0, lambda: None)
+        sim.run()
+        assert cpu.backlog == pytest.approx(1.0)
+
+    def test_category_accounting(self):
+        sim = Simulator()
+        cpu = CpuScheduler(sim)
+        cpu.execute(100.0, "forward")
+        cpu.execute(50.0, "forward")
+        cpu.execute(10.0, "install")
+        assert cpu.by_category["forward"] == 150.0
+        assert cpu.by_category["install"] == 10.0
+
+
+class TestNodeOS:
+    def make(self):
+        sim = Simulator()
+        nos = NodeOS(sim, "n1", cache_bytes=100_000)
+        cred = nos.authority.issue("op")
+        nos.security.grant("op", Action.INSTALL_CODE)
+        nos.security.grant("op", Action.RECONFIGURE)
+        return sim, nos, cred
+
+    def test_install_requires_authorization(self):
+        sim, nos, cred = self.make()
+        other = nos.authority.issue("random")
+        with pytest.raises(PermissionError):
+            nos.install_code(module(), cred=other)
+        delay = nos.install_code(module(), cred=cred)
+        assert delay > 0
+
+    def test_install_missing_dependency(self):
+        sim, nos, cred = self.make()
+        mod = CodeModule("top", size_bytes=100, requires=["base"])
+        with pytest.raises(NodeOSError):
+            nos.install_code(mod, cred=cred)
+
+    def test_bind_and_activate(self):
+        sim, nos, cred = self.make()
+        nos.install_code(module("fn.x"), cred=cred)
+        nos.bind_function("EE1", "fn.x", cred=cred)
+        nos.activate_function("EE1")
+        assert nos.ees.active_ee.label == "EE1"
+
+    def test_bind_uncached_code_fails(self):
+        sim, nos, cred = self.make()
+        with pytest.raises(NodeOSError):
+            nos.bind_function("EE1", "ghost", cred=cred)
+
+    def test_driver_install(self):
+        sim, nos, cred = self.make()
+        drv = CodeModule("driver:x", size_bytes=100,
+                         kind=CodeKind.DRIVER)
+        nos.install_driver(drv, cred=cred)
+        assert nos.has_driver("driver:x")
+
+    def test_driver_kind_enforced(self):
+        sim, nos, cred = self.make()
+        with pytest.raises(NodeOSError):
+            nos.install_driver(module("notdriver"), cred=cred)
+
+    def test_describe(self):
+        sim, nos, cred = self.make()
+        nos.provision_function("EE1", module("fn.y"), modal=True)
+        desc = nos.describe()
+        assert desc["node"] == "n1"
+        assert desc["ees"]["EE1"]["code"] == "fn.y"
+        assert "fn.y" in desc["cached_code"]
+
+    def test_code_request_statistics(self):
+        sim, nos, cred = self.make()
+        nos.install_code(module("a"), cred=cred)
+        nos.lookup_code("a")
+        nos.lookup_code("b")
+        assert nos.code_requests == 2
+        assert nos.code_request_misses == 1
+
+
+class TestCacheQuota:
+    def make(self, quota_bytes):
+        sim = Simulator()
+        nos = NodeOS(sim, "n1", cache_bytes=1 << 20)
+        cred = nos.authority.issue("tenant")
+        nos.security.grant("tenant", Action.INSTALL_CODE)
+        nos.security.set_quota("tenant", Quota(cache_bytes=quota_bytes))
+        return sim, nos, cred
+
+    def test_quota_enforced_on_install(self):
+        sim, nos, cred = self.make(quota_bytes=2000)
+        nos.install_code(module("a", 1500), cred=cred)
+        with pytest.raises(PermissionError, match="quota"):
+            nos.install_code(module("b", 1000), cred=cred)
+        assert nos.principal_cache_usage("tenant") == 1500
+        assert "b" not in nos.cache
+        # The denial is visible to the management role.
+        assert any(action == "cache-quota"
+                   for _, _, action in nos.security.denials)
+
+    def test_replacing_own_module_charges_delta(self):
+        sim, nos, cred = self.make(quota_bytes=2000)
+        mod = module("a", 1500)
+        nos.install_code(mod, cred=cred)
+        nos.install_code(mod.successor(size_bytes=1800), cred=cred)
+        assert nos.principal_cache_usage("tenant") == 1800
+
+    def test_distinct_principals_have_distinct_budgets(self):
+        sim, nos, cred = self.make(quota_bytes=2000)
+        other = nos.authority.issue("other")
+        nos.security.grant("other", Action.INSTALL_CODE)
+        nos.security.set_quota("other", Quota(cache_bytes=2000))
+        nos.install_code(module("a", 1500), cred=cred)
+        nos.install_code(module("b", 1500), cred=other)  # its own budget
+        assert nos.principal_cache_usage("tenant") == 1500
+        assert nos.principal_cache_usage("other") == 1500
+
+    def test_unenforced_boot_provisioning_bypasses_quota(self):
+        sim, nos, cred = self.make(quota_bytes=100)
+        nos.install_code(module("boot", 5000), enforce=False)
+        assert "boot" in nos.cache
+        assert nos.principal_cache_usage("tenant") == 0
+
+
+class TestEEInvocationAccounting:
+    def test_record_invocation_accumulates(self):
+        reg = EERegistry()
+        ee = reg.allocate("EE1")
+        ee.bind(module("f"))
+        ee.record_invocation(0.5)
+        ee.record_invocation(0.25)
+        assert ee.invocations == 2
+        assert ee.busy_time == pytest.approx(0.75)
+
+    def test_ship_data_path_charges_active_ee(self):
+        from repro.core import Ship
+        from repro.functions import TranscodingRole
+        from repro.routing import StaticRouter
+        from repro.substrates.phys import NetworkFabric, line_topology
+        sim = Simulator()
+        topo = line_topology(3)
+        fabric = NetworkFabric(sim, topo)
+        router = StaticRouter(topo)
+        ships = {n: Ship(sim, fabric, n, router=router)
+                 for n in topo.nodes}
+        ships[1].acquire_role(TranscodingRole())
+        ships[1].assign_role(TranscodingRole.role_id)
+        from repro.substrates.phys import Datagram
+        ships[0].send_toward(Datagram(
+            0, 2, size_bytes=520,
+            payload={"kind": "media", "stream": "s", "encoding": "raw"}))
+        sim.run()
+        ee = ships[1].nodeos.ees.get("EE:fn.transcoding")
+        assert ee.invocations >= 1
+        assert ee.busy_time > 0

@@ -1,0 +1,289 @@
+"""Unit tests for the network fabric, mobility, radio plane and failures."""
+
+import pytest
+
+from repro.substrates.phys import (Datagram, FailureInjector, NetworkFabric,
+                                   RadioPlane, RandomWaypoint,
+                                   StaticPlacement, Topology, line_topology)
+from repro.substrates.sim import Simulator
+
+
+class Sink:
+    """Test host that records deliveries."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet, from_node):
+        self.received.append((packet, from_node))
+
+
+def make_net(n=3, latency=0.01, bandwidth=1_000_000.0, loss_rate=0.0):
+    sim = Simulator(seed=1)
+    topo = line_topology(n, latency=latency, bandwidth=bandwidth)
+    fabric = NetworkFabric(sim, topo, loss_rate=loss_rate)
+    sinks = {}
+    for node in topo.nodes:
+        sinks[node] = Sink()
+        fabric.attach(node, sinks[node])
+    return sim, topo, fabric, sinks
+
+
+class TestFabric:
+    def test_one_hop_delivery(self):
+        sim, topo, fabric, sinks = make_net()
+        pkt = Datagram(0, 1, size_bytes=100)
+        assert fabric.send(0, 1, pkt)
+        sim.run()
+        assert len(sinks[1].received) == 1
+        delivered, from_node = sinks[1].received[0]
+        assert delivered is pkt
+        assert from_node == 0
+        assert pkt.hops == 1
+
+    def test_delivery_time_includes_latency_and_serialization(self):
+        sim, topo, fabric, sinks = make_net(latency=0.5, bandwidth=1000.0)
+        # 100-byte packet within the 1500B burst: no queue wait.
+        fabric.send(0, 1, Datagram(0, 1, size_bytes=100))
+        sim.run()
+        assert sim.now == pytest.approx(0.5 + 100 / 1000.0)
+
+    def test_serialization_queues_back_to_back_packets(self):
+        sim, topo, fabric, sinks = make_net(latency=0.0, bandwidth=1000.0)
+        # Three 1000-byte packets: first eats the burst, rest serialize.
+        times = []
+        orig = sinks[1].receive
+        sinks[1].receive = lambda p, f: (times.append(sim.now), orig(p, f))
+        for _ in range(3):
+            fabric.send(0, 1, Datagram(0, 1, size_bytes=1000))
+        sim.run()
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] > times[0]
+        assert times[2] > times[1]
+
+    def test_down_link_drops(self):
+        sim, topo, fabric, sinks = make_net()
+        topo.set_link_state(0, 1, False)
+        assert not fabric.send(0, 1, Datagram(0, 1))
+        assert fabric.packets_dropped == 1
+
+    def test_down_destination_node_drops(self):
+        sim, topo, fabric, sinks = make_net()
+        topo.set_node_state(1, False)
+        assert not fabric.send(0, 1, Datagram(0, 1))
+
+    def test_no_link_drops(self):
+        sim, topo, fabric, sinks = make_net()
+        assert not fabric.send(0, 2, Datagram(0, 2))  # not adjacent
+
+    def test_in_flight_link_failure_drops(self):
+        sim, topo, fabric, sinks = make_net(latency=1.0)
+        fabric.send(0, 1, Datagram(0, 1))
+        sim.call_in(0.5, topo.set_link_state, 0, 1, False)
+        sim.run()
+        assert sinks[1].received == []
+        assert fabric.packets_dropped == 1
+
+    def test_ttl_decrement_and_exhaustion(self):
+        sim, topo, fabric, sinks = make_net()
+        pkt = Datagram(0, 2, ttl=1)
+        fabric.send(0, 1, pkt)
+        sim.run()
+        assert pkt.ttl == 0
+        assert not fabric.send(1, 2, pkt)
+
+    def test_loss_rate(self):
+        sim, topo, fabric, sinks = make_net(loss_rate=0.5)
+        for _ in range(200):
+            fabric.send(0, 1, Datagram(0, 1))
+        sim.run()
+        delivered = len(sinks[1].received)
+        assert 60 <= delivered <= 140  # ~100 expected
+
+    def test_broadcast_to_neighbors(self):
+        sim, topo, fabric, sinks = make_net(n=3)
+        sent = fabric.broadcast(1, Datagram(1, Datagram.BROADCAST))
+        sim.run()
+        assert sent == 2
+        assert len(sinks[0].received) == 1
+        assert len(sinks[2].received) == 1
+        # Broadcast clones: different packet ids.
+        p0 = sinks[0].received[0][0]
+        p2 = sinks[2].received[0][0]
+        assert p0.packet_id != p2.packet_id
+
+    def test_packet_validation(self):
+        with pytest.raises(ValueError):
+            Datagram(0, 1, size_bytes=1)
+        with pytest.raises(ValueError):
+            Datagram(0, 1, ttl=0)
+
+    def test_clone_keeps_flow_id(self):
+        pkt = Datagram(0, 1, flow_id="flow-7")
+        twin = pkt.clone()
+        assert twin.flow_id == "flow-7"
+        assert twin.packet_id != pkt.packet_id
+
+
+class TestMobility:
+    def test_static_placement_positions(self):
+        sim = Simulator(seed=1)
+        model = StaticPlacement(sim, area=(100, 100))
+        model.add_node("a", position=(10, 20))
+        assert model.position("a") == (10, 20)
+
+    def test_random_placement_within_area(self):
+        sim = Simulator(seed=1)
+        model = StaticPlacement(sim, area=(50, 60))
+        for i in range(20):
+            model.add_node(i)
+            x, y = model.position(i)
+            assert 0 <= x <= 50 and 0 <= y <= 60
+
+    def test_duplicate_node_rejected(self):
+        sim = Simulator(seed=1)
+        model = StaticPlacement(sim)
+        model.add_node("a")
+        with pytest.raises(ValueError):
+            model.add_node("a")
+
+    def test_remove_node_keeps_indexing(self):
+        sim = Simulator(seed=1)
+        model = StaticPlacement(sim)
+        model.add_node("a", (1, 1))
+        model.add_node("b", (2, 2))
+        model.add_node("c", (3, 3))
+        model.remove_node("b")
+        assert model.position("a") == (1, 1)
+        assert model.position("c") == (3, 3)
+        assert model.nodes == ["a", "c"]
+
+    def test_distance(self):
+        sim = Simulator(seed=1)
+        model = StaticPlacement(sim)
+        model.add_node("a", (0, 0))
+        model.add_node("b", (3, 4))
+        assert model.distance("a", "b") == pytest.approx(5.0)
+
+    def test_waypoint_moves_nodes(self):
+        sim = Simulator(seed=2)
+        model = RandomWaypoint(sim, area=(1000, 1000), speed_min=5,
+                               speed_max=10, pause=0.0, tick=1.0)
+        model.add_node("a", (500, 500))
+        model.start()
+        sim.run(until=20.0)
+        assert model.position("a") != (500, 500)
+
+    def test_waypoint_speed_bound(self):
+        sim = Simulator(seed=2)
+        model = RandomWaypoint(sim, area=(1000, 1000), speed_min=5,
+                               speed_max=10, pause=0.0, tick=1.0)
+        model.add_node("a", (500, 500))
+        model.start()
+        last_pos = [model.position("a")]
+        max_step = [0.0]
+
+        def check():
+            cur = model.position("a")
+            prev = last_pos[0]
+            d = ((cur[0] - prev[0]) ** 2 + (cur[1] - prev[1]) ** 2) ** 0.5
+            max_step[0] = max(max_step[0], d)
+            last_pos[0] = cur
+
+        sim.every(1.0, check)
+        sim.run(until=30.0)
+        assert max_step[0] <= 10.0 + 1e-9
+
+    def test_waypoint_determinism(self):
+        def trajectory(seed):
+            sim = Simulator(seed=seed)
+            model = RandomWaypoint(sim, speed_min=1, speed_max=5, tick=1.0)
+            model.add_node("a", (100, 100))
+            model.start()
+            sim.run(until=50.0)
+            return model.position("a")
+
+        assert trajectory(5) == trajectory(5)
+        assert trajectory(5) != trajectory(6)
+
+
+class TestRadioPlane:
+    def test_links_follow_range(self):
+        sim = Simulator(seed=1)
+        topo = Topology()
+        model = StaticPlacement(sim)
+        for node, pos in [("a", (0, 0)), ("b", (100, 0)), ("c", (500, 0))]:
+            topo.add_node(node)
+            model.add_node(node, pos)
+        plane = RadioPlane(sim, topo, model, radio_range=150.0)
+        plane.recompute()
+        assert topo.has_link("a", "b")
+        assert not topo.has_link("a", "c")
+        assert not topo.has_link("b", "c")
+
+    def test_movement_churns_links(self):
+        sim = Simulator(seed=1)
+        topo = Topology()
+        model = StaticPlacement(sim)
+        for node, pos in [("a", (0, 0)), ("b", (100, 0))]:
+            topo.add_node(node)
+            model.add_node(node, pos)
+        plane = RadioPlane(sim, topo, model, radio_range=150.0)
+        plane.recompute()
+        assert topo.has_link("a", "b")
+        model.set_position("b", 400, 0)
+        plane.recompute()
+        assert not topo.has_link("a", "b")
+        assert plane.link_down_events == 1
+        model.set_position("b", 50, 0)
+        plane.recompute()
+        assert topo.has_link("a", "b")
+        assert plane.link_up_events == 2
+
+
+class TestFailureInjector:
+    def test_scripted_link_failure_and_repair(self):
+        sim = Simulator(seed=1)
+        topo = line_topology(3)
+        inj = FailureInjector(sim, topo, link_mtbf=None, node_mtbf=None)
+        inj.fail_link_now(0, 1, repair_after=10.0)
+        assert not topo.link(0, 1).up
+        sim.run(until=20.0)
+        assert topo.link(0, 1).up
+        kinds = [kind for _, kind, _ in inj.history]
+        assert kinds == ["link-down", "link-up"]
+
+    def test_scripted_node_failure(self):
+        sim = Simulator(seed=1)
+        topo = line_topology(3)
+        inj = FailureInjector(sim, topo, link_mtbf=None, node_mtbf=None)
+        inj.fail_node_now(1, repair_after=5.0)
+        assert not topo.node_up(1)
+        sim.run(until=10.0)
+        assert topo.node_up(1)
+
+    def test_random_failures_happen_and_repair(self):
+        sim = Simulator(seed=3)
+        topo = line_topology(10)
+        inj = FailureInjector(sim, topo, link_mtbf=50.0, link_mttr=10.0)
+        inj.start()
+        sim.run(until=1000.0)
+        assert inj.link_failures > 5
+        # After draining all repairs, most links should be up again.
+        sim.run(until=1200.0)
+        up = sum(1 for l in topo.links if l.up)
+        assert up >= 8
+
+    def test_spare_nodes_never_fail(self):
+        sim = Simulator(seed=3)
+        topo = line_topology(5)
+        inj = FailureInjector(sim, topo, link_mtbf=None,
+                              node_mtbf=20.0, node_mttr=5.0,
+                              spare_nodes=[0, 4])
+        inj.start()
+        downs = []
+        sim.trace.subscribe("failure.node.down",
+                            lambda rec: downs.append(rec.fields["node"]))
+        sim.run(until=500.0)
+        assert downs  # some failures occurred
+        assert 0 not in downs and 4 not in downs

@@ -1,0 +1,429 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import entropy
+from repro.core.congruence import congruence
+from repro.core.knowledge import Fact, KnowledgeBase
+from repro.substrates.nodeos import CodeCache, CodeModule
+from repro.substrates.phys import Topology
+from repro.substrates.sim import Simulator, TokenBucket
+from repro.verification.tla import FrozenState
+
+# ----------------------------------------------------------------------
+# Facts and knowledge bases (PMP.3 semantics)
+# ----------------------------------------------------------------------
+
+fact_strategy = st.builds(
+    Fact,
+    fact_class=st.sampled_from(["a", "b", "c", "d"]),
+    value=st.integers(min_value=0, max_value=30),
+    created_at=st.floats(min_value=0, max_value=100),
+    weight=st.floats(min_value=0.01, max_value=10.0),
+    threshold=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestFactProperties:
+    @given(fact_strategy, st.floats(min_value=0, max_value=1000),
+           st.floats(min_value=0, max_value=1000))
+    def test_weight_decay_is_monotone(self, fact, t1, t2):
+        lo, hi = sorted([fact.created_at + t1, fact.created_at + t2])
+        assert fact.weight(hi) <= fact.weight(lo) + 1e-12
+
+    @given(fact_strategy)
+    def test_weight_never_negative(self, fact):
+        assert fact.weight(fact.created_at + 1e6) >= 0.0
+
+    @given(fact_strategy, st.floats(min_value=0.01, max_value=100))
+    def test_touch_increases_weight_up_to_saturation(self, fact, dt):
+        from repro.core.knowledge import MAX_WEIGHT
+        now = fact.created_at + dt
+        before = fact.weight(now)
+        after = fact.touch(now)
+        assert after <= MAX_WEIGHT
+        assert after > before or before >= MAX_WEIGHT - 1.0
+
+    @given(fact_strategy)
+    def test_expiry_time_marks_threshold_crossing(self, fact):
+        t = fact.expiry_time()
+        if t == float("inf"):
+            assert fact.threshold == 0.0 or \
+                fact.weight(fact.created_at) >= 0
+            return
+        eps = max(abs(t) * 1e-6, 1e-6)
+        assert not fact.alive(t + 1.0)
+
+
+class TestKnowledgeBaseProperties:
+    @given(st.lists(fact_strategy, max_size=60),
+           st.integers(min_value=1, max_value=10))
+    def test_capacity_never_exceeded(self, facts, capacity):
+        kb = KnowledgeBase(capacity=capacity)
+        for fact in facts:
+            kb.record(fact, now=fact.created_at)
+            assert len(kb) <= capacity
+
+    @given(st.lists(fact_strategy, max_size=40))
+    def test_class_weight_is_sum_of_members(self, facts):
+        kb = KnowledgeBase(capacity=100)
+        for fact in facts:
+            kb.record(fact, now=0.0)
+        for cls in kb.classes():
+            total = sum(f.weight(50.0, kb.decay_rate)
+                        for f in kb.facts_of_class(cls))
+            assert math.isclose(kb.class_weight(cls, 50.0), total,
+                                rel_tol=1e-9)
+
+    @given(st.lists(fact_strategy, max_size=40),
+           st.floats(min_value=0, max_value=2000))
+    def test_sweep_removes_exactly_the_dead(self, facts, now):
+        kb = KnowledgeBase(capacity=100)
+        for fact in facts:
+            kb.record(fact, now=0.0)
+        dead = kb.sweep(now)
+        assert all(not f.alive(now, kb.decay_rate) for f in dead)
+        assert all(f.alive(now, kb.decay_rate) for f in kb.all_facts())
+
+    @given(st.lists(st.tuples(st.sampled_from(["x", "y"]),
+                              st.integers(0, 5)), max_size=30))
+    def test_duplicate_class_value_never_duplicated(self, pairs):
+        kb = KnowledgeBase(capacity=100)
+        for cls, value in pairs:
+            kb.record(Fact(cls, value, created_at=0.0), now=0.0)
+        seen = {(f.fact_class, f.value) for f in kb.all_facts()}
+        assert len(seen) == len(kb)
+
+
+# ----------------------------------------------------------------------
+# Code cache
+# ----------------------------------------------------------------------
+
+module_strategy = st.builds(
+    CodeModule,
+    code_id=st.sampled_from([f"m{i}" for i in range(8)]),
+    size_bytes=st.integers(min_value=1, max_value=5000),
+    version=st.integers(min_value=1, max_value=3),
+)
+
+
+class TestCodeCacheProperties:
+    @given(st.lists(module_strategy, max_size=40))
+    def test_used_bytes_is_sum_of_modules(self, modules):
+        cache = CodeCache(capacity_bytes=10_000)
+        for module in modules:
+            cache.install(module)
+            assert cache.used_bytes == sum(
+                m.size_bytes for m in cache.modules())
+            assert cache.used_bytes <= cache.capacity_bytes
+
+    @given(st.lists(module_strategy, max_size=40))
+    def test_pinned_module_survives_any_install_sequence(self, modules):
+        cache = CodeCache(capacity_bytes=10_000)
+        pinned = CodeModule("pinned", size_bytes=2000)
+        assert cache.install(pinned, pin=True)
+        for module in modules:
+            if module.code_id != "pinned":
+                cache.install(module)
+        assert "pinned" in cache
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+
+@st.composite
+def topology_strategy(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    topo = Topology()
+    for i in range(n):
+        topo.add_node(i)
+    pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True,
+                           max_size=len(pairs)))
+    for a, b in chosen:
+        latency = draw(st.floats(min_value=0.001, max_value=1.0))
+        topo.add_link(a, b, latency=latency)
+    return topo
+
+
+class TestTopologyProperties:
+    @given(topology_strategy())
+    @settings(max_examples=50)
+    def test_paths_are_valid_walks(self, topo):
+        for src in topo.nodes:
+            dist, prev = topo.shortest_paths(src)
+            for dst in dist:
+                path = topo.path(src, dst)
+                assert path is not None
+                assert path[0] == src and path[-1] == dst
+                for a, b in zip(path, path[1:]):
+                    assert topo.has_link(a, b)
+                assert math.isclose(topo.path_latency(path), dist[dst],
+                                    rel_tol=1e-9)
+
+    @given(topology_strategy())
+    @settings(max_examples=50)
+    def test_components_partition_nodes(self, topo):
+        comps = topo.connected_components()
+        seen = [n for comp in comps for n in comp]
+        assert sorted(seen, key=repr) == sorted(topo.nodes, key=repr)
+        # No node appears in two components.
+        assert len(seen) == len(set(seen))
+
+    @given(topology_strategy())
+    @settings(max_examples=30)
+    def test_path_symmetry(self, topo):
+        nodes = topo.nodes
+        for src in nodes[:3]:
+            for dst in nodes[:3]:
+                fwd = topo.path(src, dst)
+                rev = topo.path(dst, src)
+                assert (fwd is None) == (rev is None)
+                if fwd is not None:
+                    assert math.isclose(topo.path_latency(fwd),
+                                        topo.path_latency(rev),
+                                        rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+
+class TestTokenBucketProperties:
+    @given(st.lists(st.floats(min_value=1.0, max_value=500.0),
+                    max_size=30),
+           st.floats(min_value=10.0, max_value=1000.0),
+           st.floats(min_value=10.0, max_value=1000.0))
+    def test_tokens_never_exceed_burst(self, amounts, rate, burst):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=rate, burst=burst)
+        for amount in amounts:
+            bucket.consume(amount)
+            assert bucket.tokens <= burst + 1e-9
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=100.0),
+                    min_size=1, max_size=20))
+    def test_waits_are_monotone_for_back_to_back_sends(self, amounts):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=50.0, burst=10.0)
+        waits = [bucket.consume(a) for a in amounts]
+        assert all(b >= a - 1e-9 for a, b in zip(waits, waits[1:]))
+
+
+# ----------------------------------------------------------------------
+# Congruence (DCP measure)
+# ----------------------------------------------------------------------
+
+structure_strategy = st.fixed_dictionaries({
+    "functions": st.frozensets(st.sampled_from("fghij"), max_size=4),
+    "hardware": st.frozensets(st.sampled_from("xyz"), max_size=3),
+    "knowledge": st.frozensets(st.sampled_from("klm"), max_size=3),
+    "interface": st.frozensets(st.sampled_from("pq"), max_size=2),
+})
+
+
+class TestCongruenceProperties:
+    @given(structure_strategy, structure_strategy)
+    def test_bounded_and_symmetric(self, a, b):
+        score = congruence(a, b)
+        assert 0.0 <= score <= 1.0 + 1e-12
+        assert math.isclose(score, congruence(b, a), rel_tol=1e-12)
+
+    @given(structure_strategy)
+    def test_identity_scores_one(self, a):
+        assert math.isclose(congruence(a, a), 1.0, rel_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Entropy / FrozenState
+# ----------------------------------------------------------------------
+
+class TestEntropyProperties:
+    @given(st.dictionaries(st.text(max_size=3),
+                           st.integers(min_value=0, max_value=50),
+                           max_size=8))
+    def test_entropy_bounds(self, dist):
+        h = entropy(dist)
+        nonzero = sum(1 for v in dist.values() if v > 0)
+        assert h >= 0.0
+        if nonzero > 0:
+            assert h <= math.log2(nonzero) + 1e-9
+
+
+class TestFrozenStateProperties:
+    @given(st.dictionaries(st.sampled_from("abcde"),
+                           st.integers(-5, 5), max_size=5))
+    def test_equal_dicts_equal_states(self, data):
+        assert FrozenState(data) == FrozenState(dict(data))
+        assert hash(FrozenState(data)) == hash(FrozenState(dict(data)))
+
+    @given(st.dictionaries(st.sampled_from("abc"), st.integers(-5, 5),
+                           min_size=1),
+           st.integers(-5, 5))
+    def test_updated_changes_only_target_key(self, data, new_value):
+        state = FrozenState(data)
+        key = sorted(data)[0]
+        updated = state.updated(**{key: new_value})
+        assert updated[key] == new_value
+        for other in data:
+            if other != key:
+                assert updated[other] == state[other]
+
+
+# ----------------------------------------------------------------------
+# Fabric packet conservation
+# ----------------------------------------------------------------------
+
+class TestFabricConservation:
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=1, max_value=40),
+           st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_sent_equals_delivered_plus_dropped(self, n, packets,
+                                                loss_rate):
+        from repro.substrates.phys import (Datagram, NetworkFabric,
+                                           line_topology)
+
+        sim = Simulator(seed=9)
+        topo = line_topology(n)
+        fabric = NetworkFabric(sim, topo, loss_rate=loss_rate)
+
+        class Sink:
+            def receive(self, packet, from_node):
+                pass
+
+        for node in topo.nodes:
+            fabric.attach(node, Sink())
+        for i in range(packets):
+            fabric.send(i % (n - 1), i % (n - 1) + 1,
+                        Datagram(0, n - 1))
+        sim.run()
+        assert fabric.packets_sent == \
+            fabric.packets_delivered + fabric.packets_dropped
+
+
+# ----------------------------------------------------------------------
+# QoS overlays are subgraphs
+# ----------------------------------------------------------------------
+
+class TestOverlaySubgraphProperty:
+    @given(topology_strategy(),
+           st.floats(min_value=0.001, max_value=1.0))
+    @settings(max_examples=30)
+    def test_topology_on_demand_is_admissible_subgraph(self, topo,
+                                                       max_latency):
+        from repro.routing import QosDemand, topology_on_demand
+
+        demand = QosDemand(max_link_latency=max_latency)
+        virtual = topology_on_demand(topo, demand)
+        assert set(virtual.nodes) == set(topo.nodes)
+        for link in virtual.links:
+            assert topo.has_link(link.a, link.b)
+            assert link.latency <= max_latency + 1e-12
+        # Completeness: every admissible physical link is included.
+        for link in topo.links:
+            if link.up and link.latency <= max_latency:
+                assert virtual.has_link(link.a, link.b)
+
+
+# ----------------------------------------------------------------------
+# Genome encoding determinism
+# ----------------------------------------------------------------------
+
+class TestGenomeProperties:
+    @given(st.lists(st.sampled_from(
+        ["fn.fusion", "fn.caching", "fn.transcoding", "fn.boosting"]),
+        unique=True, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_encode_is_deterministic_and_complete(self, role_ids):
+        from repro.core import Ship, encode_ship
+        from repro.functions import default_catalog
+        from repro.routing import StaticRouter
+        from repro.substrates.phys import NetworkFabric, line_topology
+
+        sim = Simulator(seed=3)
+        topo = line_topology(1)
+        fabric = NetworkFabric(sim, topo)
+        ship = Ship(sim, fabric, 0, router=StaticRouter(topo))
+        catalog = default_catalog()
+        for role_id in role_ids:
+            ship.acquire_role(catalog.create(role_id))
+        g1 = encode_ship(ship, 0.0)
+        g2 = encode_ship(ship, 0.0)
+        assert g1.payload == g2.payload
+        held = set(g1.modal_roles) | set(g1.auxiliary_roles)
+        assert held == set(ship.roles)
+
+
+# ----------------------------------------------------------------------
+# Trace bus prefix semantics
+# ----------------------------------------------------------------------
+
+class TestTraceProperties:
+    @given(st.lists(st.sampled_from(
+        ["a", "a.b", "a.b.c", "a.x", "b", "b.c"]), max_size=20))
+    def test_prefix_subscriber_sees_exactly_descendants(self, topics):
+        sim = Simulator()
+        seen = []
+        sim.trace.subscribe("a.b", lambda rec: seen.append(rec.topic))
+        for topic in topics:
+            sim.trace.emit(topic)
+        expected = [t for t in topics
+                    if t == "a.b" or t.startswith("a.b.")]
+        assert seen == expected
+
+
+# ----------------------------------------------------------------------
+# The autopoietic pulse never corrupts ship invariants
+# ----------------------------------------------------------------------
+
+class TestPulseRobustness:
+    @given(st.lists(st.tuples(
+        st.sampled_from(["fn.fusion", "fn.caching", "fn.transcoding",
+                         "fn.delegation", "fn.boosting"]),
+        st.integers(min_value=0, max_value=2)), max_size=6),
+        st.lists(st.tuples(
+            st.sampled_from(["flow", "content-request", "task-origin"]),
+            st.integers(0, 9), st.integers(min_value=0, max_value=2)),
+            max_size=10))
+    @settings(max_examples=15, deadline=None)
+    def test_pulse_preserves_ship_invariants(self, role_placements,
+                                             fact_placements):
+        from repro.core import WanderingEngine, Ship
+        from repro.functions import default_catalog
+        from repro.routing import StaticRouter
+        from repro.substrates.phys import NetworkFabric, ring_topology
+
+        sim = Simulator(seed=5)
+        topo = ring_topology(3)
+        fabric = NetworkFabric(sim, topo)
+        router = StaticRouter(topo)
+        catalog = default_catalog()
+        ships = {n: Ship(sim, fabric, n, catalog=catalog, router=router)
+                 for n in topo.nodes}
+        engine = WanderingEngine(sim, ships, catalog,
+                                 migrate_bias=1.0, min_attraction=0.3)
+        for role_id, node in role_placements:
+            if not ships[node].has_role(role_id):
+                ships[node].acquire_role(catalog.create(role_id))
+        for cls, value, node in fact_placements:
+            ships[node].record_fact(cls, value)
+        for _ in range(3):
+            engine.pulse()
+            sim.run(until=sim.now + 5.0)
+        for ship in ships.values():
+            # One active function at most; every role has a bound EE;
+            # knowledge stays within capacity.
+            active = [rid for rid, meta in ship.roles.items()
+                      if ship.nodeos.ees.get(meta["ee"]) is not None
+                      and ship.nodeos.ees.get(meta["ee"]).state == "active"]
+            assert len(active) <= 1
+            for rid, meta in ship.roles.items():
+                ee = ship.nodeos.ees.get(meta["ee"])
+                assert ee is not None and ee.bound, rid
+            assert len(ship.knowledge) <= ship.knowledge.capacity
+            assert ship.has_role("fn.nextstep")

@@ -1,0 +1,100 @@
+"""Contract tests every role class must satisfy (parametrized)."""
+
+import pytest
+
+from repro.functions import (ALL_ROLES, FIRST_LEVEL, SECOND_LEVEL,
+                             ProfilingLevel, default_catalog)
+from repro.substrates.hardware import GateFabric
+from repro.substrates.nodeos import CodeKind
+
+
+@pytest.mark.parametrize("role_cls", ALL_ROLES,
+                         ids=lambda c: c.role_id)
+class TestRoleContract:
+    def test_role_id_is_namespaced_and_unique(self, role_cls):
+        assert role_cls.role_id.startswith("fn.")
+        ids = [c.role_id for c in ALL_ROLES]
+        assert ids.count(role_cls.role_id) == 1
+
+    def test_level_is_valid(self, role_cls):
+        assert role_cls.level in (ProfilingLevel.FIRST,
+                                  ProfilingLevel.SECOND)
+
+    def test_code_module_round_trip(self, role_cls):
+        module = role_cls.code_module()
+        assert module.code_id == role_cls.role_id
+        assert module.kind == CodeKind.EE_CODE
+        assert module.size_bytes == role_cls.code_size_bytes > 0
+        # The entry is the role class itself: instantiable with defaults.
+        role = module.entry()
+        assert role.role_id == role_cls.role_id
+
+    def test_bitstream_fits_default_fabric(self, role_cls):
+        bitstream = role_cls.bitstream()
+        assert bitstream.function_id == role_cls.role_id
+        assert bitstream.speedup >= 1.0
+        fabric = GateFabric()
+        region = fabric.allocate_region(bitstream.cells)
+        delay = fabric.load(region, bitstream)
+        assert delay > 0
+
+    def test_cpu_cost_positive(self, role_cls):
+        assert role_cls.cpu_ops_per_packet > 0
+
+    def test_describe_has_base_keys(self, role_cls):
+        role = role_cls()
+        desc = role.describe()
+        for key in ("role", "level", "handled", "seen"):
+            assert key in desc
+
+    def test_registered_in_default_catalog(self, role_cls):
+        catalog = default_catalog()
+        assert role_cls.role_id in catalog
+        assert isinstance(catalog.create(role_cls.role_id), role_cls)
+
+    def test_unknown_packet_not_handled(self, role_cls):
+        """Every role must pass through traffic it does not understand.
+
+        (Security management is the one exception: it *accounts* every
+        packet but still returns False for valid/absent credentials.)
+        """
+        from repro.substrates.sim import Simulator
+
+        class StubNodeOS:
+            def __init__(self, sim):
+                self.cpu = type("Cpu", (), {
+                    "backlog": 0.0,
+                    "execute": lambda *a, **k: 0.0})()
+                from repro.substrates.nodeos import CredentialAuthority
+                self.authority = CredentialAuthority()
+
+        class StubShip:
+            ship_id = "stub"
+
+            def __init__(self):
+                self.sim = Simulator()
+                self.nodeos = StubNodeOS(self.sim)
+
+            def record_fact(self, *a, **k):
+                pass
+
+            def send_toward(self, *a, **k):
+                return True
+
+        class StubPacket:
+            payload = {"kind": "unknown-kind-xyz"}
+            dst = "elsewhere"
+            meta = {}
+            flow_id = "f"
+            size_bytes = 128
+            credential = None
+            src = "src"
+
+        role = role_cls()
+        assert role.on_packet(StubShip(), StubPacket(), None) is False
+
+
+def test_profiling_split_matches_figure2():
+    assert len(FIRST_LEVEL) == 6
+    assert len(SECOND_LEVEL) == 8
+    assert len(ALL_ROLES) == 14

@@ -1,0 +1,146 @@
+"""Tests for failure detection and genome-based self-healing."""
+
+import pytest
+
+from repro.core.ship import Ship
+from repro.functions import (CachingRole, FusionRole, TranscodingRole,
+                             default_catalog)
+from repro.routing import StaticRouter
+from repro.selfheal import GenomeArchive, HeartbeatDetector, SelfHealer
+from repro.substrates.nodeos import CredentialAuthority
+from repro.substrates.phys import NetworkFabric, ring_topology
+from repro.substrates.sim import Simulator
+
+
+def healing_network(n=5):
+    sim = Simulator(seed=9)
+    topo = ring_topology(n)
+    fabric = NetworkFabric(sim, topo)
+    router = StaticRouter(topo)
+    authority = CredentialAuthority()
+    catalog = default_catalog()
+    ships = {node: Ship(sim, fabric, node, catalog=catalog, router=router,
+                        authority=authority)
+             for node in topo.nodes}
+    return sim, topo, fabric, ships, catalog
+
+
+class TestHeartbeatDetector:
+    def test_healthy_network_no_suspicions(self):
+        sim, topo, fabric, ships, catalog = healing_network()
+        detector = HeartbeatDetector(sim, ships, interval=2.0,
+                                     suspicion_threshold=3)
+        detector.start()
+        sim.run(until=60.0)
+        assert detector.suspected == set()
+        assert detector.heartbeats_sent > 0
+
+    def test_dead_ship_suspected(self):
+        sim, topo, fabric, ships, catalog = healing_network()
+        detector = HeartbeatDetector(sim, ships, interval=2.0,
+                                     suspicion_threshold=3)
+        detector.start()
+        suspicions = []
+        detector.on_suspicion(lambda s, r: suspicions.append((s, r)))
+        sim.call_in(10.0, ships[2].die)
+        sim.run(until=60.0)
+        assert 2 in detector.suspected
+        assert any(s == 2 for s, _ in suspicions)
+        # Detection happened a few heartbeat intervals after death.
+        assert suspicions[0] is not None
+
+    def test_validation(self):
+        sim, topo, fabric, ships, catalog = healing_network(3)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(sim, ships, interval=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(sim, ships, suspicion_threshold=0)
+
+
+class TestGenomeArchive:
+    def test_snapshots_all_alive_ships(self):
+        sim, topo, fabric, ships, catalog = healing_network(4)
+        archive = GenomeArchive(sim, ships, interval=5.0)
+        assert archive.snapshot_all() == 4
+        assert len(archive) == 4
+        assert archive.genome_of(0) is not None
+
+    def test_periodic_snapshots_capture_changes(self):
+        sim, topo, fabric, ships, catalog = healing_network(3)
+        archive = GenomeArchive(sim, ships, interval=5.0)
+        archive.start()
+        sim.call_in(7.0, lambda: ships[1].acquire_role(CachingRole()))
+        sim.run(until=20.0)
+        genome = archive.genome_of(1)
+        assert CachingRole.role_id in genome.auxiliary_roles
+
+    def test_dead_ship_keeps_last_genome(self):
+        sim, topo, fabric, ships, catalog = healing_network(3)
+        archive = GenomeArchive(sim, ships, interval=5.0)
+        ships[1].acquire_role(FusionRole(), modal=True)
+        archive.snapshot_all()
+        ships[1].die()
+        archive.snapshot_all()
+        genome = archive.genome_of(1)
+        assert FusionRole.role_id in genome.modal_roles
+
+
+class TestSelfHealer:
+    def wire(self, n=5):
+        sim, topo, fabric, ships, catalog = healing_network(n)
+        archive = GenomeArchive(sim, ships, interval=5.0)
+        detector = HeartbeatDetector(sim, ships, interval=2.0,
+                                     suspicion_threshold=3)
+        healer = SelfHealer(sim, ships, archive, detector, catalog)
+        archive.start()
+        detector.start()
+        return sim, topo, ships, archive, detector, healer
+
+    def test_end_to_end_heal(self):
+        sim, topo, ships, archive, detector, healer = self.wire()
+        victim = ships[2]
+        victim.acquire_role(CachingRole())
+        victim.acquire_role(TranscodingRole())
+        sim.call_in(12.0, victim.die)
+        sim.run(until=120.0)
+        assert len(healer.events) == 1
+        event = healer.events[0]
+        assert event.dead_ship == 2
+        assert CachingRole.role_id in event.roles_restored
+        assert TranscodingRole.role_id in event.roles_restored
+        surrogate = ships[event.surrogate]
+        assert surrogate.has_role(CachingRole.role_id)
+        assert healer.restoration_ratio(2) == 1.0
+        # Detection delay is heartbeat-bounded, not instantaneous.
+        assert 0 < event.detection_delay <= 20.0
+
+    def test_false_suspicion_not_healed(self):
+        sim, topo, ships, archive, detector, healer = self.wire()
+        # Force a suspicion for an alive ship.
+        detector._suspect(3, 2)
+        assert healer.events == []
+        assert 3 not in detector.suspected  # cleared
+
+    def test_heal_without_genome_is_noop(self):
+        sim, topo, fabric, ships, catalog = healing_network(3)
+        archive = GenomeArchive(sim, ships, interval=5.0)  # never started
+        detector = HeartbeatDetector(sim, ships)
+        healer = SelfHealer(sim, ships, archive, detector, catalog)
+        assert healer.heal(1) is None
+
+    def test_surrogate_prefers_least_loaded(self):
+        sim, topo, ships, archive, detector, healer = self.wire(4)
+        for node in (0, 1):
+            ships[node].acquire_role(CachingRole())
+            ships[node].acquire_role(FusionRole())
+        archive.snapshot_all()
+        ships[2].die()
+        event = healer.heal(2)
+        assert event.surrogate == 3   # the only unloaded candidate
+
+    def test_each_death_healed_once(self):
+        sim, topo, ships, archive, detector, healer = self.wire()
+        ships[1].acquire_role(CachingRole())
+        sim.call_in(10.0, ships[1].die)
+        sim.run(until=200.0)
+        assert len(healer.events) == 1

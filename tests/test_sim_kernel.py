@@ -1,0 +1,481 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.substrates.sim import (Event, SchedulingError, Signal, Simulator,
+                                  Timeout, spawn)
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_call_in_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_call_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(3.5, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.call_in(-1.0, lambda: None)
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.call_in(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(5.0)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(3.0, order.append, 3)
+        sim.call_in(1.0, order.append, 1)
+        sim.call_in(2.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.call_in(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(1.0, order.append, "normal")
+        sim.call_in(1.0, order.append, "urgent", priority=-10)
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+    def test_run_until_stops_clock_at_until(self):
+        sim = Simulator()
+        sim.call_in(100.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        assert sim.pending_events == 1
+
+    def test_run_until_resumable(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(100.0, seen.append, "late")
+        sim.run(until=10.0)
+        assert seen == []
+        sim.run()
+        assert seen == ["late"]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.call_in(1.0, seen.append, "x")
+        assert ev.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        ev = sim.call_in(1.0, lambda: None)
+        sim.run()
+        assert not ev.cancel()
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.call_in(2.0, seen.append, 2)
+        sim.run()
+        assert seen == [1]
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_max_events(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.call_in(float(i + 1), seen.append, i)
+        sim.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.call_in(1.0, seen.append, "inner")
+
+        sim.call_in(1.0, outer)
+        sim.run()
+        assert seen == ["inner"]
+        assert sim.now == 2.0
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(2.0, lambda: times.append(sim.now))
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_stop_prevents_future_firings(self):
+        sim = Simulator()
+        count = [0]
+        task = sim.every(1.0, lambda: count.__setitem__(0, count[0] + 1))
+        sim.call_in(3.5, task.stop)
+        sim.run(until=10.0)
+        assert count[0] == 3
+
+    def test_start_parameter(self):
+        sim = Simulator()
+        times = []
+        sim.every(5.0, lambda: times.append(sim.now), start=1.0)
+        sim.run(until=12.0)
+        assert times == [1.0, 6.0, 11.0]
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.every(0.0, lambda: None)
+
+
+class TestProcesses:
+    def test_timeout_sequencing(self):
+        sim = Simulator()
+        trail = []
+
+        def proc():
+            trail.append(("a", sim.now))
+            yield Timeout(2.0)
+            trail.append(("b", sim.now))
+            yield Timeout(3.0)
+            trail.append(("c", sim.now))
+
+        spawn(sim, proc())
+        sim.run()
+        assert trail == [("a", 0.0), ("b", 2.0), ("c", 5.0)]
+
+    def test_process_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.done
+        assert p.result == 42
+
+    def test_join_waits_for_child(self):
+        sim = Simulator()
+        trail = []
+
+        def child():
+            yield Timeout(5.0)
+            return "payload"
+
+        def parent():
+            value = yield spawn(sim, child(), name="child")
+            trail.append((value, sim.now))
+
+        spawn(sim, parent())
+        sim.run()
+        assert trail == [("payload", 5.0)]
+
+    def test_join_already_finished_child(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield Timeout(1.0)
+            return "done"
+
+        child_proc = spawn(sim, child())
+
+        def parent():
+            yield Timeout(10.0)
+            value = yield child_proc
+            results.append(value)
+
+        spawn(sim, parent())
+        sim.run()
+        assert results == ["done"]
+
+    def test_signal_wakes_waiters_with_value(self):
+        sim = Simulator()
+        sig = Signal("test")
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append((value, sim.now))
+
+        spawn(sim, waiter())
+        spawn(sim, waiter())
+        sim.call_in(3.0, sig.trigger, "ping")
+        sim.run()
+        assert got == [("ping", 3.0), ("ping", 3.0)]
+
+    def test_signal_is_reusable(self):
+        sim = Simulator()
+        sig = Signal()
+        got = []
+
+        def waiter():
+            got.append((yield sig))
+            got.append((yield sig))
+
+        spawn(sim, waiter())
+        sim.call_in(1.0, sig.trigger, 1)
+        sim.call_in(2.0, sig.trigger, 2)
+        sim.run()
+        assert got == [1, 2]
+
+    def test_wait_on_bare_event(self):
+        sim = Simulator()
+        got = []
+        ev = sim.schedule(4.0)
+        ev.value = "evt"
+
+        def waiter():
+            got.append((yield ev))
+
+        spawn(sim, waiter())
+        sim.run()
+        assert got == ["evt"]
+
+    def test_process_exception_propagates_to_joiner(self):
+        sim = Simulator()
+        caught = []
+
+        def bad():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield spawn(sim, bad(), name="bad")
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        spawn(sim, parent())
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_unjoined_process_exception_raises_from_run(self):
+        sim = Simulator()
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        spawn(sim, bad())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.run()
+
+    def test_interrupt_delivers_cause(self):
+        sim = Simulator()
+        from repro.substrates.sim import InterruptError
+        trail = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except InterruptError as exc:
+                trail.append((exc.cause, sim.now))
+
+        p = spawn(sim, sleeper())
+        sim.call_in(2.0, p.interrupt, "wakeup")
+        sim.run()
+        assert trail == [("wakeup", 2.0)]
+
+    def test_cancel_stops_process(self):
+        sim = Simulator()
+        trail = []
+
+        def proc():
+            trail.append("start")
+            yield Timeout(10.0)
+            trail.append("never")
+
+        p = spawn(sim, proc())
+        sim.call_in(1.0, p.cancel)
+        sim.run()
+        assert trail == ["start"]
+        assert p.done
+
+    def test_yield_none_steps_without_time(self):
+        sim = Simulator()
+        trail = []
+
+        def proc():
+            trail.append(sim.now)
+            yield
+            trail.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert trail == [0.0, 0.0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = Simulator(seed=7).rng.stream("s")
+        b = Simulator(seed=7).rng.stream("s")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_streams_independent(self):
+        sim = Simulator(seed=7)
+        s1 = [sim.rng.stream("one").random() for _ in range(5)]
+        s2 = [sim.rng.stream("two").random() for _ in range(5)]
+        assert s1 != s2
+
+    def test_stream_lookup_is_cached(self):
+        sim = Simulator(seed=7)
+        assert sim.rng.stream("x") is sim.rng.stream("x")
+
+    def test_np_stream(self):
+        sim = Simulator(seed=3)
+        arr1 = sim.rng.np_stream("v").normal(size=4)
+        sim2 = Simulator(seed=3)
+        arr2 = sim2.rng.np_stream("v").normal(size=4)
+        assert (arr1 == arr2).all()
+
+    def test_fork_independence(self):
+        sim = Simulator(seed=3)
+        child = sim.rng.fork("child")
+        a = sim.rng.stream("s").random()
+        b = child.stream("s").random()
+        assert a != b
+
+
+class TestTraceBus:
+    def test_prefix_subscription(self):
+        sim = Simulator()
+        got = []
+        sim.trace.subscribe("ship", got.append)
+        sim.trace.emit("ship.role.change", role="fusion")
+        sim.trace.emit("other.topic")
+        assert len(got) == 1
+        assert got[0].topic == "ship.role.change"
+        assert got[0].fields == {"role": "fusion"}
+
+    def test_exact_topic_subscription(self):
+        sim = Simulator()
+        got = []
+        sim.trace.subscribe("a.b", got.append)
+        sim.trace.emit("a.b")
+        sim.trace.emit("a.bc")   # not a dotted descendant of a.b
+        assert [r.topic for r in got] == ["a.b"]
+
+    def test_counter(self):
+        sim = Simulator()
+        counter = sim.trace.counter("x")
+        sim.trace.emit("x.one")
+        sim.trace.emit("x.one")
+        sim.trace.emit("x.two")
+        assert counter["x.one"] == 2
+        assert counter.total == 3
+
+    def test_record_all(self):
+        sim = Simulator()
+        records = sim.trace.record_all()
+        sim.call_in(2.0, sim.trace.emit, "later")
+        sim.run()
+        assert [(r.time, r.topic) for r in records] == [(2.0, "later")]
+
+    def test_unsubscribe(self):
+        sim = Simulator()
+        got = []
+        sim.trace.subscribe("t", got.append)
+        sim.trace.unsubscribe("t", got.append)
+        sim.trace.emit("t")
+        assert got == []
+
+
+class TestWaitCombinators:
+    def test_wait_all_collects_results_in_order(self):
+        from repro.substrates.sim import wait_all
+        sim = Simulator()
+
+        def worker(delay, value):
+            yield Timeout(delay)
+            return value
+
+        procs = [spawn(sim, worker(3.0, "slow")),
+                 spawn(sim, worker(1.0, "fast"))]
+        got = []
+
+        def parent():
+            results = yield wait_all(sim, procs)
+            got.append((results, sim.now))
+
+        spawn(sim, parent())
+        sim.run()
+        assert got == [(["slow", "fast"], 3.0)]
+
+    def test_wait_any_returns_first_finisher(self):
+        from repro.substrates.sim import wait_any
+        sim = Simulator()
+
+        def worker(delay, value):
+            yield Timeout(delay)
+            return value
+
+        procs = [spawn(sim, worker(5.0, "slow")),
+                 spawn(sim, worker(2.0, "fast"))]
+        got = []
+
+        def parent():
+            index, value = yield wait_any(sim, procs)
+            got.append((index, value, sim.now))
+
+        spawn(sim, parent())
+        sim.run()
+        assert got == [(1, "fast", 2.0)]
+
+    def test_wait_any_with_already_finished_process(self):
+        from repro.substrates.sim import wait_any
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(1.0)
+            return "done"
+
+        proc = spawn(sim, quick())
+        sim.run()
+        got = []
+
+        def parent():
+            got.append((yield wait_any(sim, [proc])))
+
+        spawn(sim, parent())
+        sim.run()
+        assert got == [(0, "done")]
+
+
+class TestRunUntilPast:
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.call_in(10.0, lambda: None)
+        sim.run()
+        assert sim.now == 10.0
+        with pytest.raises(SchedulingError):
+            sim.run(until=5.0)
+        assert sim.now == 10.0   # clock untouched
