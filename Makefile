@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples verify demo figures all clean
+.PHONY: install test bench examples verify demo figures obs-smoke all clean
 
 install:
 	pip install -e .
@@ -27,6 +27,19 @@ demo:
 
 figures:
 	$(PYTHON) -m repro figures
+
+# Tiny instrumented demo: the JSONL must be non-empty, parseable, and
+# renderable by `repro report`.
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro demo --nodes 6 --until 60 \
+		--obs-out /tmp/obs-smoke.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.obs import load_jsonl; \
+	records = load_jsonl('/tmp/obs-smoke.jsonl'); \
+	assert records and records[0]['type'] == 'meta', records[:1]; \
+	print(f'obs-smoke: {len(records)} records ok')"
+	PYTHONPATH=src $(PYTHON) -m repro report /tmp/obs-smoke.jsonl > /dev/null
+	@echo "obs-smoke: report rendered ok"
 
 all: test bench
 

@@ -18,6 +18,9 @@ class LatencyCollector:
         self.sim = sim
         self.samples: List[float] = []
         self.per_flow: Dict[Hashable, List[float]] = {}
+        #: Cached ``np.asarray(self.samples)``; invalidated on append so
+        #: repeated percentile/summary calls stop re-copying the list.
+        self._arr: Optional[np.ndarray] = None
 
     def attach(self, host) -> None:
         host.on_deliver(self._on_deliver)
@@ -25,27 +28,33 @@ class LatencyCollector:
     def _on_deliver(self, packet, from_node) -> None:
         latency = self.sim.now - packet.created_at
         self.samples.append(latency)
+        self._arr = None
         self.per_flow.setdefault(packet.flow_id, []).append(latency)
+
+    def _array(self) -> np.ndarray:
+        if self._arr is None or len(self._arr) != len(self.samples):
+            self._arr = np.asarray(self.samples)
+        return self._arr
 
     @property
     def count(self) -> int:
         return len(self.samples)
 
     def mean(self) -> float:
-        return float(np.mean(self.samples)) if self.samples else float("nan")
+        return float(self._array().mean()) if self.samples else float("nan")
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self.samples, q)) \
+        return float(np.percentile(self._array(), q)) \
             if self.samples else float("nan")
 
     def summary(self) -> Dict[str, float]:
         if not self.samples:
             return {"count": 0, "mean": float("nan"), "p50": float("nan"),
-                    "p99": float("nan")}
-        arr = np.asarray(self.samples)
+                    "p99": float("nan"), "p999": float("nan")}
+        arr = self._array()
+        p50, p99, p999 = np.percentile(arr, (50, 99, 99.9))
         return {"count": len(arr), "mean": float(arr.mean()),
-                "p50": float(np.percentile(arr, 50)),
-                "p99": float(np.percentile(arr, 99))}
+                "p50": float(p50), "p99": float(p99), "p999": float(p999)}
 
 
 class DeliveryCollector:

@@ -2,7 +2,9 @@
 
 Commands
 --------
-``demo``      run a small Wandering Network and print snapshots;
+``demo``      run a small Wandering Network and print snapshots
+              (``--obs-out run.jsonl`` records metrics/spans/profile);
+``report``    render an observability report from an ``--obs-out`` file;
 ``verify``    model-check the WLI protocol specs (routing x2, jets, docking);
 ``figures``   regenerate the paper's figure artefacts (ASCII);
 ``info``      print the library's systems inventory.
@@ -31,6 +33,15 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--until", type=float, default=300.0)
     demo.add_argument("--seed", type=int, default=1)
     demo.add_argument("--no-resonance", action="store_true")
+    demo.add_argument("--obs-out", metavar="PATH", default=None,
+                      help="enable observability (metrics, causal spans, "
+                           "kernel profile) and write JSONL records here")
+
+    report = sub.add_parser(
+        "report", help="render the observability report of a recorded run")
+    report.add_argument("path", help="JSONL file written by demo --obs-out")
+    report.add_argument("--top", type=int, default=10,
+                        help="rows per metric table / profiled handlers")
 
     verify = sub.add_parser("verify",
                             help="model-check the WLI protocol specs")
@@ -52,17 +63,33 @@ def cmd_demo(args) -> int:
     from .core import WanderingNetwork, WanderingNetworkConfig
     from .functions import CachingRole, FusionRole
     from .substrates.phys import ring_topology
+    from .substrates.sim import Simulator
     from .viz import render_snapshot
     from .workloads import ContentWorkload, MediaStreamSource
 
+    sim = Simulator(seed=args.seed)
+    if args.obs_out:
+        sim.obs.enable(profiling=True)
     wn = WanderingNetwork(
         ring_topology(args.nodes, latency=0.01),
         WanderingNetworkConfig(seed=args.seed, pulse_interval=5.0,
                                resonance_enabled=not args.no_resonance,
                                resonance_threshold=2.0,
-                               min_attraction=0.5))
+                               min_attraction=0.5),
+        sim=sim)
     wn.deploy_role(CachingRole, at=0, activate=True)
-    wn.deploy_role(FusionRole, at=args.nodes // 2, activate=True)
+    # The fusion role travels in-band: a role shuttle carries it across
+    # the ring and docks at the far node (visible as a causal trace
+    # under --obs-out).
+    far = args.nodes // 2
+    if far:
+        wn.deploy_role(FusionRole, at=0)
+        shuttle = wn.ship(0).make_role_shuttle(
+            FusionRole.role_id, far, credential=wn.credential,
+            activate=True)
+        wn.ship(0).send_toward(shuttle)
+    else:
+        wn.deploy_role(FusionRole, at=0, activate=True)
     ContentWorkload(wn.sim, wn.ships,
                     clients=[args.nodes // 4, 3 * args.nodes // 4],
                     origin=0, request_interval=0.5).start()
@@ -75,6 +102,25 @@ def cmd_demo(args) -> int:
     print(f"\npulses={wn.engine.pulses} "
           f"wander events={len(wn.engine.events)} "
           f"entropy={wn.role_entropy():.3f}")
+    if args.obs_out:
+        written = sim.obs.export_jsonl(args.obs_out)
+        print(f"obs: {written} records -> {args.obs_out} "
+              f"(render with `repro report {args.obs_out}`)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .obs import load_jsonl, render_report
+
+    try:
+        records = load_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"report: {args.path} holds no records", file=sys.stderr)
+        return 1
+    print(render_report(records, top=args.top))
     return 0
 
 
@@ -165,6 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     handler = {
         "demo": cmd_demo,
+        "report": cmd_report,
         "verify": cmd_verify,
         "figures": cmd_figures,
         "info": cmd_info,

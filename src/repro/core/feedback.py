@@ -123,8 +123,20 @@ class FeedbackBus:
             self.alpha * value + (1.0 - self.alpha) * prev
         self._ewma[tag] = level
         self._counts[tag] = self._counts.get(tag, 0) + 1
+        obs = self.sim.obs
+        observing = obs.on
+        if observing:
+            # MFP -> obs routing: every feedback sample is also a metric,
+            # so a run can answer "which feedback dimension fired".
+            obs.feedback_observations.inc(dimension=dimension,
+                                          metric=metric)
+            obs.feedback_level.set(level, dimension=dimension, key=key,
+                                   metric=metric)
         for controller in self._controllers.get((dimension, metric), ()):
-            controller.update(key, level)
+            fired = controller.update(key, level)
+            if fired is not None and observing:
+                obs.controller_firings.inc(dimension=dimension,
+                                           metric=metric, direction=fired)
         return level
 
     def level(self, dimension: str, key: Hashable,

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, NamedTuple, Optional, Tuple
 
 from ..functions import DelegationRole, NextStepRole
+from ..obs import TRACE_META_KEY
 from .generations import Capability, supports
 from .resonance import ResonanceField
 
@@ -90,6 +91,16 @@ class WanderingEngine:
     def _alive_ships(self) -> List:
         return [s for s in self.ships.values() if s.alive]
 
+    def _record_event(self, kind: str, role_id: str,
+                      src: Optional[NodeId], dst: Optional[NodeId]) -> None:
+        """Append one wander event and mirror it into the obs registry
+        (per-configuration dimension)."""
+        self.events.append(WanderEvent(self.sim.now, kind, role_id,
+                                       src, dst))
+        obs = self.sim.obs
+        if obs.on:
+            obs.wander_events.inc(kind=kind, role=role_id)
+
     def attraction(self, ship, role_cls) -> float:
         """Demand for a role at a ship: live weight of its fact classes."""
         now = self.sim.now
@@ -143,8 +154,7 @@ class WanderingEngine:
                 continue
             ship.release_role(role_id)
             died += 1
-            self.events.append(WanderEvent(self.sim.now, "die", role_id,
-                                           ship.ship_id, None))
+            self._record_event("die", role_id, ship.ship_id, None)
         return died
 
     def _vertical_step(self, ship) -> int:
@@ -171,8 +181,7 @@ class WanderingEngine:
                 return 0
             ship.acquire_role(self.catalog.create(next_role))
         ship.assign_role(next_role)
-        self.events.append(WanderEvent(self.sim.now, "switch", next_role,
-                                       ship.ship_id, ship.ship_id))
+        self._record_event("switch", next_role, ship.ship_id, ship.ship_id)
         return 1
 
     def _resonance_step(self) -> int:
@@ -190,9 +199,8 @@ class WanderingEngine:
                     ship.assign_role(function_id)
                 self.resonance.record_emergence(ship.ship_id, function_id,
                                                 score)
-                self.events.append(WanderEvent(self.sim.now, "emerge",
-                                               function_id, None,
-                                               ship.ship_id))
+                self._record_event("emerge", function_id, None,
+                                   ship.ship_id)
                 emerged += 1
         return emerged
 
@@ -238,15 +246,23 @@ class WanderingEngine:
         shuttle = ship.make_role_shuttle(
             role_id, target, credential=self.credential,
             activate=migrating and was_active)
+        obs = self.sim.obs
+        if obs.on:
+            # Name the causal root after the metamorphosis it carries,
+            # so the span tree reads "wander:migrate:fn.caching" rather
+            # than an anonymous shuttle id.
+            kind = "migrate" if migrating else "replicate"
+            root = obs.tracer.start_trace(f"wander:{kind}:{role_id}",
+                                          ship.ship_id, self.sim.now)
+            root.attrs.update(role=role_id, src=ship.ship_id, dst=target)
+            shuttle.meta[TRACE_META_KEY] = root.context
         if not ship.send_toward(shuttle):
             return None
         if migrating:
             ship.release_role(role_id)
-            self.events.append(WanderEvent(self.sim.now, "migrate",
-                                           role_id, ship.ship_id, target))
+            self._record_event("migrate", role_id, ship.ship_id, target)
             return "migrate"
-        self.events.append(WanderEvent(self.sim.now, "replicate", role_id,
-                                       ship.ship_id, target))
+        self._record_event("replicate", role_id, ship.ship_id, target)
         return "replicate"
 
     def _pick_target(self, ship, role_id: str, role_cls,

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..functions import (NextStepRole, Role, RoleCatalog,
                          SecurityManagementRole, default_catalog)
+from ..obs import TRACE_META_KEY
 from ..substrates.hardware import Backplane, GateFabric, HardwareError
 from ..substrates.nodeos import Action, NodeOS, NodeOSError
 from ..substrates.phys import Datagram, NetworkFabric
@@ -127,6 +128,8 @@ class Ship(Ployon):
         self.acquire_role(NextStepRole(), modal=True)
         sim.trace.emit("ship.born", ship=ship_id, cls=ship_class,
                        generation=int(self.generation))
+        if sim.obs.on:
+            sim.obs.ship_lifecycle.inc(node=ship_id, event="born")
 
     # ------------------------------------------------------------------
     # Ployon structure (the DCP vocabulary)
@@ -281,6 +284,8 @@ class Ship(Ployon):
         if self.ship_id in self.fabric.topology:
             self.fabric.topology.set_node_state(self.ship_id, False)
         self.sim.trace.emit("ship.die", ship=self.ship_id)
+        if self.sim.obs.on:
+            self.sim.obs.ship_lifecycle.inc(node=self.ship_id, event="die")
 
     # ------------------------------------------------------------------
     # Self-description (SRP.1)
@@ -339,6 +344,16 @@ class Ship(Ployon):
         """Route one packet toward its destination."""
         if not self.alive:
             return False
+        obs = self.sim.obs
+        if obs.on and isinstance(packet, Shuttle) \
+                and TRACE_META_KEY not in packet.meta:
+            # First send of a shuttle journey: open the causal root.
+            root = obs.tracer.start_trace(
+                f"shuttle#{packet.packet_id}", self.ship_id, self.sim.now)
+            root.attrs.update(src=packet.src, dst=packet.dst,
+                              ops=[d.op for d in packet.directives],
+                              jet=isinstance(packet, Jet))
+            packet.meta[TRACE_META_KEY] = root.context
         if packet.dst == self.ship_id:
             self.deliver_local(packet, None)
             return True
@@ -355,16 +370,31 @@ class Ship(Ployon):
                     and self.router.on_no_route(self, packet)):
                 return True
             self.packets_dropped += 1
+            if obs.on:
+                obs.node_packets.inc(node=self.ship_id, event="drop-noroute")
             self.sim.trace.emit("ship.drop.noroute", ship=self.ship_id,
                                 dst=packet.dst)
             return False
         self._comm[hop] = self._comm.get(hop, 0) + 1
         self.packets_forwarded += 1
+        if obs.on:
+            obs.node_packets.inc(node=self.ship_id, event="forward")
         return self.fabric.send(self.ship_id, hop, packet)
 
     def deliver_local(self, packet: Datagram,
                       from_node: Optional[Hashable]) -> None:
         self.packets_delivered += 1
+        obs = self.sim.obs
+        if obs.on:
+            obs.node_packets.inc(node=self.ship_id, event="deliver")
+            obs.session_packets.inc(session=packet.flow_id)
+            obs.session_latency.observe(self.sim.now - packet.created_at)
+            obs.packet_hops.observe(packet.hops)
+            ctx = packet.meta.get(TRACE_META_KEY)
+            if ctx is not None:
+                obs.tracer.event(f"deliver:{self.ship_id}", ctx,
+                                 self.ship_id, self.sim.now,
+                                 hops=packet.hops)
         self.sim.trace.emit("ship.deliver", ship=self.ship_id,
                             packet=packet.packet_id)
         for fn in self._delivery_handlers:
@@ -464,14 +494,31 @@ class Ship(Ployon):
         """
         report: Dict[str, Any] = {"applied": [], "denied": [],
                                   "failed": [], "morphed": False}
+        obs = self.sim.obs
+        observing = obs.on
+        ctx = shuttle.meta.get(TRACE_META_KEY) if observing else None
         # -- DCP: the approaching shuttle must match our interface ------
         requirements = self.requirements()
         if not shuttle.compatible_with(requirements):
             if self.morphing_enabled:
                 report["morphed"] = shuttle.morph_for(requirements)
+                if report["morphed"] and observing:
+                    obs.shuttle_events.inc(node=self.ship_id,
+                                           event="morph")
+                    if ctx is not None:
+                        obs.tracer.event(f"morph:{self.ship_id}", ctx,
+                                         self.ship_id, self.sim.now,
+                                         target_class=shuttle.target_class)
             if not shuttle.compatible_with(requirements):
                 self.shuttles_rejected += 1
                 report["rejected"] = "interface-mismatch"
+                if observing:
+                    obs.shuttle_events.inc(node=self.ship_id,
+                                           event="reject")
+                    if ctx is not None:
+                        obs.tracer.event(f"reject:{self.ship_id}", ctx,
+                                         self.ship_id, self.sim.now,
+                                         reason="interface-mismatch")
                 self.sim.trace.emit("ship.shuttle.reject",
                                     ship=self.ship_id,
                                     shuttle=shuttle.packet_id)
@@ -482,10 +529,24 @@ class Ship(Ployon):
         for directive in shuttle.directives:
             outcome = self._apply_directive(directive, shuttle)
             report[outcome].append(directive.op)
+            if observing:
+                obs.directives.inc(op=directive.op, outcome=outcome)
         ship_after = self.structure()
         self.congruence.record_processed(self.sim.now, shuttle.structure(),
                                          ship_before, ship_after)
         self.shuttles_processed += 1
+        if observing:
+            obs.shuttle_events.inc(node=self.ship_id, event="process")
+            if ctx is not None:
+                dock = obs.tracer.event(
+                    f"dock:{self.ship_id}", ctx, self.ship_id,
+                    self.sim.now, applied=len(report["applied"]),
+                    denied=len(report["denied"]),
+                    failed=len(report["failed"]),
+                    morphed=report["morphed"])
+                # Fan-out after docking (jet replication, onward
+                # propagation) parents under the dock span.
+                shuttle.meta[TRACE_META_KEY] = dock.context
         self.sim.trace.emit("ship.shuttle.process", ship=self.ship_id,
                             shuttle=shuttle.packet_id,
                             applied=len(report["applied"]),
@@ -623,6 +684,9 @@ class Ship(Ployon):
             self._replicate_jet(jet)
         else:
             self.shuttles_rejected += 1
+            if self.sim.obs.on:
+                self.sim.obs.shuttle_events.inc(node=self.ship_id,
+                                                event="jet-reject")
             self.sim.trace.emit("ship.jet.reject", ship=self.ship_id,
                                 jet=jet.packet_id, principal=principal)
 
@@ -637,6 +701,8 @@ class Ship(Ployon):
             return 0
         spawned = 0
         share = max(0, (jet.replicate_budget - len(targets)) // len(targets))
+        obs = self.sim.obs
+        ctx = jet.meta.get(TRACE_META_KEY) if obs.on else None
         for target in targets:
             if not self.nodeos.security.charge_spawn(principal):
                 break
@@ -645,6 +711,15 @@ class Ship(Ployon):
             jet.visited.add(target)
             self.jets_replicated += 1
             spawned += 1
+            if obs.on:
+                obs.shuttle_events.inc(node=self.ship_id, event="jet-spawn")
+                if ctx is not None:
+                    # Each replica branches the causal tree: its hops
+                    # chain under its own spawn span.
+                    spawn = obs.tracer.event(
+                        f"jet-spawn:{target}", ctx, self.ship_id,
+                        self.sim.now, budget=share)
+                    copy.meta[TRACE_META_KEY] = spawn.context
             self.sim.trace.emit("ship.jet.spawn", ship=self.ship_id,
                                 target=target, budget=share)
             self.send_toward(copy)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, List, Optional
 
+from ..obs import TRACE_META_KEY
 from ..substrates.hardware import Bitstream
 from ..substrates.nodeos import CodeModule
 from ..substrates.phys import Datagram
@@ -143,6 +144,21 @@ class Shuttle(Datagram, Ployon):
             "knowledge": tuple(sorted(set(knowledge))),
             "interface": tuple(sorted(self.interface)),
         }
+
+    # -- causal tracing -----------------------------------------------------
+    @property
+    def trace_context(self) -> Optional[tuple]:
+        """The ``(trace_id, span_id)`` pair this shuttle's journey rides
+        under, or None when untraced.  The context lives in ``meta`` so
+        it survives :meth:`clone`, morphing and jet replication."""
+        return self.meta.get(TRACE_META_KEY)
+
+    @trace_context.setter
+    def trace_context(self, ctx: Optional[tuple]) -> None:
+        if ctx is None:
+            self.meta.pop(TRACE_META_KEY, None)
+        else:
+            self.meta[TRACE_META_KEY] = ctx
 
     # -- morphing (DCP) --------------------------------------------------------
     def morph_for(self, ship_requirements: Dict[str, Any]) -> bool:

@@ -1,0 +1,40 @@
+"""repro.obs — unified observability for the Wandering Network stack.
+
+One subsystem, three concerns:
+
+* :class:`MetricsRegistry` — labeled counters/gauges/histograms keyed
+  by the MFP feedback dimensions (per-node, per-packet, per-method,
+  per-message, per-multicast-branch, per-session, ...);
+* :class:`SpanTracer` — causal span tracing; shuttles carry a trace
+  context across hops so one journey (morphing, transcoding, jet
+  fan-out included) renders as a single tree;
+* :class:`KernelProfiler` — per-handler wall time, event-queue depth
+  and events/sec from inside ``Simulator.step``.
+
+Every :class:`~repro.substrates.sim.kernel.Simulator` owns an
+:class:`Observability` facade at ``sim.obs`` (disabled by default —
+near-zero overhead); enable with ``sim.obs.enable(profiling=True)``,
+export with ``sim.obs.export_jsonl(path)`` and render with
+``repro report path`` or :func:`render_report`.
+"""
+
+from .exporters import ascii_table, load_jsonl, to_prometheus_text
+from .facade import Observability
+from .profiler import HandlerStats, KernelProfiler
+from .registry import (DEFAULT_BUCKETS, MFP_DIMENSIONS, Counter, Gauge,
+                       Histogram, MetricError, MetricsRegistry)
+from .report import (render_dimension_tables, render_profile,
+                     render_report, render_span_trees)
+from .spans import (TRACE_META_KEY, Span, SpanTracer, render_span_tree,
+                    spans_from_records, tree_depth)
+
+__all__ = [
+    "Observability", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "MetricError", "MFP_DIMENSIONS", "DEFAULT_BUCKETS",
+    "SpanTracer", "Span", "TRACE_META_KEY", "render_span_tree",
+    "spans_from_records", "tree_depth",
+    "KernelProfiler", "HandlerStats",
+    "load_jsonl", "to_prometheus_text", "ascii_table",
+    "render_report", "render_dimension_tables", "render_profile",
+    "render_span_trees",
+]

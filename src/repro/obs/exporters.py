@@ -1,0 +1,83 @@
+"""Exporters: JSONL stream, Prometheus-style text, ASCII tables.
+
+Three formats, one source of truth (the flat records produced by
+:meth:`Observability.records`):
+
+* **JSONL** — one JSON object per line; ``metric`` / ``span`` /
+  ``profile`` / ``kernel`` / ``meta`` record types.  This is the wire
+  format ``repro demo --obs-out`` writes and ``repro report`` reads.
+* **Prometheus text** — ``# HELP`` / ``# TYPE`` / sample lines, close
+  enough to the exposition format to paste into promtool.
+* **ASCII** — plain tables through the shared
+  :func:`repro.analysis.metrics.format_table` renderer (imported
+  lazily; the obs package itself stays dependency-free).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .registry import MetricsRegistry
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse an ``--obs-out`` file back into record dicts.
+
+    Blank lines are ignored; a malformed line raises ``ValueError``
+    naming the line number (truncated files should fail loudly, not
+    silently report half a run).
+    """
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed JSONL record: {exc}"
+                ) from exc
+    return records
+
+
+def _label_str(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in sorted(family.series(),
+                                    key=lambda kv: repr(kv[0])):
+            labels = dict(zip(family.label_names, values))
+            if family.kind == "histogram":
+                for edge, cum in child.cumulative():
+                    le = "+Inf" if edge == float("inf") else repr(edge)
+                    bucket_labels = dict(labels, le=le)
+                    lines.append(f"{family.name}_bucket"
+                                 f"{_label_str(bucket_labels)} {cum}")
+                lines.append(f"{family.name}_sum{_label_str(labels)} "
+                             f"{child.sum:g}")
+                lines.append(f"{family.name}_count{_label_str(labels)} "
+                             f"{child.count}")
+            else:
+                lines.append(f"{family.name}{_label_str(labels)} "
+                             f"{child.value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence],
+                title: str = "") -> str:
+    """Shared plain-text table (defers to ``repro.analysis.metrics``)."""
+    from ..analysis.metrics import format_table
+    return format_table(headers, rows, title=title)

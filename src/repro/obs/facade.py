@@ -1,0 +1,198 @@
+"""The per-simulator observability facade.
+
+Every :class:`~repro.substrates.sim.kernel.Simulator` owns one
+:class:`Observability` as ``sim.obs``, created *disabled*: the whole
+instrumented stack guards its hot-path calls with ``if obs.on:`` (one
+attribute read and a branch), so a run that never enables observability
+pays near-zero overhead.  ``sim.obs.enable()`` turns on the metrics
+registry and the span tracer; ``enable(profiling=True)`` additionally
+arms the kernel's per-event wall-time hooks.
+
+The facade pre-declares the *well-known instruments* the hot paths emit
+into, keyed by the MFP dimensions — ship/fabric/routing/selfheal code
+writes ``obs.node_packets.inc(node=..., event=...)`` rather than
+stringly re-declaring families at every call site.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+
+from .profiler import KernelProfiler
+from .registry import (DEFAULT_BUCKETS, PER_CONFIGURATION, PER_DATA_LINK,
+                       PER_MESSAGE, PER_METHOD, PER_MULTICAST_BRANCH,
+                       PER_NODE, PER_PACKET, PER_SESSION, MetricsRegistry)
+from .spans import TRACE_META_KEY, SpanTracer
+
+
+class Observability:
+    """Registry + tracer + profiler bundle attached to one simulator."""
+
+    def __init__(self, sim, enabled: bool = False,
+                 max_series: int = 4096, max_spans: int = 100_000):
+        self.sim = sim
+        #: Hot-path guard.  False means every instrument is untouched.
+        self.on = False
+        self.profiling = False
+        self.max_series = int(max_series)
+        self.max_spans = int(max_spans)
+        self.registry: Optional[MetricsRegistry] = None
+        self.tracer: Optional[SpanTracer] = None
+        self.profiler: Optional[KernelProfiler] = None
+        if enabled:
+            self.enable()
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self, profiling: bool = False) -> "Observability":
+        """Turn collection on (idempotent); optionally arm kernel hooks."""
+        if self.registry is None:
+            self.registry = MetricsRegistry(max_series=self.max_series)
+            self.tracer = SpanTracer(max_spans=self.max_spans)
+            self.profiler = KernelProfiler()
+            self._declare_instruments()
+        self.on = True
+        if profiling:
+            self.profiling = True
+            self.sim._profiler = self.profiler
+        return self
+
+    def disable(self) -> None:
+        """Stop collecting (keeps already-collected data for export)."""
+        self.on = False
+        self.profiling = False
+        self.sim._profiler = None
+
+    # -- well-known instruments (MFP dimension -> metric mapping) ----------
+    def _declare_instruments(self) -> None:
+        r = self.registry
+        # per-node: the ship data path.
+        self.node_packets = r.counter(
+            "repro_node_packets_total",
+            "Per-ship packet events (forwarded/delivered/dropped).",
+            dimension=PER_NODE, labels=("node", "event"))
+        self.ship_lifecycle = r.counter(
+            "repro_ship_lifecycle_total",
+            "Ship births and deaths.",
+            dimension=PER_NODE, labels=("node", "event"))
+        # per-packet: the fabric's view of every transmission.
+        self.fabric_packets = r.counter(
+            "repro_fabric_packets_total",
+            "Fabric send/deliver/drop outcomes (drops labeled by reason).",
+            dimension=PER_PACKET, labels=("event", "reason"))
+        self.packet_hops = r.histogram(
+            "repro_packet_hops",
+            "Hop count observed at delivery.",
+            dimension=PER_PACKET, labels=(),
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64))
+        # per-data-link: bytes over each named link.
+        self.link_bytes = r.counter(
+            "repro_link_bytes_total",
+            "Bytes carried per link.",
+            dimension=PER_DATA_LINK, labels=("link",))
+        # per-multicast-branch: broadcast fan-out copies per branch.
+        self.multicast_branches = r.counter(
+            "repro_multicast_branches_total",
+            "Broadcast copies sent, per originating node branch.",
+            dimension=PER_MULTICAST_BRANCH, labels=("node",))
+        # per-message: shuttles and jets (the active messages).
+        self.shuttle_events = r.counter(
+            "repro_shuttle_events_total",
+            "Shuttle lifecycle events (processed/rejected/morphed/...).",
+            dimension=PER_MESSAGE, labels=("node", "event"))
+        # per-method: shuttle directive ops and routing/protocol methods.
+        self.directives = r.counter(
+            "repro_shuttle_directives_total",
+            "Shuttle directive executions by op and outcome.",
+            dimension=PER_METHOD, labels=("op", "outcome"))
+        self.protocol_events = r.counter(
+            "repro_protocol_events_total",
+            "Routing/selfheal protocol method invocations.",
+            dimension=PER_METHOD, labels=("method",))
+        # per-session: end-to-end flows at delivery points.
+        self.session_packets = r.counter(
+            "repro_session_packets_total",
+            "Packets delivered per session (flow).",
+            dimension=PER_SESSION, labels=("session",))
+        self.session_latency = r.histogram(
+            "repro_session_latency_seconds",
+            "End-to-end latency at delivery.",
+            dimension=PER_SESSION, labels=(), buckets=DEFAULT_BUCKETS)
+        # per-configuration: PMP wandering and MFP regulation itself.
+        self.wander_events = r.counter(
+            "repro_wander_events_total",
+            "PMP wandering events (migrate/replicate/emerge/die/switch).",
+            dimension=PER_CONFIGURATION, labels=("kind", "role"))
+        self.feedback_observations = r.counter(
+            "repro_feedback_observations_total",
+            "FeedbackBus observations per (dimension, metric).",
+            dimension=PER_CONFIGURATION, labels=("dimension", "metric"))
+        self.feedback_level = r.gauge(
+            "repro_feedback_level",
+            "Latest EWMA level per feedback tag.",
+            dimension=PER_CONFIGURATION,
+            labels=("dimension", "key", "metric"))
+        self.controller_firings = r.counter(
+            "repro_feedback_controller_firings_total",
+            "Threshold-controller transitions per feedback dimension.",
+            dimension=PER_CONFIGURATION,
+            labels=("dimension", "metric", "direction"))
+        # trace-bus bridge: every legacy emit() lands here too.
+        self.trace_topics = r.counter(
+            "repro_trace_topic_total",
+            "TraceBus emissions per topic.",
+            dimension=PER_METHOD, labels=("topic",))
+
+    # -- hot-path helpers ---------------------------------------------------
+    def record_topic(self, topic: str) -> None:
+        """Bridge for ``TraceBus.emit`` — counts every emitted topic."""
+        self.trace_topics.inc(topic=topic)
+
+    def trace_context_of(self, packet) -> Optional[tuple]:
+        meta = getattr(packet, "meta", None)
+        if meta is None:
+            return None
+        return meta.get(TRACE_META_KEY)
+
+    # -- export -------------------------------------------------------------
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Every collected observation as flat dict records."""
+        yield {"type": "meta", "version": 1,
+               "sim_time": self.sim.now,
+               "seed": getattr(self.sim, "seed", None),
+               "events_executed": getattr(self.sim, "events_executed", 0),
+               "dropped_series": (self.registry.dropped_series
+                                  if self.registry else 0),
+               "dropped_spans": (self.tracer.dropped
+                                 if self.tracer else 0)}
+        if self.registry is not None:
+            yield from self.registry.collect()
+        if self.tracer is not None:
+            yield from self.tracer.to_records()
+        if self.profiler is not None and self.profiler.events:
+            yield from self.profiler.to_records()
+
+    def export_jsonl(self, path: str) -> int:
+        """Write every record as one JSON object per line; returns count."""
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.records():
+                fh.write(json.dumps(record, default=repr) + "\n")
+                n += 1
+        return n
+
+    def export_prometheus(self) -> str:
+        from .exporters import to_prometheus_text
+        if self.registry is None:
+            return ""
+        return to_prometheus_text(self.registry)
+
+    def summary_text(self, top: int = 10) -> str:
+        from .report import render_report
+        return render_report(list(self.records()), top=top)
+
+    def __repr__(self) -> str:
+        state = "on" if self.on else "off"
+        return (f"<Observability {state} "
+                f"families={len(self.registry) if self.registry else 0} "
+                f"spans={len(self.tracer.spans) if self.tracer else 0}>")

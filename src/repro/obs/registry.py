@@ -1,0 +1,283 @@
+"""Labeled metrics registry keyed by the MFP feedback dimensions.
+
+The Multidimensional Feedback Principle (Section C.3) regulates the
+network *per-node, per-packet, per-method, per-message, per-multicast-
+branch and per-session* — this registry gives every subsystem one place
+to count, gauge and bucket along those dimensions so a run can answer
+"which feedback dimension fired, on which ship, at what cost".
+
+Three instrument kinds, Prometheus-shaped:
+
+* :class:`Counter` — monotonically increasing totals;
+* :class:`Gauge` — last-written levels;
+* :class:`Histogram` — fixed cumulative buckets plus sum/count.
+
+Every family carries a ``dimension`` (one of :data:`MFP_DIMENSIONS` or
+any string) and a fixed tuple of label names; children are materialised
+per label-value tuple, capped by ``max_series`` so a runaway key space
+(e.g. per-packet ids) degrades into a ``dropped_series`` count instead
+of unbounded memory.
+
+Determinism: the registry never touches the simulator's RNG streams and
+never reads wall-clock time — collecting metrics cannot perturb a
+seeded run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: MFP label taxonomy (mirrors :class:`repro.core.feedback.Dimension`,
+#: restated here so the registry stays import-light).
+PER_NODE = "per-node"
+PER_PACKET = "per-packet"
+PER_METHOD = "per-method"
+PER_MESSAGE = "per-message"
+PER_MULTICAST_BRANCH = "per-multicast-branch"
+PER_SESSION = "per-session"
+PER_CONFIGURATION = "per-configuration"
+PER_DATA_LINK = "per-data-link"
+
+MFP_DIMENSIONS = (PER_NODE, PER_PACKET, PER_METHOD, PER_MESSAGE,
+                  PER_MULTICAST_BRANCH, PER_SESSION, PER_CONFIGURATION,
+                  PER_DATA_LINK)
+
+#: Default latency buckets in simulated seconds (sub-ms to tens of s).
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class MetricError(Exception):
+    """Raised for invalid metric declarations or label use."""
+
+
+class _Child:
+    """One labeled series of a counter/gauge family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class _HistogramChild:
+    """One labeled series of a histogram family."""
+
+    __slots__ = ("bucket_counts", "sum", "count", "_edges")
+
+    def __init__(self, edges: Tuple[float, ...]):
+        self._edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)   # +inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        # Linear scan: edge lists are short (~13) and branch-predictable.
+        for i, edge in enumerate(self._edges):
+            if value <= edge:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_edge, cumulative_count)`` pairs, +inf last."""
+        out, acc = [], 0
+        for edge, n in zip(self._edges, self.bucket_counts):
+            acc += n
+            out.append((edge, acc))
+        out.append((float("inf"), acc + self.bucket_counts[-1]))
+        return out
+
+
+class _NullChild:
+    """Shared sink returned once a family overflows ``max_series``."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_CHILD = _NullChild()
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and per-labelset children."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = "", dimension: str = "",
+                 label_names: Sequence[str] = ()):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.dimension = dimension
+        self.label_names = tuple(label_names)
+        self._children: Dict[Tuple, Any] = {}
+
+    def _make_child(self):
+        return _Child()
+
+    def labels(self, *values: Any, **kw: Any) -> Any:
+        """The child series for one label-value tuple (created on demand)."""
+        if kw:
+            try:
+                values = tuple(kw[n] for n in self.label_names)
+            except KeyError as exc:
+                raise MetricError(
+                    f"{self.name}: missing label {exc}") from exc
+        if len(values) != len(self.label_names):
+            raise MetricError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {values!r}")
+        child = self._children.get(values)
+        if child is None:
+            if len(self._children) >= self.registry.max_series:
+                self.registry.dropped_series += 1
+                return _NULL_CHILD
+            child = self._make_child()
+            self._children[values] = child
+        return child
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        self.labels(**labels).inc(amount)
+
+    def series(self) -> Iterator[Tuple[Tuple, Any]]:
+        return iter(self._children.items())
+
+    @property
+    def series_count(self) -> int:
+        return len(self._children)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name} "
+                f"dim={self.dimension!r} series={len(self._children)}>")
+
+
+class Counter(MetricFamily):
+    kind = "counter"
+
+    def total(self) -> float:
+        return sum(c.value for c in self._children.values())
+
+
+class Gauge(MetricFamily):
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self.labels(**labels).set(value)
+
+
+class Histogram(MetricFamily):
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = "", dimension: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(registry, name, help=help, dimension=dimension,
+                         label_names=label_names)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise MetricError(f"{name}: histogram needs at least one bucket")
+        self.buckets = edges
+
+    def _make_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self.labels(**labels).observe(value)
+
+
+class MetricsRegistry:
+    """All metric families of one run, keyed by name.
+
+    Re-declaring a family with the same name returns the existing one
+    (so instrument modules can be imported in any order), but a kind or
+    label-schema mismatch is a hard error — silent divergence would
+    corrupt every exporter downstream.
+    """
+
+    def __init__(self, max_series: int = 4096):
+        self._families: Dict[str, MetricFamily] = {}
+        self.max_series = int(max_series)
+        self.dropped_series = 0
+
+    def _declare(self, cls, name: str, help: str, dimension: str,
+                 label_names: Sequence[str], **kw) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if (type(existing) is not cls
+                    or existing.label_names != tuple(label_names)):
+                raise MetricError(
+                    f"metric {name!r} re-declared with a different "
+                    f"kind/schema")
+            return existing
+        family = cls(self, name, help=help, dimension=dimension,
+                     label_names=label_names, **kw)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", dimension: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._declare(Counter, name, help, dimension, labels)
+
+    def gauge(self, name: str, help: str = "", dimension: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._declare(Gauge, name, help, dimension, labels)
+
+    def histogram(self, name: str, help: str = "", dimension: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._declare(Histogram, name, help, dimension, labels,
+                             buckets=buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[n] for n in sorted(self._families)]
+
+    def collect(self) -> Iterator[Dict[str, Any]]:
+        """Flat sample records (the JSONL exporter's raw material)."""
+        for family in self.families():
+            for values, child in sorted(family.series(),
+                                        key=lambda kv: repr(kv[0])):
+                labels = {n: v for n, v in zip(family.label_names, values)}
+                record: Dict[str, Any] = {
+                    "type": "metric", "kind": family.kind,
+                    "name": family.name, "dimension": family.dimension,
+                    "labels": labels,
+                }
+                if family.kind == "histogram":
+                    record["sum"] = child.sum
+                    record["count"] = child.count
+                    record["buckets"] = {
+                        ("+Inf" if edge == float("inf") else repr(edge)): n
+                        for edge, n in child.cumulative()}
+                else:
+                    record["value"] = child.value
+                yield record
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __repr__(self) -> str:
+        series = sum(f.series_count for f in self._families.values())
+        return (f"<MetricsRegistry families={len(self._families)} "
+                f"series={series} dropped={self.dropped_series}>")

@@ -1,0 +1,225 @@
+"""Causal span tracing for shuttle journeys.
+
+A *span* is one causally-scoped episode (a shuttle's whole journey, one
+hop, one docking, one jet replication).  Spans link into trees through
+``parent_id``; the context ``(trace_id, span_id)`` travels *on the
+shuttle itself* in ``packet.meta["trace"]``, so metamorphosis role
+shuttles, genetic transcoding shuttles and jet replication fan-outs all
+render as a single causal tree per originating send.
+
+Everything here is deterministic: ids come from per-tracer counters and
+timestamps are simulated seconds, so tracing a seeded run cannot change
+its outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Key under which the context rides in ``Datagram.meta``.
+TRACE_META_KEY = "trace"
+
+Context = Tuple[int, int]          # (trace_id, span_id)
+
+
+class Span:
+    """One node of a causal tree."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "node",
+                 "start", "end", "attrs")
+
+    def __init__(self, trace_id: int, span_id: int,
+                 parent_id: Optional[int], name: str, node: Any,
+                 start: float):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+
+    @property
+    def context(self) -> Context:
+        return (self.trace_id, self.span_id)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def finish(self, at: float) -> "Span":
+        self.end = at
+        return self
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"type": "span", "trace": self.trace_id,
+                "span": self.span_id, "parent": self.parent_id,
+                "name": self.name, "node": repr(self.node),
+                "start": self.start, "end": self.end,
+                "attrs": dict(self.attrs)}
+
+    def __repr__(self) -> str:
+        return (f"<Span t{self.trace_id}/s{self.span_id} {self.name} "
+                f"@{self.node} start={self.start:.6g}>")
+
+
+class SpanTracer:
+    """Collects spans and reconstructs causal trees.
+
+    ``max_spans`` bounds memory on long runs: past the cap new spans are
+    counted in :attr:`dropped` and discarded (their children simply
+    attach to the last recorded ancestor when rendered).
+    """
+
+    def __init__(self, max_spans: int = 100_000):
+        self.spans: List[Span] = []
+        self._by_id: Dict[int, Span] = {}
+        self.max_spans = int(max_spans)
+        self.dropped = 0
+        self._next_trace = 1
+        self._next_span = 1
+
+    # -- recording ---------------------------------------------------------
+    def start_trace(self, name: str, node: Any, at: float) -> Span:
+        """Open a new root span (a fresh causal tree)."""
+        span = self._record(self._next_trace, None, name, node, at)
+        if span is not None:
+            self._next_trace += 1
+            return span
+        return Span(0, 0, None, name, node, at)   # overflow: detached
+
+    def start_span(self, name: str, parent: Context, node: Any,
+                   at: float) -> Span:
+        """Open a child span under ``parent`` (a ``(trace, span)`` pair)."""
+        trace_id, parent_id = parent
+        span = self._record(trace_id, parent_id, name, node, at)
+        if span is None:
+            return Span(trace_id, parent_id, parent_id, name, node, at)
+        return span
+
+    def event(self, name: str, parent: Context, node: Any, at: float,
+              **attrs: Any) -> Span:
+        """A zero-duration child span (hop, dock, spawn...)."""
+        span = self.start_span(name, parent, node, at).finish(at)
+        span.attrs.update(attrs)
+        return span
+
+    def _record(self, trace_id: int, parent_id: Optional[int], name: str,
+                node: Any, at: float) -> Optional[Span]:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return None
+        span = Span(trace_id, self._next_span, parent_id, name, node, at)
+        self._next_span += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    # -- reconstruction ----------------------------------------------------
+    def traces(self) -> Dict[int, List[Span]]:
+        out: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans
+                if s.trace_id == span.trace_id
+                and s.parent_id == span.span_id]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def depth(self, trace_id: int) -> int:
+        """Longest root-to-leaf chain length in one trace."""
+        spans = [s for s in self.spans if s.trace_id == trace_id]
+        return tree_depth(spans)
+
+    def to_records(self) -> Iterator[Dict[str, Any]]:
+        for span in self.spans:
+            yield span.to_record()
+
+    def render(self, trace_id: int) -> str:
+        spans = [s for s in self.spans if s.trace_id == trace_id]
+        return render_span_tree(spans)
+
+    def __repr__(self) -> str:
+        return (f"<SpanTracer spans={len(self.spans)} "
+                f"traces={self._next_trace - 1} dropped={self.dropped}>")
+
+
+# ----------------------------------------------------------------------
+# Tree utilities shared with the offline report (which rebuilds spans
+# from JSONL records rather than live Span objects).
+# ----------------------------------------------------------------------
+
+def spans_from_records(records: List[Dict[str, Any]]) -> List[Span]:
+    """Rebuild :class:`Span` objects from exported JSONL records."""
+    spans = []
+    for rec in records:
+        span = Span(rec["trace"], rec["span"], rec.get("parent"),
+                    rec.get("name", "?"), rec.get("node"),
+                    rec.get("start", 0.0))
+        span.end = rec.get("end")
+        span.attrs = dict(rec.get("attrs") or {})
+        spans.append(span)
+    return spans
+
+
+def tree_depth(spans: List[Span]) -> int:
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    for s in spans:
+        by_parent.setdefault(s.parent_id, []).append(s)
+    known = {s.span_id for s in spans}
+
+    def walk(span: Span) -> int:
+        kids = by_parent.get(span.span_id, [])
+        return 1 + max((walk(k) for k in kids), default=0)
+
+    roots = [s for s in spans
+             if s.parent_id is None or s.parent_id not in known]
+    return max((walk(r) for r in roots), default=0)
+
+
+def render_span_tree(spans: List[Span]) -> str:
+    """ASCII causal tree of one trace's spans."""
+    if not spans:
+        return "(empty trace)"
+    known = {s.span_id for s in spans}
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    roots: List[Span] = []
+    for s in spans:
+        if s.parent_id is None or s.parent_id not in known:
+            roots.append(s)
+        else:
+            by_parent.setdefault(s.parent_id, []).append(s)
+    lines: List[str] = []
+
+    def label(span: Span) -> str:
+        bits = [span.name, f"node={span.node}", f"t={span.start:.4g}"]
+        if span.end is not None and span.end != span.start:
+            bits.append(f"dur={span.duration:.4g}s")
+        for key in sorted(span.attrs):
+            bits.append(f"{key}={span.attrs[key]}")
+        return "  ".join(bits)
+
+    def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(label(span))
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + label(span))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = sorted(by_parent.get(span.span_id, []),
+                      key=lambda s: (s.start, s.span_id))
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1, False)
+
+    for root in sorted(roots, key=lambda s: (s.start, s.span_id)):
+        walk(root, "", True, True)
+    return "\n".join(lines)

@@ -164,6 +164,8 @@ class WLIAdaptiveRouter:
         if self.ship is None or not self.ship.alive:
             return
         self.hellos_sent += 1
+        if self.sim.obs.on:
+            self.sim.obs.protocol_events.inc(method="routing.hello")
         table = self.route_table()
         for neighbor in sorted(self._neighbor_set(), key=repr):
             vector = {self.ship.ship_id: 0.0}
@@ -197,6 +199,8 @@ class WLIAdaptiveRouter:
             return
         self._discovering[dst] = self.sim.now + self.discovery_timeout
         self.discoveries_started += 1
+        if self.sim.obs.on:
+            self.sim.obs.protocol_events.inc(method="routing.rreq")
         request_id = next(_request_ids)
         self._seen_requests.add((self.ship.ship_id, request_id))
         rreq = Datagram(self.ship.ship_id, Datagram.BROADCAST,
@@ -245,6 +249,8 @@ class WLIAdaptiveRouter:
     def _send_reply(self, origin: NodeId, target: NodeId,
                     base_cost: int) -> None:
         self.replies_sent += 1
+        if self.sim.obs.on:
+            self.sim.obs.protocol_events.inc(method="routing.rrep")
         rrep = Datagram(self.ship.ship_id, origin, size_bytes=96, ttl=16,
                         payload={"kind": "rrep", "target": target,
                                  "cost": base_cost, "origin": origin,

@@ -94,6 +94,7 @@ class HeartbeatDetector:
             # Nodes that stopped being neighbours keep their miss slate.
         self._seen.clear()
         # 2. Send this round's heartbeats.
+        observing = self.sim.obs.on
         for ship in self.ships.values():
             if not ship.alive:
                 continue
@@ -102,6 +103,9 @@ class HeartbeatDetector:
                             payload={"kind": "heartbeat",
                                      "origin": ship.ship_id})
             self.heartbeats_sent += 1
+            if observing:
+                self.sim.obs.protocol_events.inc(
+                    method="selfheal.heartbeat")
             ship.fabric.broadcast(ship.ship_id, beat)
 
     def _peer_alive(self, peer: NodeId) -> bool:
@@ -110,6 +114,8 @@ class HeartbeatDetector:
 
     def _suspect(self, peer: NodeId, reporter: NodeId) -> None:
         self._suspected.add(peer)
+        if self.sim.obs.on:
+            self.sim.obs.protocol_events.inc(method="selfheal.suspect")
         self.sim.trace.emit("selfheal.suspect", suspect=peer,
                             reporter=reporter)
         for fn in self._handlers:

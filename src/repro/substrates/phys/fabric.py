@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Protocol, Tuple
 
+from ...obs import TRACE_META_KEY
 from ..sim import Simulator, TokenBucket
 from .packet import Datagram
 from .topology import Link, Topology, TopologyError
@@ -74,6 +75,8 @@ class NetworkFabric:
         endpoint is down, the TTL is exhausted, or random loss strikes.
         """
         self.packets_sent += 1
+        if self.sim.obs.on:
+            self.sim.obs.fabric_packets.inc(event="send", reason="")
         if not self.topology.has_link(from_node, to_node):
             return self._drop(packet, from_node, to_node, "no-link")
         link = self.topology.link(from_node, to_node)
@@ -118,6 +121,18 @@ class NetworkFabric:
         link.packets_carried += 1
         self.packets_delivered += 1
         self.bytes_delivered += packet.size_bytes
+        obs = self.sim.obs
+        if obs.on:
+            obs.fabric_packets.inc(event="deliver", reason="")
+            obs.link_bytes.inc(packet.size_bytes, link=link.name)
+            ctx = packet.meta.get(TRACE_META_KEY)
+            if ctx is not None:
+                # Chain the journey: each hop re-parents the in-flight
+                # context so the causal tree reads hop -> hop -> dock.
+                hop = obs.tracer.event(f"hop:{from_node}->{to_node}", ctx,
+                                       to_node, self.sim.now,
+                                       link=link.name, ttl=packet.ttl)
+                packet.meta[TRACE_META_KEY] = hop.context
         self.sim.trace.emit("fabric.deliver", link=link.name,
                             packet=packet.packet_id, to=to_node)
         host.receive(packet, from_node)
@@ -125,6 +140,13 @@ class NetworkFabric:
     def _drop(self, packet: Datagram, from_node: NodeId, to_node: NodeId,
               reason: str) -> bool:
         self.packets_dropped += 1
+        obs = self.sim.obs
+        if obs.on:
+            obs.fabric_packets.inc(event="drop", reason=reason)
+            ctx = packet.meta.get(TRACE_META_KEY)
+            if ctx is not None:
+                obs.tracer.event("drop", ctx, to_node, self.sim.now,
+                                 reason=reason)
         self.sim.trace.emit("fabric.drop", reason=reason,
                             packet=packet.packet_id,
                             src=from_node, dst=to_node)
@@ -133,10 +155,14 @@ class NetworkFabric:
     def broadcast(self, from_node: NodeId, packet: Datagram) -> int:
         """Send a copy to every up neighbour; returns copies sent."""
         sent = 0
+        obs = self.sim.obs
+        count_branches = obs.on
         for peer in self.topology.neighbors(from_node):
             copy = packet.clone()
             if self.send(from_node, peer, copy):
                 sent += 1
+                if count_branches:
+                    obs.multicast_branches.inc(node=from_node)
         return sent
 
     def __repr__(self) -> str:

@@ -18,8 +18,9 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional
 
+from ...obs import Observability
 from .errors import SchedulingError
 from .events import Event, NORMAL
 from .rng import RngRegistry
@@ -45,6 +46,10 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = TraceBus(self)
         self.seed = seed
+        #: Armed by ``obs.enable(profiling=True)``; ``None`` keeps the
+        #: step loop on its unprofiled fast path.
+        self._profiler = None
+        self.obs = Observability(self)
 
     # -- time -------------------------------------------------------------
     @property
@@ -111,10 +116,27 @@ class Simulator:
             if not ev.pending:
                 continue
             self._now = ev.time
-            ev.fire()
+            prof = self._profiler
+            if prof is not None:
+                t0 = prof.clock()
+                ev.fire()
+                prof.record(ev.name or "event", prof.clock() - t0,
+                            len(self._heap))
+            else:
+                ev.fire()
             self.events_executed += 1
             return True
         return False
+
+    def profile(self, top: int = 10) -> Dict[str, Any]:
+        """Kernel profile summary (per-handler wall time, queue depth,
+        events/sec).  Empty until ``obs.enable(profiling=True)`` has run
+        at least one event."""
+        if self.obs.profiler is None:
+            return {"events": 0, "wall_s": 0.0, "events_per_sec": 0.0,
+                    "max_queue_depth": 0, "mean_queue_depth": 0.0,
+                    "handlers": []}
+        return self.obs.profiler.summary(top=top)
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:

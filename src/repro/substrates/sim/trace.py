@@ -35,6 +35,10 @@ class TraceBus:
         self._subs: Dict[str, List[Subscriber]] = defaultdict(list)
         self._record_all: Optional[List[TraceRecord]] = None
         self.emitted = 0
+        #: Exceptions swallowed from subscribers (a broken analysis
+        #: callback must never abort the emitting simulation step).
+        self.subscriber_errors = 0
+        self.last_error: Optional[BaseException] = None
 
     # -- subscription -----------------------------------------------------
     def subscribe(self, prefix: str, fn: Subscriber) -> Subscriber:
@@ -42,10 +46,18 @@ class TraceBus:
         return fn
 
     def unsubscribe(self, prefix: str, fn: Subscriber) -> None:
+        subs = self._subs.get(prefix)
+        if subs is None:
+            return
         try:
-            self._subs[prefix].remove(fn)
-        except (KeyError, ValueError):
+            subs.remove(fn)
+        except ValueError:
             pass
+        if not subs:
+            # Prune: an empty list would still cost the prefix walk a
+            # truthiness check per emit, and `if not self._subs` relies
+            # on dead prefixes disappearing.
+            del self._subs[prefix]
 
     def record_all(self) -> List[TraceRecord]:
         """Start recording every emit; returns the live record list."""
@@ -56,6 +68,9 @@ class TraceBus:
     # -- emission ---------------------------------------------------------
     def emit(self, topic: str, **fields: Any) -> None:
         self.emitted += 1
+        obs = getattr(self._sim, "obs", None)
+        if obs is not None and obs.on:
+            obs.record_topic(topic)
         rec: Optional[TraceRecord] = None
         if self._record_all is not None:
             rec = TraceRecord(self._sim.now, topic, fields)
@@ -70,7 +85,11 @@ class TraceBus:
                 if rec is None:
                     rec = TraceRecord(self._sim.now, topic, fields)
                 for fn in list(subs):
-                    fn(rec)
+                    try:
+                        fn(rec)
+                    except Exception as exc:
+                        self.subscriber_errors += 1
+                        self.last_error = exc
             cut = part.rfind(".")
             if cut < 0:
                 break
