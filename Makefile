@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples verify demo figures obs-smoke all clean
+.PHONY: install test bench examples verify demo figures obs-smoke \
+	chaos-smoke all clean
 
 install:
 	pip install -e .
@@ -40,6 +41,13 @@ obs-smoke:
 	print(f'obs-smoke: {len(records)} records ok')"
 	PYTHONPATH=src $(PYTHON) -m repro report /tmp/obs-smoke.jsonl > /dev/null
 	@echo "obs-smoke: report rendered ok"
+
+# Shortest chaos campaign at a fixed seed: exits non-zero if any
+# resilience invariant (no silent loss, no double-apply, delivery
+# ratio floor) fails.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --campaign smoke --seed 7
+	@echo "chaos-smoke: invariants held"
 
 all: test bench
 

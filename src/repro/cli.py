@@ -6,6 +6,7 @@ Commands
               (``--obs-out run.jsonl`` records metrics/spans/profile);
 ``report``    render an observability report from an ``--obs-out`` file;
 ``verify``    model-check the WLI protocol specs (routing x2, jets, docking);
+``chaos``     run a named chaos campaign and assert its invariants;
 ``figures``   regenerate the paper's figure artefacts (ASCII);
 ``info``      print the library's systems inventory.
 """
@@ -46,6 +47,20 @@ def _build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify",
                             help="model-check the WLI protocol specs")
     verify.add_argument("--churn", type=int, default=2)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a chaos campaign and assert its invariants")
+    chaos.add_argument("--campaign", default="smoke",
+                       help="campaign name (see --list)")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--no-arq", action="store_true",
+                       help="fire-and-forget baseline (max_attempts=1)")
+    chaos.add_argument("--compare", action="store_true",
+                       help="run with and without ARQ, print both")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the result as JSON instead of text")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the campaign catalog and exit")
 
     figures = sub.add_parser("figures",
                              help="regenerate the figure artefacts")
@@ -153,6 +168,41 @@ def cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_chaos(args) -> int:
+    import json as _json
+
+    from .resilience import CAMPAIGNS, run_campaign
+
+    if args.list:
+        for name, campaign in sorted(CAMPAIGNS.items()):
+            print(f"{name:22s} {campaign.description}")
+        return 0
+    if args.campaign not in CAMPAIGNS:
+        known = ", ".join(sorted(CAMPAIGNS))
+        print(f"chaos: unknown campaign {args.campaign!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    results = [run_campaign(args.campaign, seed=args.seed,
+                            arq=not args.no_arq)]
+    if args.compare:
+        results.append(run_campaign(args.campaign, seed=args.seed,
+                                    arq=args.no_arq))
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in results]
+                          if len(results) > 1 else results[0].to_dict(),
+                          indent=2, default=repr))
+    else:
+        for result in results:
+            print(result.summary())
+        if args.compare:
+            on = next(r for r in results if r.arq)
+            off = next(r for r in results if not r.arq)
+            print(f"\nARQ delivery ratio {on.counts['delivery_ratio']:.4f} "
+                  f"vs fire-and-forget "
+                  f"{off.counts['delivery_ratio']:.4f}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def cmd_figures(args) -> int:
     from .core import WanderingNetwork, WanderingNetworkConfig
     from .functions import CachingRole, FusionRole
@@ -191,6 +241,8 @@ def cmd_info(_args) -> int:
         "  routing:    WLI adaptive ad-hoc, DV/flooding baselines,",
         "              QoS overlays",
         "  selfheal:   heartbeats, genome archive, reconstruction",
+        "  resilience: ARQ shuttle transport, circuit breakers,",
+        "              dead-letter queue, chaos campaigns",
         "  verify:     TLA-style checker + protocol specs",
     ]:
         print(line)
@@ -213,6 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": cmd_demo,
         "report": cmd_report,
         "verify": cmd_verify,
+        "chaos": cmd_chaos,
         "figures": cmd_figures,
         "info": cmd_info,
     }[args.command]

@@ -25,11 +25,13 @@ Implementations live in :mod:`repro.routing`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..functions import (NextStepRole, Role, RoleCatalog,
                          SecurityManagementRole, default_catalog)
 from ..obs import TRACE_META_KEY
+from ..resilience.wire import ACK_KIND, ARQ_META_KEY
 from ..substrates.hardware import Backplane, GateFabric, HardwareError
 from ..substrates.nodeos import Action, NodeOS, NodeOSError
 from ..substrates.phys import Datagram, NetworkFabric
@@ -55,6 +57,10 @@ class Ship(Ployon):
     """An active mobile re-configurable node of a Wandering Network."""
 
     manifestation = Manifestation.SHIP
+
+    #: Bound on the replay-suppression ledgers (oldest entries evicted),
+    #: so long runs cannot grow them without limit.
+    LEDGER_CAP = 4096
 
     def __init__(self, sim: Simulator, fabric: NetworkFabric,
                  ship_id: Hashable,
@@ -110,6 +116,19 @@ class Ship(Ployon):
         self.shuttles_processed = 0
         self.shuttles_rejected = 0
         self.jets_replicated = 0
+
+        #: At-least-once delivery hardening (repro.resilience): replayed
+        #: shuttles are recognised by their ARQ message id and answered
+        #: from this ledger instead of re-running their directives.
+        self.dedup_enabled = True
+        self._shuttle_ledger: "OrderedDict[str, Dict[str, Any]]" = \
+            OrderedDict()
+        self._absorbed_kqs: "OrderedDict[int, None]" = OrderedDict()
+        self.duplicate_shuttles = 0
+        #: Directives of one message applied more than once — stays zero
+        #: while dedup is on; chaos campaigns assert it network-wide.
+        self.double_applied = 0
+        self.acks_sent = 0
         #: (time, tier, delay) per reconfiguration: tiers are
         #: "activate" / "software" / "hardware" (Figure 2's cost ladder).
         self.reconfig_events: List[Tuple[float, str, float]] = []
@@ -375,11 +394,49 @@ class Ship(Ployon):
             self.sim.trace.emit("ship.drop.noroute", ship=self.ship_id,
                                 dst=packet.dst)
             return False
+        breakers = self.fabric.breakers
+        if breakers is not None and breakers.blocked(self.ship_id, hop):
+            alt = self._reroute_around(hop, packet.dst, breakers)
+            if alt is not None:
+                if obs.on:
+                    obs.resilience_events.inc(event="reroute")
+                self.sim.trace.emit("ship.reroute", ship=self.ship_id,
+                                    avoided=hop, via=alt, dst=packet.dst)
+                hop = alt
         self._comm[hop] = self._comm.get(hop, 0) + 1
         self.packets_forwarded += 1
         if obs.on:
             obs.node_packets.inc(node=self.ship_id, event="forward")
         return self.fabric.send(self.ship_id, hop, packet)
+
+    def _reroute_around(self, blocked_hop: Hashable, dst: Hashable,
+                        breakers) -> Optional[Hashable]:
+        """An alternate first hop avoiding a tripped breaker.
+
+        Prefers neighbours the routing layer can route onward from;
+        falls back to any non-blocked up neighbour (the TTL bounds any
+        detour loops).  Returns None when every alternative is blocked
+        — the send then proceeds on the original hop and fails fast at
+        the fabric, which is what feeds the breaker's recovery probes.
+        """
+        fallback = None
+        for neighbor in self.neighbors():
+            if neighbor == blocked_hop \
+                    or breakers.blocked(self.ship_id, neighbor):
+                continue
+            if neighbor == dst:
+                return neighbor
+            onward = None
+            if self.router is not None:
+                try:
+                    onward = self.router.next_hop(neighbor, dst)
+                except Exception:
+                    onward = None
+            if onward is not None and onward != self.ship_id:
+                return neighbor
+            if fallback is None:
+                fallback = neighbor
+        return fallback
 
     def deliver_local(self, packet: Datagram,
                       from_node: Optional[Hashable]) -> None:
@@ -497,6 +554,25 @@ class Ship(Ployon):
         obs = self.sim.obs
         observing = obs.on
         ctx = shuttle.meta.get(TRACE_META_KEY) if observing else None
+        # -- at-least-once hardening: suppress replayed deliveries ------
+        arq = shuttle.meta.get(ARQ_META_KEY)
+        if arq is not None and self.dedup_enabled:
+            cached = self._shuttle_ledger.get(arq["msg"])
+            if cached is not None:
+                self.duplicate_shuttles += 1
+                if observing:
+                    obs.resilience_events.inc(event="duplicate")
+                    if ctx is not None:
+                        obs.tracer.event(f"duplicate:{self.ship_id}", ctx,
+                                         self.ship_id, self.sim.now,
+                                         msg=arq["msg"])
+                self.sim.trace.emit("ship.shuttle.duplicate",
+                                    ship=self.ship_id,
+                                    shuttle=shuttle.packet_id,
+                                    msg=arq["msg"])
+                # Re-ack: the original ack may be the thing that was lost.
+                self._send_arq_ack(arq, duplicate=True)
+                return dict(cached)
         # -- DCP: the approaching shuttle must match our interface ------
         requirements = self.requirements()
         if not shuttle.compatible_with(requirements):
@@ -522,6 +598,7 @@ class Ship(Ployon):
                 self.sim.trace.emit("ship.shuttle.reject",
                                     ship=self.ship_id,
                                     shuttle=shuttle.packet_id)
+                self._finish_arq(arq, report)
                 return report
         ship_before = self.structure()
         # Interpretation costs CPU proportional to cargo size.
@@ -551,7 +628,39 @@ class Ship(Ployon):
                             shuttle=shuttle.packet_id,
                             applied=len(report["applied"]),
                             denied=len(report["denied"]))
+        self._finish_arq(arq, report)
         return report
+
+    def _finish_arq(self, arq: Optional[Dict[str, Any]],
+                    report: Dict[str, Any]) -> None:
+        """Record the outcome in the replay ledger and ack the source."""
+        if arq is None:
+            return
+        msg = arq["msg"]
+        if msg in self._shuttle_ledger:
+            # Only reachable with dedup disabled: the directives of this
+            # message ran a second time.
+            self.double_applied += 1
+        self._ledger_put(self._shuttle_ledger, msg, dict(report))
+        self._send_arq_ack(arq)
+
+    def _ledger_put(self, ledger: OrderedDict, key, value) -> None:
+        ledger[key] = value
+        ledger.move_to_end(key)
+        while len(ledger) > self.LEDGER_CAP:
+            ledger.popitem(last=False)
+
+    def _send_arq_ack(self, arq: Dict[str, Any],
+                      duplicate: bool = False) -> None:
+        ack = Datagram(self.ship_id, arq["src"], size_bytes=64,
+                       payload={"kind": ACK_KIND, "msg": arq["msg"],
+                                "origin": self.ship_id,
+                                "duplicate": duplicate},
+                       created_at=self.sim.now)
+        self.acks_sent += 1
+        if self.sim.obs.on:
+            self.sim.obs.resilience_events.inc(event="ack")
+        self.send_toward(ack)
 
     def _capability_for(self, op: str) -> str:
         if op in (OP_INSTALL_CODE, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,
@@ -655,6 +764,14 @@ class Ship(Ployon):
 
     def _deploy_quantum(self, d: Directive, cred) -> None:
         kq = d.args["quantum"]
+        # Retransmitted shuttles carry the *same* quantum object, so its
+        # id is a stable dedup key: absorbing twice would double-count
+        # the snapshot weights under at-least-once delivery.
+        if self.dedup_enabled and kq.kq_id in self._absorbed_kqs:
+            self.sim.trace.emit("ship.kq.duplicate", ship=self.ship_id,
+                                kq=kq.kq_id, fn=kq.function_id)
+            return
+        self._ledger_put(self._absorbed_kqs, kq.kq_id, None)
         self.knowledge.absorb_quantum(kq, self.sim.now)
         if d.args.get("auto_acquire") and kq.function_id in self.catalog \
                 and not self.has_role(kq.function_id):

@@ -137,6 +137,28 @@ class Observability:
             "Threshold-controller transitions per feedback dimension.",
             dimension=PER_CONFIGURATION,
             labels=("dimension", "metric", "direction"))
+        # per-message: the resilience layer (repro.resilience).
+        self.resilience_events = r.counter(
+            "repro_resilience_arq_total",
+            "Reliable-transport events "
+            "(send/retry/delivered/ack/duplicate/reroute/dead-letter).",
+            dimension=PER_MESSAGE, labels=("event",))
+        self.arq_delivery_latency = r.histogram(
+            "repro_resilience_delivery_seconds",
+            "End-to-end acked delivery latency (first send to ack).",
+            dimension=PER_MESSAGE, labels=(), buckets=DEFAULT_BUCKETS)
+        self.dlq_depth = r.gauge(
+            "repro_resilience_dlq_depth",
+            "Current dead-letter queue depth.",
+            dimension=PER_MESSAGE, labels=())
+        self.breaker_transitions = r.counter(
+            "repro_resilience_breaker_transitions_total",
+            "Circuit-breaker state transitions per directed link.",
+            dimension=PER_DATA_LINK, labels=("link", "state"))
+        self.false_suspicions = r.counter(
+            "repro_selfheal_false_suspicions_total",
+            "Heartbeat suspicions later cleared by a live heartbeat.",
+            dimension=PER_NODE, labels=("node",))
         # trace-bus bridge: every legacy emit() lands here too.
         self.trace_topics = r.counter(
             "repro_trace_topic_total",

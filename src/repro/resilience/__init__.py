@@ -1,0 +1,54 @@
+"""repro.resilience — the reliability layer between ships and the fabric.
+
+Footnote 18's self-healing claim ("a fault-tolerant network which
+adapts automatically to defects in its node connectivity") needs more
+than reconstruction: the reconfiguration directives themselves must
+survive the faults.  This package makes shuttle transport reliable and
+continuously proves it under injected failures:
+
+* :class:`ReliableTransport` — per-shuttle end-to-end acks,
+  retransmission with exponential backoff and deterministic jitter, and
+  a :class:`DeadLetterQueue` so nothing is ever lost silently;
+* :class:`LinkBreakerRegistry` / :class:`CircuitBreaker` — per-link
+  circuit breakers (closed/open/half-open) wired into the fabric: flappy
+  links fail fast and ships reroute around them;
+* receiver-side idempotency lives in :class:`repro.core.ship.Ship`
+  (shuttle ledger keyed by the ARQ message id, knowledge-quantum dedup),
+  making at-least-once delivery apply-exactly-once;
+* :mod:`repro.resilience.chaos` — named chaos campaigns (``repro
+  chaos``) that compose :class:`~repro.substrates.phys.failures.
+  FailureInjector` scenarios and assert the invariants above.
+
+``chaos`` imports the full WN stack, so it is loaded lazily to keep the
+core free of import cycles.
+"""
+
+from .arq import PendingDelivery, ReliableTransport
+from .breaker import (CLOSED, HALF_OPEN, OPEN, CircuitBreaker,
+                      LinkBreakerRegistry)
+from .dlq import (ALL_REASONS, REASON_CANCELLED, REASON_MAX_ATTEMPTS,
+                  REASON_SHUTDOWN, REASON_SOURCE_DEAD, DeadLetter,
+                  DeadLetterQueue)
+from .wire import ACK_KIND, ARQ_META_KEY
+
+__all__ = [
+    "ReliableTransport", "PendingDelivery",
+    "CircuitBreaker", "LinkBreakerRegistry", "CLOSED", "OPEN", "HALF_OPEN",
+    "DeadLetterQueue", "DeadLetter", "ALL_REASONS",
+    "REASON_MAX_ATTEMPTS", "REASON_SOURCE_DEAD", "REASON_SHUTDOWN",
+    "REASON_CANCELLED",
+    "ARQ_META_KEY", "ACK_KIND",
+    # lazily resolved from .chaos:
+    "CAMPAIGNS", "Campaign", "CampaignResult", "ChaosHarness",
+    "run_campaign",
+]
+
+_CHAOS_NAMES = {"CAMPAIGNS", "Campaign", "CampaignResult", "ChaosHarness",
+                "run_campaign"}
+
+
+def __getattr__(name):
+    if name in _CHAOS_NAMES:
+        from . import chaos
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

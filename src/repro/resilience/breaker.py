@@ -1,0 +1,193 @@
+"""Per-link circuit breakers: an MFP per-data-link feedback loop.
+
+A link that flaps or eats packets repeatedly trips its breaker *open*:
+further sends over it fail fast (no token-bucket wait, no in-flight
+simulation) and the ship-level data path reroutes around it via the
+routing layer.  After a cooldown the breaker goes *half-open* and admits
+a bounded number of probe transmissions; a probe delivery closes it, a
+probe loss re-opens it.
+
+State machine::
+
+    CLOSED --(failures >= threshold)--> OPEN
+    OPEN   --(cooldown elapsed, next admit)--> HALF_OPEN
+    HALF_OPEN --(probe success)--> CLOSED
+    HALF_OPEN --(probe failure)--> OPEN
+
+Breakers are deterministic: they read ``sim.now`` only and never draw
+from RNG streams, so enabling them cannot perturb unrelated draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+NodeId = Hashable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Fabric drop reasons that indicate a link-level transport fault (and
+#: therefore count against the breaker).  Structural reasons (no-link,
+#: ttl, no-host) and the breaker's own fast-fails do not.
+FAULT_REASONS = frozenset({"link-down", "node-down", "loss", "in-flight"})
+
+
+class CircuitBreaker:
+    """One directed link's breaker."""
+
+    __slots__ = ("sim", "name", "failure_threshold", "cooldown",
+                 "half_open_probes", "state", "consecutive_failures",
+                 "opened_at", "probes_in_flight", "times_opened",
+                 "_on_transition")
+
+    def __init__(self, sim, name: str, failure_threshold: int = 4,
+                 cooldown: float = 10.0, half_open_probes: int = 1,
+                 on_transition=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.sim = sim
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.half_open_probes = int(half_open_probes)
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probes_in_flight = 0
+        self.times_opened = 0
+        self._on_transition = on_transition
+
+    def _transition(self, new_state: str) -> None:
+        old, self.state = self.state, new_state
+        if new_state == OPEN:
+            self.opened_at = self.sim.now
+            self.times_opened += 1
+            self.probes_in_flight = 0
+        elif new_state == CLOSED:
+            self.consecutive_failures = 0
+            self.probes_in_flight = 0
+        if self._on_transition is not None:
+            self._on_transition(self.name, old, new_state)
+
+    # -- admission ---------------------------------------------------------
+    def admit(self) -> bool:
+        """May one transmission proceed right now?  Consumes a probe slot
+        when half-open."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.sim.now - self.opened_at < self.cooldown:
+                return False
+            self._transition(HALF_OPEN)
+        # half-open: admit a bounded number of concurrent probes.
+        if self.probes_in_flight >= self.half_open_probes:
+            return False
+        self.probes_in_flight += 1
+        return True
+
+    def blocked(self) -> bool:
+        """Pure check (no probe consumed): is the link currently
+        fail-fast?  Half-open links are *not* blocked — probe traffic
+        must be able to choose them."""
+        return (self.state == OPEN
+                and self.sim.now - self.opened_at < self.cooldown)
+
+    # -- outcome feedback --------------------------------------------------
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED)
+        else:
+            self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            self._transition(OPEN)
+            return
+        if self.state == CLOSED:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.failure_threshold:
+                self._transition(OPEN)
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.name} {self.state} "
+                f"failures={self.consecutive_failures}>")
+
+
+class LinkBreakerRegistry:
+    """Directed per-link breakers wired into a :class:`NetworkFabric`.
+
+    Install with :meth:`install`; the fabric then consults
+    :meth:`admit` before transmitting and reports every delivery/drop
+    outcome back, and ships consult :meth:`blocked` to reroute around
+    tripped links.
+    """
+
+    def __init__(self, sim, failure_threshold: int = 4,
+                 cooldown: float = 10.0, half_open_probes: int = 1):
+        self.sim = sim
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.half_open_probes = int(half_open_probes)
+        self._breakers: Dict[Tuple[NodeId, NodeId], CircuitBreaker] = {}
+        #: (time, link_name, from_state, to_state) transition log.
+        self.transitions: List[Tuple[float, str, str, str]] = []
+
+    def install(self, fabric) -> "LinkBreakerRegistry":
+        fabric.breakers = self
+        return self
+
+    def breaker(self, a: NodeId, b: NodeId) -> CircuitBreaker:
+        key = (a, b)
+        brk = self._breakers.get(key)
+        if brk is None:
+            brk = CircuitBreaker(self.sim, f"{a}->{b}",
+                                 failure_threshold=self.failure_threshold,
+                                 cooldown=self.cooldown,
+                                 half_open_probes=self.half_open_probes,
+                                 on_transition=self._record_transition)
+            self._breakers[key] = brk
+        return brk
+
+    def _record_transition(self, name: str, old: str, new: str) -> None:
+        self.transitions.append((self.sim.now, name, old, new))
+        if self.sim.obs.on:
+            self.sim.obs.breaker_transitions.inc(link=name, state=new)
+        self.sim.trace.emit("resilience.breaker", link=name,
+                            frm=old, to=new)
+
+    # -- fabric-facing hooks ----------------------------------------------
+    def admit(self, a: NodeId, b: NodeId) -> bool:
+        return self.breaker(a, b).admit()
+
+    def blocked(self, a: NodeId, b: NodeId) -> bool:
+        brk = self._breakers.get((a, b))
+        return brk is not None and brk.blocked()
+
+    def record_success(self, a: NodeId, b: NodeId) -> None:
+        self.breaker(a, b).record_success()
+
+    def record_drop(self, a: NodeId, b: NodeId, reason: str) -> None:
+        if reason in FAULT_REASONS:
+            self.breaker(a, b).record_failure()
+
+    # -- inspection --------------------------------------------------------
+    def state_of(self, a: NodeId, b: NodeId) -> Optional[str]:
+        brk = self._breakers.get((a, b))
+        return brk.state if brk is not None else None
+
+    def open_links(self) -> List[str]:
+        return sorted(b.name for b in self._breakers.values()
+                      if b.state == OPEN)
+
+    def __len__(self) -> int:
+        return len(self._breakers)
+
+    def __repr__(self) -> str:
+        states: Dict[str, int] = {}
+        for brk in self._breakers.values():
+            states[brk.state] = states.get(brk.state, 0) + 1
+        return f"<LinkBreakerRegistry links={len(self)} {states}>"

@@ -1,0 +1,496 @@
+"""Chaos campaigns: continuous proof of the resilience invariants.
+
+A *campaign* is a named, seeded scenario that composes the existing
+:class:`~repro.substrates.phys.failures.FailureInjector` primitives
+(random link storms, scripted partitions, node crashes timed against
+genome snapshots) over a small Wandering Network, drives a steady
+reconfiguration-shuttle workload through the
+:class:`~repro.resilience.arq.ReliableTransport`, and then *asserts*
+the invariants the resilience layer promises:
+
+* **no silent loss** — every shuttle handed to the transport is either
+  acknowledged or dead-lettered with a reason: ``delivered + dlq ==
+  sent`` exactly;
+* **no double-apply** — at-least-once retransmission never applies one
+  message's directives twice (receiver-side ledger + kq dedup);
+* campaign-specific checks — delivery ratio floors, healing counts,
+  false-suspicion behaviour under partitions.
+
+Campaigns drain before judging: the injector stops (cancelling its
+pending failures *and* repairs), everything repairable is repaired, and
+the simulator runs past the worst-case retransmission backoff so each
+in-flight delivery resolves one way or the other.  The final counts are
+folded into a digest so identical seeds are bit-for-bit comparable
+across runs (``repro chaos --campaign smoke --seed 7`` twice must print
+the same digest).
+
+Run from the CLI (``repro chaos``) or programmatically via
+:func:`run_campaign`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..core.shuttle import OP_ACQUIRE_ROLE, OP_SET_NEXT_STEP, Directive, \
+    Shuttle
+from ..core.wandering_network import WanderingNetwork, \
+    WanderingNetworkConfig
+from ..selfheal import GenomeArchive, HeartbeatDetector, SelfHealer
+from ..substrates.phys import grid_topology
+from ..substrates.phys.failures import FailureInjector
+from .arq import ReliableTransport
+from .breaker import LinkBreakerRegistry
+
+NodeId = Hashable
+Check = Callable[["ChaosHarness", Dict[str, Any]], Tuple[str, bool, str]]
+
+#: Roles cycled through by the workload (all in the default catalog).
+WORKLOAD_ROLES = ("fn.caching", "fn.filtering", "fn.transcoding",
+                  "fn.fusion")
+
+
+class Campaign:
+    """A named chaos scenario: topology, fault model, workload, checks."""
+
+    def __init__(self, name: str, description: str, *,
+                 rows: int = 3, cols: int = 3,
+                 duration: float = 60.0, warmup: float = 5.0,
+                 settle: Optional[float] = None,
+                 send_interval: float = 2.0,
+                 loss_rate: float = 0.0,
+                 link_mtbf: Optional[float] = None,
+                 link_mttr: float = 10.0,
+                 node_mtbf: Optional[float] = None,
+                 node_mttr: float = 30.0,
+                 selfheal: bool = False,
+                 heartbeat_interval: float = 5.0,
+                 archive_interval: float = 10.0,
+                 breakers: bool = True,
+                 breaker_threshold: int = 4,
+                 breaker_cooldown: float = 10.0,
+                 base_timeout: float = 2.0,
+                 max_timeout: float = 20.0,
+                 max_attempts: int = 5,
+                 jitter: float = 0.25,
+                 script: Optional[Callable[["ChaosHarness"], None]] = None,
+                 checks: Tuple[Check, ...] = ()):
+        self.name = name
+        self.description = description
+        self.rows = rows
+        self.cols = cols
+        self.duration = float(duration)
+        self.warmup = float(warmup)
+        self.settle = settle
+        self.send_interval = float(send_interval)
+        self.loss_rate = float(loss_rate)
+        self.link_mtbf = link_mtbf
+        self.link_mttr = float(link_mttr)
+        self.node_mtbf = node_mtbf
+        self.node_mttr = float(node_mttr)
+        self.selfheal = selfheal
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.archive_interval = float(archive_interval)
+        self.breakers = breakers
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.base_timeout = float(base_timeout)
+        self.max_timeout = float(max_timeout)
+        self.max_attempts = int(max_attempts)
+        self.jitter = float(jitter)
+        self.script = script
+        self.checks = tuple(checks)
+
+    def settle_time(self) -> float:
+        """Long enough for the deepest backoff chain to resolve."""
+        if self.settle is not None:
+            return float(self.settle)
+        total = sum(min(self.base_timeout * 2.0 ** k, self.max_timeout)
+                    for k in range(self.max_attempts))
+        return total * (1.0 + self.jitter) + 10.0
+
+    def __repr__(self) -> str:
+        return f"<Campaign {self.name} {self.rows}x{self.cols} " \
+               f"duration={self.duration}>"
+
+
+class CampaignResult:
+    """Counts, invariant verdicts and the reproducibility digest."""
+
+    def __init__(self, campaign: str, seed: int, arq: bool,
+                 counts: Dict[str, Any],
+                 invariants: List[Dict[str, Any]]):
+        self.campaign = campaign
+        self.seed = seed
+        self.arq = arq
+        self.counts = counts
+        self.invariants = invariants
+        payload = json.dumps({"campaign": campaign, "seed": seed,
+                              "arq": arq, "counts": counts},
+                             sort_keys=True, default=repr)
+        self.digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def ok(self) -> bool:
+        return all(inv["ok"] for inv in self.invariants)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"campaign": self.campaign, "seed": self.seed,
+                "arq": self.arq, "ok": self.ok, "digest": self.digest,
+                "counts": self.counts, "invariants": self.invariants}
+
+    def summary(self) -> str:
+        lines = [f"campaign {self.campaign} seed={self.seed} "
+                 f"arq={'on' if self.arq else 'off'} digest={self.digest}"]
+        c = self.counts
+        lines.append(
+            f"  sent={c['sent']} delivered={c['delivered']} "
+            f"retries={c['retries']} dlq={c['dlq']} "
+            f"ratio={c['delivery_ratio']:.4f}")
+        if c["dlq_reasons"]:
+            reasons = ", ".join(f"{k}={v}"
+                                for k, v in sorted(c["dlq_reasons"].items()))
+            lines.append(f"  dead letters: {reasons}")
+        lines.append(
+            f"  duplicates={c['duplicates']} "
+            f"double_applied={c['double_applied']} "
+            f"breaker_transitions={c['breaker_transitions']} "
+            f"heals={c['heals']} false_suspicions={c['false_suspicions']}")
+        for inv in self.invariants:
+            mark = "PASS" if inv["ok"] else "FAIL"
+            lines.append(f"  [{mark}] {inv['name']}: {inv['detail']}")
+        return "\n".join(lines)
+
+
+class ShuttleWorkload:
+    """Steady stream of reconfiguration shuttles between random ships."""
+
+    STREAM = "chaos.workload"
+
+    def __init__(self, harness: "ChaosHarness", interval: float = 2.0,
+                 roles: Tuple[str, ...] = WORKLOAD_ROLES):
+        self.harness = harness
+        self.interval = float(interval)
+        self.roles = roles
+        self._role_ix = 0
+        self._task = None
+        self.sent = 0
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = self.harness.sim.every(self.interval, self._tick)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        alive = [s for s in self.harness.wn.ships.values() if s.alive]
+        if len(alive) < 2:
+            return
+        rng = self.harness.sim.rng.stream(self.STREAM)
+        src = alive[rng.randrange(len(alive))]
+        dst = src
+        while dst is src:
+            dst = alive[rng.randrange(len(alive))]
+        role = self.roles[self._role_ix % len(self.roles)]
+        self._role_ix += 1
+        shuttle = Shuttle(src.ship_id, dst.ship_id,
+                          directives=[
+                              Directive(OP_ACQUIRE_ROLE, role_id=role),
+                              Directive(OP_SET_NEXT_STEP, role_id=role)],
+                          credential=self.harness.wn.credential,
+                          interface=src.interface)
+        self.harness.transport.send(src.ship_id, shuttle)
+        self.sent += 1
+
+
+class ChaosHarness:
+    """Builds the stack for one campaign run and executes its phases."""
+
+    def __init__(self, campaign: Campaign, seed: int = 0,
+                 arq: bool = True, observability: bool = True):
+        self.campaign = campaign
+        self.seed = int(seed)
+        self.arq = bool(arq)
+        #: Scratch space scripts use to hand victims etc. to checks.
+        self.notes: Dict[str, Any] = {}
+        config = WanderingNetworkConfig(
+            seed=seed, router="static",
+            loss_rate=campaign.loss_rate,
+            resonance_enabled=False,
+            horizontal_wandering=False, vertical_wandering=False,
+            audits_enabled=False,
+            # Park the autopoietic loop far beyond the campaign: the
+            # workload is the only shuttle source, so the accounting
+            # invariants are exact.
+            pulse_interval=1e9, publish_interval=1e9)
+        self.wn = WanderingNetwork(grid_topology(campaign.rows,
+                                                 campaign.cols),
+                                   config)
+        self.sim = self.wn.sim
+        if observability:
+            self.sim.obs.enable()
+        self.breakers: Optional[LinkBreakerRegistry] = None
+        if campaign.breakers:
+            self.breakers = LinkBreakerRegistry(
+                self.sim,
+                failure_threshold=campaign.breaker_threshold,
+                cooldown=campaign.breaker_cooldown).install(self.wn.fabric)
+        self.transport = ReliableTransport(
+            self.sim, self.wn.ships,
+            base_timeout=campaign.base_timeout,
+            max_timeout=campaign.max_timeout,
+            max_attempts=campaign.max_attempts if self.arq else 1,
+            jitter=campaign.jitter)
+        self.workload = ShuttleWorkload(self,
+                                        interval=campaign.send_interval)
+        self.injector = FailureInjector(
+            self.sim, self.wn.topology,
+            link_mtbf=campaign.link_mtbf, link_mttr=campaign.link_mttr,
+            node_mtbf=campaign.node_mtbf, node_mttr=campaign.node_mttr)
+        self.archive: Optional[GenomeArchive] = None
+        self.detector: Optional[HeartbeatDetector] = None
+        self.healer: Optional[SelfHealer] = None
+        if campaign.selfheal:
+            self.archive = GenomeArchive(
+                self.sim, self.wn.ships,
+                interval=campaign.archive_interval)
+            self.detector = HeartbeatDetector(
+                self.sim, self.wn.ships,
+                interval=campaign.heartbeat_interval)
+            self.healer = SelfHealer(self.sim, self.wn.ships,
+                                     self.archive, self.detector,
+                                     self.wn.catalog)
+
+    # -- phases ------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        c = self.campaign
+        if self.archive is not None:
+            self.archive.start()
+        if self.detector is not None:
+            self.detector.start()
+        # Warmup: heartbeats/snapshots establish steady state.
+        self.sim.run(until=c.warmup)
+        if c.script is not None:
+            c.script(self)
+        self.injector.start()
+        self.workload.start()
+        self.sim.run(until=c.warmup + c.duration)
+        self._drain()
+        return self._judge()
+
+    def _drain(self) -> None:
+        """Stop injecting, repair the world, let deliveries resolve."""
+        self.workload.stop()
+        self.injector.stop()     # quiescent: pending repairs cancelled...
+        self._repair_all()       # ...so we repair deterministically here.
+        self.sim.run(until=self.sim.now + self.campaign.settle_time())
+        self.transport.finalize()
+
+    def _repair_all(self) -> None:
+        topology = self.wn.topology
+        for node in topology.nodes:
+            ship = self.wn.ships.get(node)
+            if not topology.node_up(node) and ship is not None \
+                    and ship.alive:
+                # Crashed (injector) but not dead (SRP.2): repairable.
+                topology.set_node_state(node, True)
+        for link in topology.links:
+            if not link.up:
+                topology.set_link_state(link.a, link.b, True)
+
+    # -- verdicts ----------------------------------------------------------
+    def _counts(self) -> Dict[str, Any]:
+        t = self.transport
+        ships = list(self.wn.ships.values())
+        return {
+            "sent": t.sent,
+            "delivered": t.delivered,
+            "retries": t.retries,
+            "late_acks": t.late_acks,
+            "dlq": len(t.dlq),
+            "dlq_reasons": t.dlq.by_reason(),
+            "duplicates": sum(s.duplicate_shuttles for s in ships),
+            "double_applied": sum(s.double_applied for s in ships),
+            "acks_sent": sum(s.acks_sent for s in ships),
+            "link_failures": self.injector.link_failures,
+            "node_failures": self.injector.node_failures,
+            "breaker_transitions": (len(self.breakers.transitions)
+                                    if self.breakers else 0),
+            "false_suspicions": (self.detector.false_suspicions
+                                 if self.detector else 0),
+            "heals": len(self.healer.events) if self.healer else 0,
+            "delivery_ratio": round(t.delivery_ratio, 6),
+            "mean_latency": round(t.mean_latency, 6),
+        }
+
+    def _judge(self) -> CampaignResult:
+        counts = self._counts()
+        invariants: List[Dict[str, Any]] = []
+
+        def add(name: str, ok: bool, detail: str) -> None:
+            invariants.append({"name": name, "ok": bool(ok),
+                               "detail": detail})
+
+        gap = counts["sent"] - counts["delivered"] - counts["dlq"]
+        add("no-silent-loss", gap == 0,
+            f"sent={counts['sent']} delivered={counts['delivered']} "
+            f"dlq={counts['dlq']} gap={gap}")
+        add("no-double-apply", counts["double_applied"] == 0,
+            f"double_applied={counts['double_applied']} "
+            f"duplicates_suppressed={counts['duplicates']}")
+        for check in self.campaign.checks:
+            name, ok, detail = check(self, counts)
+            add(name, ok, detail)
+        return CampaignResult(self.campaign.name, self.seed, self.arq,
+                              counts, invariants)
+
+
+# -- campaign scripts and checks -------------------------------------------
+
+def _min_ratio(threshold: float) -> Check:
+    def check(harness: ChaosHarness,
+              counts: Dict[str, Any]) -> Tuple[str, bool, str]:
+        ratio = counts["delivery_ratio"]
+        if not harness.arq:
+            # Baseline runs exist to show how much worse fire-and-forget
+            # is; they report the ratio but never fail on it.
+            return ("delivery-ratio", True,
+                    f"{ratio:.4f} (arq off, informational)")
+        return ("delivery-ratio", ratio >= threshold,
+                f"{ratio:.4f} >= {threshold}")
+    return check
+
+
+def _script_crash_snapshot(harness: ChaosHarness) -> None:
+    """Kill the centre ship exactly when a genome snapshot is due."""
+    victim = (1, 1)
+    harness.notes["victim"] = victim
+    at = harness.archive.interval * 3
+    harness.sim.call_at(at, harness.wn.ships[victim].die,
+                        name="chaos-crash")
+
+
+def _script_partition(harness: ChaosHarness) -> None:
+    """Cut column 0 off the grid; repair 30 s later.
+
+    Every cross-cut neighbour goes silent without dying — the failure
+    detector must suspect and then retract (false suspicions), and the
+    healer must not transcribe anybody's genome.
+    """
+    for r in range(harness.campaign.rows):
+        harness.injector.fail_link_now((r, 0), (r, 1), repair_after=30.0)
+
+
+def _script_crash_during_heal(harness: ChaosHarness) -> None:
+    """Kill the first victim's surrogate shortly after its heal —
+    after the next snapshot has archived the transplanted roles — so
+    healing has to cascade onto a third ship."""
+    victim = (0, 0)
+    harness.notes["victim"] = victim
+    harness.sim.call_at(harness.archive.interval * 2,
+                        harness.wn.ships[victim].die, name="chaos-crash")
+    state = {"armed": True}
+
+    def on_heal(rec) -> None:
+        if not state["armed"] or rec.fields.get("dead") != victim:
+            return
+        state["armed"] = False
+        surrogate = rec.fields["surrogate"]
+        harness.notes["surrogate"] = surrogate
+        harness.sim.call_in(harness.campaign.archive_interval + 2.0,
+                            harness.wn.ships[surrogate].die,
+                            name="chaos-crash-surrogate")
+
+    harness.sim.trace.subscribe("selfheal.heal", on_heal)
+
+
+def _check_heals(minimum: int) -> Check:
+    def check(harness: ChaosHarness,
+              counts: Dict[str, Any]) -> Tuple[str, bool, str]:
+        return ("healed", counts["heals"] >= minimum,
+                f"heals={counts['heals']} >= {minimum}")
+    return check
+
+
+def _check_no_heals(harness: ChaosHarness,
+                    counts: Dict[str, Any]) -> Tuple[str, bool, str]:
+    return ("no-spurious-heal", counts["heals"] == 0,
+            f"heals={counts['heals']} == 0")
+
+
+def _check_false_suspicions(harness: ChaosHarness,
+                            counts: Dict[str, Any]) -> Tuple[str, bool, str]:
+    return ("false-suspicion-detected", counts["false_suspicions"] > 0,
+            f"false_suspicions={counts['false_suspicions']} > 0")
+
+
+def _check_restoration(key: str) -> Check:
+    def check(harness: ChaosHarness,
+              counts: Dict[str, Any]) -> Tuple[str, bool, str]:
+        node = harness.notes.get(key)
+        if node is None:
+            return (f"restoration-{key}", False, f"no {key} recorded")
+        ratio = harness.healer.restoration_ratio(node)
+        return (f"restoration-{key}", ratio >= 0.99,
+                f"{key}={node} ratio={ratio:.2f}")
+    return check
+
+
+CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in [
+    Campaign(
+        "smoke",
+        "Short link-flap run on a 3x3 grid; CI-sized ARQ sanity check.",
+        rows=3, cols=3, duration=60.0, send_interval=2.0,
+        loss_rate=0.005, link_mtbf=20.0, link_mttr=5.0,
+        checks=(_min_ratio(0.95),)),
+    Campaign(
+        "link-storm",
+        "Sustained random link flaps (MTBF 60 s, MTTR 10 s) plus 1% "
+        "packet loss; ARQ must hold the delivery ratio above 0.99.",
+        rows=3, cols=4, duration=300.0, send_interval=2.0,
+        loss_rate=0.01, link_mtbf=60.0, link_mttr=10.0,
+        checks=(_min_ratio(0.99),)),
+    Campaign(
+        "node-crash-snapshot",
+        "Centre ship dies at the instant a genome snapshot fires; the "
+        "healer must still reconstruct every archived role.",
+        rows=3, cols=3, duration=90.0, send_interval=2.0,
+        selfheal=True,
+        script=_script_crash_snapshot,
+        checks=(_check_heals(1), _check_restoration("victim"))),
+    Campaign(
+        "partition-suspect",
+        "Column cut for 30 s: silent-but-alive peers must produce false "
+        "suspicions, retractions, and zero heals.",
+        rows=3, cols=3, duration=90.0, send_interval=2.0,
+        selfheal=True,
+        script=_script_partition,
+        checks=(_check_false_suspicions, _check_no_heals,
+                _min_ratio(0.95))),
+    Campaign(
+        "crash-during-heal",
+        "The surrogate chosen by the first heal is killed right after "
+        "absorbing the victim's roles; healing must cascade.",
+        rows=3, cols=3, duration=150.0, send_interval=2.0,
+        selfheal=True,
+        script=_script_crash_during_heal,
+        checks=(_check_heals(2), _check_restoration("victim"),
+                _check_restoration("surrogate"))),
+]}
+
+
+def run_campaign(name: str, seed: int = 0, arq: bool = True,
+                 observability: bool = True) -> CampaignResult:
+    """Build, run and judge one named campaign."""
+    campaign = CAMPAIGNS.get(name)
+    if campaign is None:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise KeyError(f"unknown campaign {name!r} (known: {known})")
+    harness = ChaosHarness(campaign, seed=seed, arq=arq,
+                           observability=observability)
+    return harness.run()

@@ -1,0 +1,84 @@
+"""Dead-letter queue: the "no silent loss" ledger.
+
+Every shuttle handed to the reliable transport ends in exactly one of
+two places: acknowledged delivery, or a dead letter carrying a reason
+code.  The chaos campaigns assert ``delivered + dead-lettered == sent``
+— any gap means a shuttle evaporated without a paper trail, which is
+precisely the failure mode the fire-and-forget fabric had.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, NamedTuple, Optional
+
+#: The transport exhausted its retransmission budget.
+REASON_MAX_ATTEMPTS = "max-attempts"
+#: The originating ship died; nobody is left to retransmit.
+REASON_SOURCE_DEAD = "source-dead"
+#: The campaign/run ended with the delivery still unresolved.
+REASON_SHUTDOWN = "unresolved-at-shutdown"
+#: The sender explicitly abandoned the delivery.
+REASON_CANCELLED = "cancelled"
+
+ALL_REASONS = (REASON_MAX_ATTEMPTS, REASON_SOURCE_DEAD,
+               REASON_SHUTDOWN, REASON_CANCELLED)
+
+
+class DeadLetter(NamedTuple):
+    time: float
+    msg_id: str
+    src: Hashable
+    dst: Hashable
+    attempts: int
+    reason: str
+    shuttle: Optional[object]
+
+
+class DeadLetterQueue:
+    """Records permanently undeliverable shuttles with reason codes."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._items: List[DeadLetter] = []
+        self.total_pushed = 0
+
+    def push(self, msg_id: str, src: Hashable, dst: Hashable,
+             attempts: int, reason: str, shuttle=None) -> DeadLetter:
+        if reason not in ALL_REASONS:
+            raise ValueError(f"unknown dead-letter reason {reason!r}")
+        entry = DeadLetter(self.sim.now, msg_id, src, dst, attempts,
+                           reason, shuttle)
+        self._items.append(entry)
+        self.total_pushed += 1
+        obs = self.sim.obs
+        if obs.on:
+            obs.dlq_depth.set(len(self._items))
+        self.sim.trace.emit("resilience.dlq", msg=msg_id, reason=reason,
+                            src=src, dst=dst, attempts=attempts)
+        return entry
+
+    def by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self._items:
+            counts[entry.reason] = counts.get(entry.reason, 0) + 1
+        return counts
+
+    def drain(self) -> List[DeadLetter]:
+        """Remove and return every entry (for replay/inspection)."""
+        items, self._items = self._items, []
+        if self.sim.obs.on:
+            self.sim.obs.dlq_depth.set(0)
+        return items
+
+    @property
+    def items(self) -> List[DeadLetter]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"<DeadLetterQueue depth={len(self._items)} {self.by_reason()}>"

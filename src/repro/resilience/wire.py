@@ -1,0 +1,17 @@
+"""Wire-level constants of the reliability layer.
+
+This module is intentionally import-free: both the ship core (which
+emits acks and deduplicates replays) and the transport (which stamps
+outgoing shuttles) depend on these names, and neither may import the
+other.
+"""
+
+#: Key under which a reliable delivery context rides in ``packet.meta``.
+#: The value is ``{"msg": <stable message id>, "src": <origin node>}``;
+#: it survives :meth:`Shuttle.clone`, so every retransmission of one
+#: logical shuttle carries the same message id.
+ARQ_META_KEY = "arq"
+
+#: ``payload["kind"]`` of the end-to-end acknowledgement datagram a ship
+#: returns to ``meta["arq"]["src"]`` after docking a tracked shuttle.
+ACK_KIND = "arq-ack"

@@ -42,6 +42,10 @@ class HeartbeatDetector:
         self._suspected: Set[NodeId] = set()
         self._handlers: List[SuspicionHandler] = []
         self.heartbeats_sent = 0
+        #: Suspicions raised against a peer that was in fact alive
+        #: (partition or congestion, not death) — the detector's
+        #: false-positive count.
+        self.false_suspicions = 0
         self._task = None
         for ship in ships.values():
             ship.on_deliver(self._make_sink(ship.ship_id))
@@ -84,7 +88,9 @@ class HeartbeatDetector:
                 if self._seen.get(key, 0) > 0:
                     self._misses[key] = 0
                     if peer in self._suspected and self._peer_alive(peer):
-                        self._suspected.discard(peer)
+                        # Heartbeating again and alive: the suspicion
+                        # was wrong (partition healed, congestion eased).
+                        self.clear_suspicion(peer)
                 else:
                     misses = self._misses.get(key, 0) + 1
                     self._misses[key] = misses
@@ -126,6 +132,14 @@ class HeartbeatDetector:
         return set(self._suspected)
 
     def clear_suspicion(self, peer: NodeId) -> None:
+        """Retract a suspicion.  A retraction of a peer that is alive
+        counts as a false suspicion (the detector fired on a partition
+        or congestion, not a death)."""
+        if peer in self._suspected and self._peer_alive(peer):
+            self.false_suspicions += 1
+            if self.sim.obs.on:
+                self.sim.obs.false_suspicions.inc(node=peer)
+            self.sim.trace.emit("selfheal.false_suspicion", suspect=peer)
         self._suspected.discard(peer)
         for key in list(self._misses):
             if key[1] == peer:

@@ -51,7 +51,9 @@ class GenomeArchive:
 
     def snapshot_all(self) -> int:
         count = 0
-        for ship in self.ships.values():
+        # Iterate a copy: encoding a genome can run arbitrary role code,
+        # and chaos scenarios kill (or spawn) ships mid-snapshot.
+        for ship in list(self.ships.values()):
             if ship.alive:
                 self._genomes[ship.ship_id] = encode_ship(ship,
                                                           self.sim.now)
@@ -91,9 +93,16 @@ class SelfHealer:
         self._death_times: Dict[NodeId, float] = {}
         detector.on_suspicion(self._on_suspicion)
         sim.trace.subscribe("ship.die", self._on_death_trace)
+        sim.trace.subscribe("ship.born", self._on_birth_trace)
 
     def _on_death_trace(self, rec) -> None:
         self._death_times[rec.fields["ship"]] = rec.time
+
+    def _on_birth_trace(self, rec) -> None:
+        # A reborn ship is a fresh life: if it dies again it deserves a
+        # fresh heal, so the done-marker must not outlive the death it
+        # was recorded for.
+        self._healed.discard(rec.fields["ship"])
 
     # -- healing ------------------------------------------------------------
     def _on_suspicion(self, suspect: NodeId, reporter: NodeId) -> None:
@@ -101,8 +110,6 @@ class SelfHealer:
         if ship is not None and ship.alive:
             # False suspicion (partition, congestion): do not heal.
             self.detector.clear_suspicion(suspect)
-            return
-        if suspect in self._healed:
             return
         self.heal(suspect)
 
@@ -123,6 +130,12 @@ class SelfHealer:
                                   repr(s.ship_id)))
 
     def heal(self, dead: NodeId) -> Optional[HealingEvent]:
+        # Guarded here (not only at the suspicion handler) so that
+        # concurrent suspicions from several observers — or a direct
+        # heal() call racing the detector — cannot transcribe the same
+        # genome twice.
+        if dead in self._healed:
+            return None
         genome = self.archive.genome_of(dead)
         if genome is None:
             self.sim.trace.emit("selfheal.no_genome", ship=dead)

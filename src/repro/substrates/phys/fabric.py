@@ -38,6 +38,10 @@ class NetworkFabric:
         self.loss_rate = float(loss_rate)
         self._hosts: Dict[NodeId, Host] = {}
         self._buckets: Dict[Tuple, TokenBucket] = {}
+        #: Optional per-link circuit breakers (a
+        #: :class:`repro.resilience.LinkBreakerRegistry` installs itself
+        #: here); ``None`` keeps the legacy fire-and-forget behavior.
+        self.breakers = None
         self.packets_sent = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
@@ -79,6 +83,10 @@ class NetworkFabric:
             self.sim.obs.fabric_packets.inc(event="send", reason="")
         if not self.topology.has_link(from_node, to_node):
             return self._drop(packet, from_node, to_node, "no-link")
+        if self.breakers is not None \
+                and not self.breakers.admit(from_node, to_node):
+            # Tripped breaker: fail fast, no bucket wait, no in-flight.
+            return self._drop(packet, from_node, to_node, "breaker-open")
         link = self.topology.link(from_node, to_node)
         if not link.up:
             return self._drop(packet, from_node, to_node, "link-down")
@@ -121,6 +129,8 @@ class NetworkFabric:
         link.packets_carried += 1
         self.packets_delivered += 1
         self.bytes_delivered += packet.size_bytes
+        if self.breakers is not None:
+            self.breakers.record_success(from_node, to_node)
         obs = self.sim.obs
         if obs.on:
             obs.fabric_packets.inc(event="deliver", reason="")
@@ -140,6 +150,8 @@ class NetworkFabric:
     def _drop(self, packet: Datagram, from_node: NodeId, to_node: NodeId,
               reason: str) -> bool:
         self.packets_dropped += 1
+        if self.breakers is not None:
+            self.breakers.record_drop(from_node, to_node, reason)
         obs = self.sim.obs
         if obs.on:
             obs.fabric_packets.inc(event="drop", reason=reason)

@@ -47,23 +47,42 @@ class FailureInjector:
         self.node_failures = 0
         self.history: List[Tuple[float, str, object]] = []
         self._running = False
+        #: Every scheduled failure/repair event, so :meth:`stop` can
+        #: cancel them all — stopping must be quiescent (no failure *or
+        #: repair* fires afterwards), which chaos campaigns rely on when
+        #: they drain the network for their final accounting.
+        self._pending: List[object] = []
 
     def _exp(self, mean: float, stream: str) -> float:
         return self.sim.rng.stream(stream).expovariate(1.0 / mean)
+
+    def _schedule(self, delay: float, fn, *args, name: str):
+        self._pending = [e for e in self._pending if e.pending]
+        event = self.sim.call_in(delay, fn, *args, name=name)
+        self._pending.append(event)
+        return event
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
         if self.link_mtbf:
-            self.sim.call_in(self._exp(self.link_mtbf, "fail.link"),
-                             self._fail_link, name="fail-link")
+            self._schedule(self._exp(self.link_mtbf, "fail.link"),
+                           self._fail_link, name="fail-link")
         if self.node_mtbf:
-            self.sim.call_in(self._exp(self.node_mtbf, "fail.node"),
-                             self._fail_node, name="fail-node")
+            self._schedule(self._exp(self.node_mtbf, "fail.node"),
+                           self._fail_node, name="fail-node")
 
     def stop(self) -> None:
+        """Stop injecting *and* cancel everything already scheduled.
+
+        Restartable: a later :meth:`start` re-arms the arrival processes.
+        """
         self._running = False
+        for event in self._pending:
+            if event.pending:
+                event.cancel()
+        self._pending.clear()
 
     # -- link failures ----------------------------------------------------
     def _fail_link(self) -> None:
@@ -78,10 +97,10 @@ class FailureInjector:
             self.history.append((self.sim.now, "link-down", link.name))
             self.sim.trace.emit("failure.link.down", link=link.name,
                                 a=link.a, b=link.b)
-            self.sim.call_in(self._exp(self.link_mttr, "fail.link.repair"),
-                             self._repair_link, link, name="repair-link")
-        self.sim.call_in(self._exp(self.link_mtbf, "fail.link"),
-                         self._fail_link, name="fail-link")
+            self._schedule(self._exp(self.link_mttr, "fail.link.repair"),
+                           self._repair_link, link, name="repair-link")
+        self._schedule(self._exp(self.link_mtbf, "fail.link"),
+                       self._fail_link, name="fail-link")
 
     def _repair_link(self, link) -> None:
         if not self.topology.has_link(link.a, link.b):
@@ -105,10 +124,10 @@ class FailureInjector:
             self.node_failures += 1
             self.history.append((self.sim.now, "node-down", node))
             self.sim.trace.emit("failure.node.down", node=node)
-            self.sim.call_in(self._exp(self.node_mttr, "fail.node.repair"),
-                             self._repair_node, node, name="repair-node")
-        self.sim.call_in(self._exp(self.node_mtbf, "fail.node"),
-                         self._fail_node, name="fail-node")
+            self._schedule(self._exp(self.node_mttr, "fail.node.repair"),
+                           self._repair_node, node, name="repair-node")
+        self._schedule(self._exp(self.node_mtbf, "fail.node"),
+                       self._fail_node, name="fail-node")
 
     def _repair_node(self, node: NodeId) -> None:
         if node in self.topology.nodes:
@@ -126,8 +145,8 @@ class FailureInjector:
         self.sim.trace.emit("failure.link.down",
                             link=self.topology.link(a, b).name, a=a, b=b)
         if repair_after is not None:
-            self.sim.call_in(repair_after, self._repair_link,
-                             self.topology.link(a, b), name="repair-link")
+            self._schedule(repair_after, self._repair_link,
+                           self.topology.link(a, b), name="repair-link")
 
     def fail_node_now(self, node: NodeId,
                       repair_after: Optional[float] = None) -> None:
@@ -136,5 +155,5 @@ class FailureInjector:
         self.history.append((self.sim.now, "node-down", node))
         self.sim.trace.emit("failure.node.down", node=node)
         if repair_after is not None:
-            self.sim.call_in(repair_after, self._repair_node, node,
-                             name="repair-node")
+            self._schedule(repair_after, self._repair_node, node,
+                           name="repair-node")

@@ -84,6 +84,62 @@ class TestGenomeArchive:
         genome = archive.genome_of(1)
         assert FusionRole.role_id in genome.modal_roles
 
+    def test_never_snapshotted_ship_has_no_genome(self):
+        sim, topo, fabric, ships, catalog = healing_network(3)
+        archive = GenomeArchive(sim, ships, interval=5.0)
+        assert archive.genome_of(0) is None
+        assert archive.genome_of("never-existed") is None
+        assert len(archive) == 0
+
+    def test_snapshot_survives_ship_death_mid_iteration(self):
+        sim, topo, fabric, ships, catalog = healing_network(4)
+
+        class RacerShip(Ship):
+            """Mutates the fleet dict while its own genome is encoded —
+            the race a chaos node-crash lands in the middle of a
+            snapshot sweep."""
+            race = None
+
+            def comm_pattern(self):
+                if RacerShip.race is not None:
+                    fire, RacerShip.race = RacerShip.race, None
+                    fire()
+                return super().comm_pattern()
+
+        topo.add_node("racer")
+        racer = RacerShip(sim, fabric, "racer", catalog=catalog,
+                          router=StaticRouter(topo))
+        ships["racer"] = racer
+
+        def crash_and_join():
+            ships[2].die()
+            del ships[3]
+            ships["late"] = object.__new__(Ship)  # placeholder entry
+            ships["late"].alive = False
+
+        RacerShip.race = crash_and_join
+        archive = GenomeArchive(sim, ships, interval=5.0)
+        count = archive.snapshot_all()     # must not raise RuntimeError
+        assert count >= 1
+        assert archive.genome_of("racer") is not None
+
+    def test_stop_start_cycles(self):
+        sim, topo, fabric, ships, catalog = healing_network(3)
+        archive = GenomeArchive(sim, ships, interval=5.0)
+        archive.start()
+        archive.start()                    # idempotent
+        sim.run(until=11.0)
+        taken = archive.snapshots_taken
+        assert taken >= 3                  # t=0, 5, 10
+        archive.stop()
+        archive.stop()                     # idempotent
+        sim.call_in(20.0, lambda: None)
+        sim.run(until=31.0)
+        assert archive.snapshots_taken == taken
+        archive.start()
+        sim.run(until=45.0)
+        assert archive.snapshots_taken > taken
+
 
 class TestSelfHealer:
     def wire(self, n=5):
@@ -120,6 +176,44 @@ class TestSelfHealer:
         detector._suspect(3, 2)
         assert healer.events == []
         assert 3 not in detector.suspected  # cleared
+
+    def test_false_suspicion_counted_and_traced(self):
+        sim, topo, ships, archive, detector, healer = self.wire()
+        traced = []
+        sim.trace.subscribe("selfheal.false_suspicion",
+                            lambda rec: traced.append(rec.fields))
+        detector._suspect(3, 2)             # alive: healer retracts it
+        assert detector.false_suspicions == 1
+        assert traced == [{"suspect": 3}]
+        ships[4].die()
+        detector._suspect(4, 2)             # genuinely dead: no false tick
+        assert detector.false_suspicions == 1
+
+    def test_direct_double_heal_guarded(self):
+        sim, topo, ships, archive, detector, healer = self.wire()
+        ships[2].acquire_role(CachingRole())
+        archive.snapshot_all()
+        ships[2].die()
+        assert healer.heal(2) is not None
+        assert healer.heal(2) is None       # guarded in heal() itself
+        assert len(healer.events) == 1
+
+    def test_reborn_ship_healed_again(self):
+        sim, topo, ships, archive, detector, healer = self.wire()
+        ships[2].acquire_role(CachingRole())
+        archive.snapshot_all()
+        ships[2].die()
+        assert healer.heal(2) is not None
+        # Node genesis: a fresh ship is born under the same id.  Its
+        # birth clears the healed marker, so a second death heals again.
+        topo.set_node_state(2, True)
+        ships[2] = Ship(sim, ships[3].fabric, 2,
+                        catalog=healer.catalog,
+                        router=ships[3].router)
+        archive.snapshot_all()
+        ships[2].die()
+        assert healer.heal(2) is not None
+        assert len(healer.events) == 2
 
     def test_heal_without_genome_is_noop(self):
         sim, topo, fabric, ships, catalog = healing_network(3)
