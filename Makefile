@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples verify demo figures obs-smoke \
-	chaos-smoke all clean
+	chaos-smoke lint all clean
 
 install:
 	pip install -e .
@@ -41,6 +41,19 @@ obs-smoke:
 	print(f'obs-smoke: {len(records)} records ok')"
 	PYTHONPATH=src $(PYTHON) -m repro report /tmp/obs-smoke.jsonl > /dev/null
 	@echo "obs-smoke: report rendered ok"
+
+# Static analysis gate: the custom determinism linter is mandatory;
+# ruff and mypy run when installed (pip install -e .[lint]) and are
+# skipped with a notice otherwise, so the target works in minimal
+# containers.  CI installs both, so all three gates bind there.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/ --statistics
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else echo "lint: ruff not installed, skipping"; fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else echo "lint: mypy not installed, skipping"; fi
 
 # Shortest chaos campaign at a fixed seed: exits non-zero if any
 # resilience invariant (no silent loss, no double-apply, delivery

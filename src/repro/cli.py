@@ -7,6 +7,7 @@ Commands
 ``report``    render an observability report from an ``--obs-out`` file;
 ``verify``    model-check the WLI protocol specs (routing x2, jets, docking);
 ``chaos``     run a named chaos campaign and assert its invariants;
+``lint``      run the determinism linter (VIA rules) over source trees;
 ``figures``   regenerate the paper's figure artefacts (ASCII);
 ``info``      print the library's systems inventory.
 """
@@ -61,6 +62,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the result as JSON instead of text")
     chaos.add_argument("--list", action="store_true",
                        help="list the campaign catalog and exit")
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism linter (VIA rules)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids (e.g. "
+                           "VIA001,VIA003)")
+    lint.add_argument("--statistics", action="store_true",
+                      help="append a per-rule tally to the text report")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
 
     figures = sub.add_parser("figures",
                              help="regenerate the figure artefacts")
@@ -190,7 +206,7 @@ def cmd_chaos(args) -> int:
     if args.json:
         print(_json.dumps([r.to_dict() for r in results]
                           if len(results) > 1 else results[0].to_dict(),
-                          indent=2, default=repr))
+                          indent=2, sort_keys=True, default=repr))
     else:
         for result in results:
             print(result.summary())
@@ -201,6 +217,31 @@ def cmd_chaos(args) -> int:
                   f"vs fire-and-forget "
                   f"{off.counts['delivery_ratio']:.4f}")
     return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_lint(args) -> int:
+    from .staticcheck import (LintError, lint_paths, lint_self,
+                              render_json, render_rule_catalog,
+                              render_text)
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    select = ([part.strip() for part in args.select.split(",")
+               if part.strip()] if args.select else None)
+    try:
+        if args.paths:
+            findings = lint_paths(args.paths, select=select)
+        else:
+            findings = lint_self(select=select)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, statistics=args.statistics))
+    return 1 if findings else 0
 
 
 def cmd_figures(args) -> int:
@@ -266,6 +307,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "verify": cmd_verify,
         "chaos": cmd_chaos,
+        "lint": cmd_lint,
         "figures": cmd_figures,
         "info": cmd_info,
     }[args.command]

@@ -48,6 +48,19 @@ from .shuttle import (OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE, OP_DEPLOY_QUANTUM,
 
 DeliveryHandler = Callable[[Datagram, Hashable], None]
 
+#: Process-wide admission verifier (repro.staticcheck).  Shared so the
+#: carried-code lint cache is filled once per role class, not once per
+#: ship; imported lazily because staticcheck itself imports core types.
+_ADMISSION_VERIFIER = None
+
+
+def _shared_admission_verifier():
+    global _ADMISSION_VERIFIER
+    if _ADMISSION_VERIFIER is None:
+        from ..staticcheck.admission import AdmissionVerifier
+        _ADMISSION_VERIFIER = AdmissionVerifier()
+    return _ADMISSION_VERIFIER
+
 
 class ShipError(Exception):
     """Raised for invalid ship operations."""
@@ -116,6 +129,12 @@ class Ship(Ployon):
         self.shuttles_processed = 0
         self.shuttles_rejected = 0
         self.jets_replicated = 0
+
+        #: Static admission gate (repro.staticcheck): every docking
+        #: shuttle's payload is vetted before any directive executes.
+        self.admission = _shared_admission_verifier()
+        self.admission_enabled = True
+        self.shuttles_admission_rejected = 0
 
         #: At-least-once delivery hardening (repro.resilience): replayed
         #: shuttles are recognised by their ARQ message id and answered
@@ -600,6 +619,34 @@ class Ship(Ployon):
                                     shuttle=shuttle.packet_id)
                 self._finish_arq(arq, report)
                 return report
+        # -- static admission (repro.staticcheck): reject poison payloads
+        # before anything executes.  The vet is pure (no RNG draws, no
+        # sim events, no shuttle mutation), so a rejection cannot perturb
+        # the run digest of unaffected traffic.
+        if self.admission_enabled:
+            verdict = self.admission.vet(shuttle, self)
+            if not verdict.ok:
+                self.shuttles_rejected += 1
+                self.shuttles_admission_rejected += 1
+                report["rejected"] = f"admission:{verdict.reason_code}"
+                report["admission"] = list(verdict.reasons)
+                if observing:
+                    obs.shuttle_events.inc(node=self.ship_id,
+                                           event="reject")
+                    obs.rejected_quanta.inc(node=self.ship_id,
+                                            reason=verdict.reason_code)
+                    for rule in verdict.lint_rules:
+                        obs.lint_findings.inc(rule=rule)
+                    if ctx is not None:
+                        obs.tracer.event(f"reject:{self.ship_id}", ctx,
+                                         self.ship_id, self.sim.now,
+                                         reason=report["rejected"])
+                self.sim.trace.emit("ship.shuttle.admission.reject",
+                                    ship=self.ship_id,
+                                    shuttle=shuttle.packet_id,
+                                    reason=verdict.reason_code)
+                self._finish_arq(arq, report)
+                return report
         ship_before = self.structure()
         # Interpretation costs CPU proportional to cargo size.
         self.nodeos.execute_capsule(shuttle.size_bytes, category="shuttle")
@@ -661,6 +708,19 @@ class Ship(Ployon):
         if self.sim.obs.on:
             self.sim.obs.resilience_events.inc(event="ack")
         self.send_toward(ack)
+
+    def vet_shuttle(self, shuttle: Shuttle,
+                    check_authorization: bool = False):
+        """Statically vet a shuttle against this ship without docking it.
+
+        The sender-side "would this land?" precheck: with
+        ``check_authorization=True`` the verdict additionally proves
+        every directive's required action against this ship's
+        SecurityManager policy (a pure query — no denial is recorded).
+        Returns the :class:`~repro.staticcheck.admission.Verdict`.
+        """
+        return self.admission.vet(shuttle, self,
+                                  check_authorization=check_authorization)
 
     def _capability_for(self, op: str) -> str:
         if op in (OP_INSTALL_CODE, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,

@@ -47,6 +47,18 @@ ALL_OPS = (OP_INSTALL_CODE, OP_INSTALL_DRIVER, OP_LOAD_BITSTREAM,
            OP_SET_NEXT_STEP, OP_DEPLOY_QUANTUM, OP_TRANSCRIBE_GENOME,
            OP_REQUEST_STATE)
 
+#: Key under which a shuttle's construction-time manifest rides in
+#: ``meta`` (SRP.1 self-description; verified at admission).
+MANIFEST_META_KEY = "manifest"
+
+
+def shuttle_manifest(directives: Iterable["Directive"]) -> tuple:
+    """The self-description a shuttle declares at construction: the
+    ordered op sequence of its cargo.  The admission verifier recomputes
+    this at the dock — en-route tampering (a privileged directive spliced
+    into a signed shuttle) shows up as a manifest mismatch."""
+    return tuple(d.op for d in directives)
+
 
 class Directive:
     """One reconfiguration instruction carried by a shuttle."""
@@ -116,6 +128,10 @@ class Shuttle(Datagram, Ployon):
         self.target_class = target_class
         self.morphs = 0
         self.data = data
+        # SRP.1: the shuttle describes its own cargo up front.  clone()
+        # and spawn_copy() overwrite meta with the original's copy, which
+        # is consistent because they carry the same directive list.
+        self.meta[MANIFEST_META_KEY] = shuttle_manifest(directives)
 
     # -- ployon structure (DCP vocabulary) -----------------------------------
     def structure(self) -> Dict[str, Any]:

@@ -159,6 +159,17 @@ class Observability:
             "repro_selfheal_false_suspicions_total",
             "Heartbeat suspicions later cleared by a live heartbeat.",
             dimension=PER_NODE, labels=("node",))
+        # per-message: the static admission gate (repro.staticcheck).
+        self.rejected_quanta = r.counter(
+            "repro_staticcheck_rejected_total",
+            "Shuttle payloads rejected by the static admission verifier "
+            "before execution, by reason code.",
+            dimension=PER_MESSAGE, labels=("node", "reason"))
+        self.lint_findings = r.counter(
+            "repro_staticcheck_lint_findings_total",
+            "Determinism-lint findings (VIA rules) in statically vetted "
+            "mobile code.",
+            dimension=PER_METHOD, labels=("rule",))
         # trace-bus bridge: every legacy emit() lands here too.
         self.trace_topics = r.counter(
             "repro_trace_topic_total",
@@ -199,7 +210,8 @@ class Observability:
         n = 0
         with open(path, "w", encoding="utf-8") as fh:
             for record in self.records():
-                fh.write(json.dumps(record, default=repr) + "\n")
+                fh.write(json.dumps(record, sort_keys=True, default=repr)
+                         + "\n")
                 n += 1
         return n
 

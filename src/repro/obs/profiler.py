@@ -57,9 +57,12 @@ class KernelProfiler:
 
     # -- hot path ----------------------------------------------------------
     def clock(self) -> float:
+        # Host wall time IS the profiled quantity here; it never feeds
+        # simulation state.
         if self.wall_started is None:
+            # via: ignore[VIA003] host wall time is the measurement
             self.wall_started = perf_counter()
-        return perf_counter()
+        return perf_counter()  # via: ignore[VIA003] host wall time
 
     def record(self, name: str, elapsed_s: float, queue_depth: int) -> None:
         stats = self.handlers.get(name)
@@ -73,6 +76,7 @@ class KernelProfiler:
         self._depth_sum += queue_depth
         if queue_depth > self.max_queue_depth:
             self.max_queue_depth = queue_depth
+        # via: ignore[VIA003] host wall time IS the profiled quantity
         self.wall_last = perf_counter()
 
     # -- summaries ---------------------------------------------------------

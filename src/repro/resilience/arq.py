@@ -23,7 +23,7 @@ the ARQ's at-least-once delivery effectively exactly-once application.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable
 
 from .dlq import (DeadLetterQueue, REASON_MAX_ATTEMPTS, REASON_SHUTDOWN,
                   REASON_SOURCE_DEAD)

@@ -119,7 +119,6 @@ class WLIAdaptiveRouter:
         return len(dead)
 
     def route_table(self) -> Dict[NodeId, Tuple[NodeId, float]]:
-        now = self.sim.now
         return {dst: (r.next_hop, r.cost)
                 for dst, r in self.routes.items() if self._alive(r)}
 

@@ -1,0 +1,38 @@
+"""repro.staticcheck — the standing static-correctness gate.
+
+Two layers:
+
+* a **determinism linter** (rules VIA001+, :mod:`repro.staticcheck.rules`)
+  that walks the repo's own modules and flags nondeterminism hazards —
+  global RNG use, wall-clock reads, unordered set expansion, unsorted
+  JSON digests, allocator-dependent ordering — with per-line suppression
+  pragmas and text/JSON reporters (``repro lint``, ``make lint``, CI);
+* a **static admission verifier**
+  (:class:`~repro.staticcheck.admission.AdmissionVerifier`) that vets a
+  docked shuttle's payload — directive schemas, knowledge-quantum
+  bounds, construction-time manifests, a determinism lint of carried
+  code — and rejects poison payloads *before*
+  ``Ship._apply_directive`` executes anything.
+"""
+
+from .admission import (DIRECTIVE_SCHEMAS, MAX_DIRECTIVES,
+                        MAX_QUANTUM_BYTES, MAX_QUANTUM_FACTS,
+                        MAX_SHUTTLE_BYTES, REQUIRED_ACTIONS,
+                        AdmissionVerifier, Verdict)
+from .engine import (LintError, iter_python_files, lint_paths,
+                     lint_source, normalize_select)
+from .reporters import (count_by_rule, render_json, render_rule_catalog,
+                        render_text)
+from .rules import MOBILE_CODE_RULES, RULES, DeterminismVisitor, Finding
+from .selfcheck import lint_self, package_root
+
+__all__ = [
+    "RULES", "MOBILE_CODE_RULES", "Finding", "DeterminismVisitor",
+    "LintError", "lint_source", "lint_paths", "iter_python_files",
+    "normalize_select",
+    "render_text", "render_json", "render_rule_catalog", "count_by_rule",
+    "AdmissionVerifier", "Verdict", "DIRECTIVE_SCHEMAS",
+    "REQUIRED_ACTIONS", "MAX_DIRECTIVES", "MAX_SHUTTLE_BYTES",
+    "MAX_QUANTUM_FACTS", "MAX_QUANTUM_BYTES",
+    "lint_self", "package_root",
+]

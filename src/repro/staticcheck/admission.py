@@ -1,0 +1,282 @@
+"""Static admission verifier for mobile code (shuttles, jets, quanta).
+
+SRP.1 demands that ships admit only well-behaved, self-describing code
+("be fair and cooperative ... or be excluded"); DarwinNet-style systems
+vet agent-synthesized protocol code *before* activation.  This module is
+that gate: :meth:`AdmissionVerifier.vet` inspects a docked shuttle's
+payload — directive schemas, knowledge-quantum well-formedness and size
+bounds, the construction-time manifest, and a determinism lint of any
+carried code — and returns a :class:`Verdict` *before*
+``Ship._apply_directive`` executes anything.
+
+The checks are pure: no RNG draws, no simulator events, no mutation of
+the shuttle or the ship.  A rejected shuttle therefore cannot perturb
+the run digest of unaffected traffic, which the chaos/digest tests rely
+on.
+
+Two modes:
+
+* **structural** (the ship-dock default): reject payloads that could
+  never apply cleanly under any credential — unknown ops, malformed or
+  mistyped arguments, oversized or ill-formed quanta, tampered
+  manifests, nondeterminism hazards in carried code.  Authorization
+  stays a per-directive runtime concern so partially-authorized
+  shuttles keep their paper semantics (apply what you may, deny the
+  rest).
+* **authorization** (``check_authorization=True``): additionally prove,
+  against the receiving ship's :class:`SecurityManager` policy, that
+  every directive's required action would be granted — the sender-side
+  "will this shuttle land?" precheck.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..core.genetics import Genome
+from ..core.knowledge import KnowledgeQuantum
+from ..core.shuttle import (ALL_OPS, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,
+                            OP_DEPLOY_QUANTUM, OP_INSTALL_CODE,
+                            OP_INSTALL_DRIVER, OP_LOAD_BITSTREAM,
+                            OP_RELEASE_ROLE, OP_REQUEST_STATE,
+                            OP_SET_NEXT_STEP, OP_TRANSCRIBE_GENOME,
+                            Shuttle, shuttle_manifest)
+from ..substrates.hardware import Bitstream
+from ..substrates.nodeos import Action, CodeModule
+from .engine import lint_source
+from .rules import MOBILE_CODE_RULES
+
+# -- payload bounds (resource access control, Kulkarni & Minden) ----------
+#: A quantum may carry at most this many fact snapshots ...
+MAX_QUANTUM_FACTS = 64
+#: ... and at most this many wire bytes.
+MAX_QUANTUM_BYTES = 64 + 48 * MAX_QUANTUM_FACTS
+#: One shuttle may carry at most this many directives ...
+MAX_DIRECTIVES = 64
+#: ... and at most this many cargo bytes.
+MAX_SHUTTLE_BYTES = 1 << 20
+
+#: op -> (required argument schema, optional argument schema); each
+#: schema maps the argument name to the accepted type tuple.  ``object``
+#: means "any value" (hashable addresses etc.).
+DIRECTIVE_SCHEMAS: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
+    OP_INSTALL_CODE: ({"module": (CodeModule,)}, {}),
+    OP_INSTALL_DRIVER: ({"module": (CodeModule,)}, {}),
+    OP_LOAD_BITSTREAM: ({"bitstream": (Bitstream,)}, {}),
+    OP_ACQUIRE_ROLE: ({"role_id": (str,)},
+                      {"module": (CodeModule,), "modal": (bool,)}),
+    OP_ACTIVATE_ROLE: ({"role_id": (str,)}, {}),
+    OP_RELEASE_ROLE: ({"role_id": (str,)}, {}),
+    OP_SET_NEXT_STEP: ({"role_id": (str,)}, {}),
+    OP_DEPLOY_QUANTUM: ({"quantum": (KnowledgeQuantum,)},
+                        {"auto_acquire": (bool,)}),
+    OP_TRANSCRIBE_GENOME: ({"genome": (Genome,)}, {"activate": (bool,)}),
+    OP_REQUEST_STATE: ({}, {"reply_to": (object,)}),
+}
+
+#: op -> NodeOS action the runtime interpreter will demand (for the
+#: authorization mode; mirrors Ship._apply_directive / NodeOS).
+REQUIRED_ACTIONS: Dict[str, str] = {
+    OP_INSTALL_CODE: Action.INSTALL_CODE,
+    OP_INSTALL_DRIVER: Action.RECONFIGURE,
+    OP_LOAD_BITSTREAM: Action.RECONFIGURE_HW,
+    OP_ACQUIRE_ROLE: Action.RECONFIGURE,
+    OP_ACTIVATE_ROLE: Action.RECONFIGURE,
+    OP_RELEASE_ROLE: Action.RECONFIGURE,
+    OP_TRANSCRIBE_GENOME: Action.RECONFIGURE,
+    OP_REQUEST_STATE: Action.READ_STATE,
+}
+
+# Reject reason codes (stable vocabulary for obs labels and digests).
+REASON_UNKNOWN_OP = "unknown-op"
+REASON_MALFORMED_DIRECTIVE = "malformed-directive"
+REASON_MALFORMED_QUANTUM = "malformed-quantum"
+REASON_OVERSIZED_QUANTUM = "oversized-quantum"
+REASON_TOO_MANY_DIRECTIVES = "too-many-directives"
+REASON_OVERSIZED_SHUTTLE = "oversized-shuttle"
+REASON_MANIFEST_MISMATCH = "manifest-mismatch"
+REASON_CODE_HAZARD = "code-hazard"
+REASON_UNAUTHORIZED_OP = "unauthorized-op"
+
+
+class Verdict(NamedTuple):
+    """The outcome of vetting one shuttle payload."""
+
+    ok: bool
+    reasons: Tuple[str, ...]          # "<code>: detail" per problem
+    lint_rules: Tuple[str, ...]       # VIA rules hit in carried code
+
+    @property
+    def reason_code(self) -> Optional[str]:
+        """The first (most severe, check order) reject code."""
+        if self.ok:
+            return None
+        return self.reasons[0].split(":", 1)[0]
+
+    @property
+    def digest(self) -> str:
+        """Deterministic fingerprint of the verdict (seed-independent)."""
+        payload = json.dumps({"ok": self.ok, "reasons": list(self.reasons),
+                              "lint": list(self.lint_rules)},
+                             sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class AdmissionVerifier:
+    """Statically vets shuttle payloads before a ship executes them.
+
+    One verifier can serve many ships; the carried-code lint verdicts
+    are cached per code entry (module + qualname) so a role class is
+    analyzed once per process, not once per dock.
+    """
+
+    def __init__(self, lint_mobile_code: bool = True):
+        self.lint_mobile_code = lint_mobile_code
+        self._code_verdicts: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        self.vets = 0
+        self.rejections = 0
+
+    # -- entry point -------------------------------------------------------
+    def vet(self, shuttle: Shuttle, ship=None,
+            check_authorization: bool = False) -> Verdict:
+        """Inspect a shuttle's payload; returns a :class:`Verdict`.
+
+        ``ship`` is only needed for ``check_authorization`` (its
+        SecurityManager holds the policy to prove against).
+        """
+        self.vets += 1
+        reasons: List[str] = []
+        lint_rules: List[str] = []
+        directives = shuttle.directives
+        if len(directives) > MAX_DIRECTIVES:
+            reasons.append(f"{REASON_TOO_MANY_DIRECTIVES}: "
+                           f"{len(directives)} > {MAX_DIRECTIVES}")
+        cargo = sum(d.size_bytes for d in directives)
+        if cargo > MAX_SHUTTLE_BYTES:
+            reasons.append(f"{REASON_OVERSIZED_SHUTTLE}: "
+                           f"{cargo}B > {MAX_SHUTTLE_BYTES}B")
+        declared = shuttle.meta.get("manifest")
+        if declared is not None and tuple(declared) \
+                != shuttle_manifest(directives):
+            reasons.append(f"{REASON_MANIFEST_MISMATCH}: directives do "
+                           f"not match the construction-time manifest")
+        for index, directive in enumerate(directives):
+            reasons.extend(self._check_directive(index, directive))
+        if self.lint_mobile_code:
+            for module in shuttle.carried_code():
+                hits = self._lint_code_module(module)
+                if hits:
+                    lint_rules.extend(hits)
+                    reasons.append(
+                        f"{REASON_CODE_HAZARD}: {module.code_id} trips "
+                        f"{','.join(hits)}")
+        if check_authorization and ship is not None:
+            reasons.extend(self._check_authorization(shuttle, ship))
+        verdict = Verdict(ok=not reasons, reasons=tuple(reasons),
+                          lint_rules=tuple(lint_rules))
+        if not verdict.ok:
+            self.rejections += 1
+        return verdict
+
+    # -- directive schemas -------------------------------------------------
+    def _check_directive(self, index: int, directive) -> List[str]:
+        op = getattr(directive, "op", None)
+        if op not in ALL_OPS:
+            return [f"{REASON_UNKNOWN_OP}: directive[{index}] op={op!r}"]
+        required, optional = DIRECTIVE_SCHEMAS[op]
+        problems: List[str] = []
+        args = directive.args
+        for name, types in sorted(required.items()):
+            if name not in args:
+                problems.append(
+                    f"{REASON_MALFORMED_DIRECTIVE}: directive[{index}] "
+                    f"{op} missing required arg {name!r}")
+            elif object not in types and not isinstance(args[name], types):
+                problems.append(
+                    f"{REASON_MALFORMED_DIRECTIVE}: directive[{index}] "
+                    f"{op} arg {name!r} has type "
+                    f"{type(args[name]).__name__}")
+        for name, types in sorted(optional.items()):
+            if name in args and object not in types \
+                    and not isinstance(args[name], types):
+                problems.append(
+                    f"{REASON_MALFORMED_DIRECTIVE}: directive[{index}] "
+                    f"{op} arg {name!r} has type "
+                    f"{type(args[name]).__name__}")
+        if op == OP_DEPLOY_QUANTUM and isinstance(args.get("quantum"),
+                                                  KnowledgeQuantum):
+            problems.extend(self._check_quantum(index, args["quantum"]))
+        return problems
+
+    @staticmethod
+    def _check_quantum(index: int, kq: KnowledgeQuantum) -> List[str]:
+        problems: List[str] = []
+        if not isinstance(kq.function_id, str) or not kq.function_id:
+            problems.append(f"{REASON_MALFORMED_QUANTUM}: "
+                            f"directive[{index}] empty function_id")
+        if len(kq.fact_snapshots) > MAX_QUANTUM_FACTS \
+                or kq.size_bytes > MAX_QUANTUM_BYTES:
+            problems.append(
+                f"{REASON_OVERSIZED_QUANTUM}: directive[{index}] "
+                f"{len(kq.fact_snapshots)} facts / {kq.size_bytes}B "
+                f"(caps {MAX_QUANTUM_FACTS} / {MAX_QUANTUM_BYTES}B)")
+        for snap in kq.fact_snapshots:
+            if not isinstance(snap, dict) \
+                    or not isinstance(snap.get("fact_class"), str) \
+                    or "value" not in snap \
+                    or not isinstance(snap.get("weight", 1.0),
+                                      (int, float)) \
+                    or snap.get("weight", 1.0) < 0:
+                problems.append(f"{REASON_MALFORMED_QUANTUM}: "
+                                f"directive[{index}] ill-formed fact "
+                                f"snapshot")
+                break
+        return problems
+
+    # -- carried-code determinism lint --------------------------------------
+    def _lint_code_module(self, module: CodeModule) -> Tuple[str, ...]:
+        entry = module.entry
+        if entry is None:
+            return ()
+        key = (getattr(entry, "__module__", "") or "",
+               getattr(entry, "__qualname__", "") or "")
+        if all(key):
+            cached = self._code_verdicts.get(key)
+            if cached is not None:
+                return cached
+        try:
+            source = inspect.getsource(entry)
+        except (OSError, TypeError):
+            # Source unavailable (REPL, C extension): tolerated — the
+            # runtime capability checks still apply.
+            return ()
+        try:
+            findings = lint_source(source, path=module.code_id,
+                                   select=MOBILE_CODE_RULES)
+        except Exception:
+            # Unparseable fragments (indented method sources, etc.)
+            # cannot be vetted; fall back to runtime enforcement.
+            findings = []
+        hits = tuple(sorted({f.rule_id for f in findings}))
+        if all(key):
+            self._code_verdicts[key] = hits
+        return hits
+
+    # -- authorization mode --------------------------------------------------
+    @staticmethod
+    def _check_authorization(shuttle: Shuttle, ship) -> List[str]:
+        problems: List[str] = []
+        security = ship.nodeos.security
+        for index, directive in enumerate(shuttle.directives):
+            action = REQUIRED_ACTIONS.get(directive.op)
+            if action is None:
+                continue
+            if not security.would_allow(shuttle.credential, action):
+                problems.append(
+                    f"{REASON_UNAUTHORIZED_OP}: directive[{index}] "
+                    f"{directive.op} requires {action!r} which policy "
+                    f"denies")
+        return problems

@@ -1,0 +1,115 @@
+"""Lint driver: parse modules, run the rule visitor, apply pragmas.
+
+Suppression pragma grammar (recorded with justification, per the
+project's determinism policy)::
+
+    x = perf_counter()     # via: ignore[VIA003] host-side profiling only
+    # via: ignore[VIA006,VIA009] intra-process key, never exported
+    key = id(obj)
+
+An id-less ``# via: ignore`` silences every rule on its line.  A pragma
+on a comment-only line applies to the next line, so justifications fit
+the 79-column layout.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .rules import RULES, DeterminismVisitor, Finding
+
+_PRAGMA = re.compile(r"#\s*via:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+#: Matches every rule on the line when the pragma names none.
+_ALL = frozenset(RULES)
+
+
+class LintError(Exception):
+    """Raised for unparseable input or unknown rule selections."""
+
+
+def _suppressions(source: str) -> Dict[int, frozenset]:
+    """Map line number -> rule ids silenced there (1-based)."""
+    table: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        ids = (frozenset(part.strip() for part in match.group(1).split(",")
+                         if part.strip())
+               if match.group(1) else _ALL)
+        unknown = ids - _ALL
+        if unknown:
+            raise LintError(
+                f"line {lineno}: unknown rule(s) in pragma: "
+                f"{', '.join(sorted(unknown))}")
+        table[lineno] = table.get(lineno, frozenset()) | ids
+        if line.lstrip().startswith("#"):
+            # Comment-only pragma covers the following line too.
+            table[lineno + 1] = table.get(lineno + 1, frozenset()) | ids
+    return table
+
+
+def normalize_select(select: Optional[Iterable[str]]) -> frozenset:
+    """Validate a rule selection; None selects every rule."""
+    if select is None:
+        return _ALL
+    chosen = frozenset(select)
+    unknown = chosen - _ALL
+    if unknown:
+        raise LintError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    return chosen
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one module's source text; returns sorted findings."""
+    chosen = normalize_select(select)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: {exc.msg} (line {exc.lineno})") from exc
+    visitor = DeterminismVisitor(path)
+    visitor.visit(tree)
+    silenced = _suppressions(source)
+    findings = [f for f in visitor.findings
+                if f.rule_id in chosen
+                and f.rule_id not in silenced.get(f.line, frozenset())]
+    findings.sort()
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[pathlib.Path] = set()
+    ordered: List[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise LintError(f"{raw}: not a python file or directory")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths``; returns sorted findings."""
+    chosen = normalize_select(select)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{path}: {exc}") from exc
+        findings.extend(lint_source(source, str(path), chosen))
+    findings.sort()
+    return findings

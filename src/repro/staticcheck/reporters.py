@@ -1,0 +1,55 @@
+"""Finding reporters: human text and machine JSON.
+
+Both are deterministic functions of the finding list (sorted input,
+sorted keys) so CI diffs and digests are stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .rules import RULES, Finding
+
+
+def render_text(findings: List[Finding], statistics: bool = False) -> str:
+    """One line per finding, plus an optional per-rule tally."""
+    lines = [f.render() for f in findings]
+    if statistics and findings:
+        lines.append("")
+        for rule_id, count in sorted(count_by_rule(findings).items()):
+            lines.append(f"{rule_id:8s} {count:4d}  "
+                         f"{RULES[rule_id].title}")
+    if not findings:
+        lines.append("clean: no determinism hazards found")
+    else:
+        lines.append(f"{len(findings)} finding"
+                     f"{'s' if len(findings) != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    """A stable JSON document (sorted findings, sorted keys)."""
+    payload = {
+        "findings": [f._asdict() for f in findings],
+        "counts": count_by_rule(findings),
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """The rule table (``repro lint --list-rules``)."""
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id}  {rule.title}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)
+
+
+def count_by_rule(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return counts

@@ -1,0 +1,308 @@
+"""The determinism rule catalog (VIA001+) and its AST visitor.
+
+The whole reproduction rests on one invariant: a run is a pure function
+of the master seed.  Every stochastic component draws from a named
+:class:`~repro.substrates.sim.rng.RngRegistry` stream; run digests
+(``repro chaos``) fold deterministic counts; the event heap breaks ties
+by insertion sequence.  One stray ``time.time()`` or unordered ``set``
+expansion in a hot path silently breaks every digest-based test — so
+these rules make the hazards *statically* visible.
+
+Each rule is registered in :data:`RULES` (id -> :class:`Rule`) and
+implemented inside :class:`DeterminismVisitor`; the engine drives the
+visitor over a parsed module and applies suppression pragmas
+(``# via: ignore[VIA003] reason``) afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+
+class Rule(NamedTuple):
+    """One lint rule: identifier, short title and the hazard it guards."""
+
+    rule_id: str
+    title: str
+    rationale: str
+
+
+RULES: Dict[str, Rule] = {r.rule_id: r for r in (
+    Rule("VIA001", "global-random",
+         "Module-level `random` functions share one hidden global stream; "
+         "any new call site perturbs every later draw of every other "
+         "component.  Draw from a named RngRegistry stream instead."),
+    Rule("VIA002", "numpy-global-random",
+         "`numpy.random.*` legacy functions mutate numpy's global "
+         "generator.  Use `sim.rng.np_stream(name)`."),
+    Rule("VIA003", "wall-clock",
+         "Wall-clock and entropy sources (`time.time`, `datetime.now`, "
+         "`os.urandom`, `uuid.uuid4`, ...) make a run depend on the host "
+         "instead of the master seed.  Simulation code must read "
+         "`sim.now`."),
+    Rule("VIA004", "set-iteration",
+         "Iterating or expanding a `set` yields hash order, which is "
+         "salted per process for strings.  Wrap the expansion in "
+         "`sorted(...)` before it can feed scheduling or digests."),
+    Rule("VIA005", "unsorted-json",
+         "`json.dumps` without `sort_keys=True` serializes dicts in "
+         "insertion order; two equal states can fold to different "
+         "digests.  Pass `sort_keys=True`."),
+    Rule("VIA006", "id-ordering",
+         "`id()` values depend on the allocator; using them as keys or "
+         "sort tiebreakers makes ordering differ between runs.  Key on a "
+         "stable attribute instead."),
+    Rule("VIA007", "unseeded-rng",
+         "`random.Random()` / `np.random.default_rng()` without a seed "
+         "(and `SystemRandom` always) seed from OS entropy.  Derive the "
+         "seed from the registry (`derive_seed`)."),
+    Rule("VIA008", "env-dependence",
+         "Reading `os.environ` makes behaviour depend on the invoking "
+         "shell.  Thread configuration through explicit parameters."),
+    Rule("VIA009", "salted-hash",
+         "Builtin `hash()` of a str is salted per process "
+         "(PYTHONHASHSEED); values must never feed ordering, digests or "
+         "exported state."),
+    Rule("VIA010", "fs-order",
+         "`os.listdir`/`glob`/`Path.iterdir` return files in filesystem "
+         "order.  Wrap the call in `sorted(...)`."),
+    Rule("VIA011", "computed-stream-name",
+         "RNG stream names must be constants, attributes or f-strings — "
+         "a computed expression hides which stream a component owns and "
+         "invites collisions that couple independent components."),
+)}
+
+#: Rules whose presence in *mobile code* (shuttle-carried modules) makes
+#: the payload unsafe to admit: they would perturb the host ship's run
+#: the moment the code executes.
+MOBILE_CODE_RULES: Tuple[str, ...] = ("VIA001", "VIA002", "VIA003",
+                                      "VIA007", "VIA008")
+
+
+class Finding(NamedTuple):
+    """One lint hit, sortable by location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} {self.message}")
+
+
+#: Dotted call paths that are wall-clock / entropy reads (VIA003).
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Filesystem-enumeration calls (VIA010) by dotted path ...
+_FS_CALLS = frozenset({
+    "os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob",
+})
+#: ... and by method name on an arbitrary receiver (pathlib idiom).
+_FS_METHODS = frozenset({"iterdir", "rglob"})
+
+#: Single-argument builtins that materialize their argument's iteration
+#: order (VIA004 when the argument is a set expression).
+_ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "enumerate",
+                                       "iter"})
+
+#: Modules whose import aliases the visitor tracks.
+_TRACKED_MODULES = frozenset({"random", "numpy", "time", "datetime",
+                              "os", "json", "glob", "uuid", "secrets"})
+
+
+class DeterminismVisitor(ast.NodeVisitor):
+    """Walks one module and collects raw findings (pre-suppression)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        #: local alias -> canonical module name (``np`` -> ``numpy``).
+        self._modules: Dict[str, str] = {}
+        #: local name -> dotted origin (``perf_counter`` ->
+        #: ``time.perf_counter``; ``datetime`` -> ``datetime.datetime``).
+        self._from: Dict[str, str] = {}
+
+    # -- plumbing ----------------------------------------------------------
+    def _hit(self, node: ast.AST, rule_id: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno,
+                                     node.col_offset, rule_id, message))
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        """Resolve an expression to a canonical dotted path, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        origin = self._from.get(root)
+        if origin is not None:
+            parts.append(origin)
+        else:
+            parts.append(self._modules.get(root, root))
+        return ".".join(reversed(parts))
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    @staticmethod
+    def _sanctioned(node: ast.AST) -> bool:
+        return getattr(node, "_via_sanctioned", False)
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            if top in _TRACKED_MODULES:
+                self._modules[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] in _TRACKED_MODULES:
+            for alias in node.names:
+                self._from[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- iteration contexts (VIA004) ---------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._hit(node.iter, "VIA004",
+                      "iteration over a set expression; wrap in sorted()")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_set_expr(gen.iter):
+                self._hit(gen.iter, "VIA004",
+                          "comprehension over a set expression; wrap in "
+                          "sorted()")
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+    visit_DictComp = _check_comprehension
+
+    # -- attribute reads (VIA008) ------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.value, ast.Name)
+                and self._dotted(node) == "os.environ"):
+            self._hit(node, "VIA008", "os.environ read")
+        self.generic_visit(node)
+
+    # -- calls (everything else) -------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "sorted":
+            # Direct arguments of sorted() are order-sanctioned.
+            for arg in node.args:
+                arg._via_sanctioned = True  # type: ignore[attr-defined]
+        path = self._dotted(func)
+        if path is not None:
+            self._check_call_path(node, path)
+        if isinstance(func, ast.Name):
+            self._check_builtin_call(node, func.id)
+        if isinstance(func, ast.Attribute):
+            if (func.attr in _FS_METHODS
+                    and not self._sanctioned(node)):
+                self._hit(node, "VIA010",
+                          f".{func.attr}() yields filesystem order; wrap "
+                          f"in sorted()")
+            if func.attr in ("stream", "np_stream"):
+                self._check_stream_name(node)
+        if (isinstance(func, ast.Name) and func.id
+                in _ORDER_SENSITIVE_BUILTINS and len(node.args) == 1
+                and self._is_set_expr(node.args[0])):
+            self._hit(node, "VIA004",
+                      f"{func.id}() over a set expression; wrap in "
+                      f"sorted()")
+        self.generic_visit(node)
+
+    def _check_call_path(self, node: ast.Call, path: str) -> None:
+        if path in ("random.Random", "numpy.random.default_rng"):
+            if not node.args:
+                self._hit(node, "VIA007",
+                          f"{path}() without a seed; derive one from the "
+                          f"RngRegistry")
+            return
+        if path == "random.SystemRandom" or path.startswith("secrets."):
+            self._hit(node, "VIA007", f"{path} draws OS entropy")
+            return
+        if path.startswith("random.") and path.count(".") == 1:
+            self._hit(node, "VIA001",
+                      f"{path}() uses the global random stream; use "
+                      f"sim.rng.stream(name)")
+            return
+        if path.startswith("numpy.random."):
+            self._hit(node, "VIA002",
+                      f"{path}() mutates numpy's global generator; use "
+                      f"sim.rng.np_stream(name)")
+            return
+        if path in _WALLCLOCK:
+            self._hit(node, "VIA003",
+                      f"{path}() reads the host clock/entropy; simulation "
+                      f"code must use sim.now")
+            return
+        if path == "json.dumps" and not self._sorts_keys(node):
+            self._hit(node, "VIA005",
+                      "json.dumps without sort_keys=True")
+            return
+        if path == "os.getenv":
+            self._hit(node, "VIA008", "os.getenv read")
+            return
+        if path in _FS_CALLS and not self._sanctioned(node):
+            self._hit(node, "VIA010",
+                      f"{path}() yields filesystem order; wrap in "
+                      f"sorted()")
+
+    def _check_builtin_call(self, node: ast.Call, name: str) -> None:
+        if name in self._from or name in self._modules:
+            return  # shadowed by an import; handled via dotted path
+        if name == "id" and node.args:
+            self._hit(node, "VIA006",
+                      "id() is allocator-dependent; key on a stable "
+                      "attribute")
+        elif name == "hash" and node.args:
+            self._hit(node, "VIA009",
+                      "hash() is salted per process; must not feed "
+                      "ordering or digests")
+
+    @staticmethod
+    def _sorts_keys(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "sort_keys":
+                if isinstance(kw.value, ast.Constant):
+                    return bool(kw.value.value)
+                return True  # dynamic value: give the benefit of the doubt
+        return False
+
+    def _check_stream_name(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant):
+            if not (isinstance(arg.value, str) and arg.value):
+                self._hit(node, "VIA011",
+                          "stream name must be a non-empty string")
+            return
+        if isinstance(arg, (ast.JoinedStr, ast.Name, ast.Attribute)):
+            return
+        self._hit(node, "VIA011",
+                  "stream name must be a constant, attribute or f-string")

@@ -1,0 +1,26 @@
+"""Self-lint: run the determinism linter over this installation's own
+``repro`` package.
+
+CI runs ``repro lint src/`` from a checkout; tests and embedded users
+call :func:`lint_self`, which resolves the package directory from the
+import system so it works from any working directory (editable install,
+wheel, or PYTHONPATH=src).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional
+
+from .engine import lint_paths
+from .rules import Finding
+
+
+def package_root() -> pathlib.Path:
+    """The directory of the installed ``repro`` package."""
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def lint_self(select: Optional[List[str]] = None) -> List[Finding]:
+    """Lint every module of the installed ``repro`` package."""
+    return lint_paths([str(package_root())], select=select)

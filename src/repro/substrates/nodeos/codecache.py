@@ -10,7 +10,7 @@ reconfigurable fabric).  The :class:`CodeCache` is the per-node LRU store
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 
 class CodeKind:

@@ -139,6 +139,25 @@ class SecurityManager:
             self.denials.append((now, principal, action))
         return allowed
 
+    def would_allow(self, cred: Optional[Credential], action: str) -> bool:
+        """Pure policy query: what :meth:`authorize` *would* answer.
+
+        Unlike :meth:`authorize` this records nothing — no check count,
+        no denial entry — so static admission prechecks can probe the
+        policy without perturbing the audit trail the management role
+        reports (and without changing run digests).
+        """
+        if not self.authority.verify(cred):
+            return False
+        principal = cred.principal
+        if ((principal, action) in self._revocations
+                or (principal, "*") in self._revocations):
+            return False
+        return ((principal, action) in self._grants
+                or (principal, "*") in self._grants
+                or ("*", action) in self._grants
+                or ("*", "*") in self._grants)
+
     def charge_spawn(self, principal: str) -> bool:
         """Account one capsule spawn against the principal's window quota."""
         used = self._spawn_counts.get(principal, 0)

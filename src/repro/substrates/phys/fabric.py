@@ -61,7 +61,7 @@ class NetworkFabric:
 
     # -- transmission -----------------------------------------------------
     def _bucket(self, link: Link, direction: NodeId) -> TokenBucket:
-        key = (id(link), direction)
+        key = (link.name, direction)
         bucket = self._buckets.get(key)
         if bucket is None:
             # One MTU of burst keeps short packets latency-bound rather

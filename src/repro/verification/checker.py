@@ -71,6 +71,7 @@ class ModelChecker:
 
     # -- the search -----------------------------------------------------------
     def check(self, check_liveness: bool = True) -> CheckResult:
+        # via: ignore[VIA003] elapsed-time reporting only, not sim state
         started = time.perf_counter()
         violations: List[Violation] = []
         self._parent.clear()
@@ -132,6 +133,7 @@ class ModelChecker:
         return CheckResult(ok=not violations, states=len(self._parent),
                            transitions=transitions, diameter=diameter,
                            violations=tuple(violations),
+                           # via: ignore[VIA003] elapsed-time report only
                            elapsed_seconds=time.perf_counter() - started,
                            complete=complete)
 

@@ -111,7 +111,6 @@ class JetReplicationSpec(Spec):
 
     def _inv_budget(self, state: FrozenState) -> bool:
         # One initial jet per first hop, each carrying `share`.
-        first_hops = len(self.adjacency[self.origin][: self.max_fanout])
         initial = self._outstanding(next(iter(self.init_states())))
         return self._outstanding(state) <= initial
 

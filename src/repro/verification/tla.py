@@ -34,6 +34,9 @@ class FrozenState(Mapping):
         self._items: Tuple[Tuple[str, Any], ...] = tuple(
             sorted(data.items()))
         try:
+            # Intra-process dedup key for the state graph; never
+            # ordered, exported or folded into digests.
+            # via: ignore[VIA009] intra-process state-dedup key only
             self._hash = hash(self._items)
         except TypeError as exc:
             raise TypeError(

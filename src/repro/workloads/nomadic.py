@@ -47,7 +47,9 @@ class NomadicUser:
         self._move_task = None
         self._fire_task = None
         self._pending: Dict[str, float] = {}
-        for node in set(route):
+        # Dedup in route order (not set order): sink registration order
+        # must be a pure function of the route.
+        for node in dict.fromkeys(route):
             hosts[node].on_deliver(self._make_sink(node))
 
     @property

@@ -1,7 +1,5 @@
 """Tests for analysis collectors and ASCII visualisation."""
 
-import math
-
 import pytest
 
 from repro.analysis import (DeliveryCollector, LatencyCollector,
@@ -13,7 +11,7 @@ from repro.core import WanderingNetwork
 from repro.functions import CachingRole, FusionRole
 from repro.substrates.phys import Datagram, line_topology, ring_topology
 from repro.substrates.sim import Simulator
-from repro.viz import (glyph, render_overlays, render_snapshot,
+from repro.viz import (render_overlays, render_snapshot,
                        render_topology, render_wandering_timeline)
 
 
@@ -151,7 +149,7 @@ class TestViz:
         assert "legend" in text
 
     def test_render_overlays(self):
-        from repro.routing import OverlayManager, QosDemand
+        from repro.routing import QosDemand
         wn = WanderingNetwork(ring_topology(4))
         wn.overlays.spawn(QosDemand(), overlay_id="ov-a")
         text = render_overlays(wn.overlays.snapshot())

@@ -3,11 +3,11 @@ WanderingNetwork orchestrator (PMP end to end)."""
 
 import pytest
 
-from repro.core import (Generation, Netbot, NetbotState, ResonanceField,
+from repro.core import (Netbot, NetbotState, ResonanceField,
                         Ship, WanderingEngine, WanderingNetwork,
                         WanderingNetworkConfig)
 from repro.functions import (CachingRole, DelegationRole, FusionRole,
-                             NextStepRole, default_catalog)
+                             default_catalog)
 from repro.routing import StaticRouter
 from repro.substrates.hardware import HardwareModule
 from repro.substrates.nodeos import CredentialAuthority

@@ -10,10 +10,10 @@ from repro.core.shuttle import (OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,
                                 OP_TRANSCRIBE_GENOME, Directive, Jet,
                                 Shuttle)
 from repro.functions import (CachingRole, FusionRole, NextStepRole,
-                             TranscodingRole, default_catalog)
+                             TranscodingRole)
 from repro.routing import StaticRouter
 from repro.substrates.hardware import Bitstream
-from repro.substrates.nodeos import Action, CredentialAuthority
+from repro.substrates.nodeos import CredentialAuthority
 from repro.substrates.phys import Datagram, NetworkFabric, line_topology
 from repro.substrates.sim import Simulator
 

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.analysis import SweepResult, compare_sweeps, run_sweep
+from repro.analysis import compare_sweeps, run_sweep
 from repro.core import (Directive, Genome, Jet, OP_ACQUIRE_ROLE,
                         OP_REQUEST_STATE, Ship, Shuttle, encode_ship,
                         transcribe)
-from repro.core.genetics import TranscriptionReport
 from repro.functions import (CachingRole, FusionRole, RoleCatalog,
                              TranscodingRole, default_catalog)
 from repro.routing import StaticRouter, WLIAdaptiveRouter

@@ -1,11 +1,8 @@
 """Integration tests: the whole autopoietic loop, end to end."""
 
-import pytest
-
 from repro.core import (Generation, WanderingNetwork,
                         WanderingNetworkConfig)
-from repro.functions import (CachingRole, DelegationRole, FissionRole,
-                             FusionRole)
+from repro.functions import (CachingRole, DelegationRole, FusionRole)
 from repro.routing import QosDemand
 from repro.selfheal import GenomeArchive, HeartbeatDetector, SelfHealer
 from repro.substrates.phys import (FailureInjector, figure3_topology,

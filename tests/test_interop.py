@@ -9,8 +9,6 @@ These tests build *mixed* networks on one fabric: Viator ships at the
 edges, passive legacy routers (or 1G ANTS nodes) in the middle.
 """
 
-import pytest
-
 from repro.core import Directive, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE, Ship, Shuttle
 from repro.functions import CachingRole, TranscodingRole
 from repro.routing import StaticRouter

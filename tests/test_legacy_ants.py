@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.substrates.ants import (AntsNode, Capsule, ProtocolRegistry,
+from repro.substrates.ants import (Capsule, ProtocolRegistry,
                                    build_ants_network, forwarding_handler)
-from repro.substrates.legacy import LegacyRouter, build_legacy_network
+from repro.substrates.legacy import build_legacy_network
 from repro.substrates.phys import Datagram, NetworkFabric, line_topology, ring_topology
 from repro.substrates.sim import Simulator
 

@@ -6,8 +6,6 @@ implementation* — the strongest form of the reproduction's verification
 claim.
 """
 
-import pytest
-
 from repro.core import Directive, Jet, OP_ACQUIRE_ROLE, Ship
 from repro.functions import CachingRole
 from repro.routing import WLIAdaptiveRouter

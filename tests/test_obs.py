@@ -17,10 +17,10 @@ from repro.core.wandering_network import (WanderingNetwork,
                                           WanderingNetworkConfig)
 from repro.functions import CachingRole, FusionRole
 from repro.obs import (DEFAULT_BUCKETS, TRACE_META_KEY, KernelProfiler,
-                       MetricError, MetricsRegistry, Observability,
+                       MetricError, MetricsRegistry,
                        SpanTracer, load_jsonl, render_report,
                        render_span_tree, spans_from_records,
-                       to_prometheus_text, tree_depth)
+                       tree_depth)
 from repro.routing import StaticRouter
 from repro.substrates.nodeos import CredentialAuthority
 from repro.substrates.phys import (Datagram, NetworkFabric, line_topology,

@@ -5,10 +5,10 @@ quiescence, and the chaos campaigns."""
 import pytest
 
 from repro.core.ship import Ship
-from repro.core.shuttle import (OP_ACQUIRE_ROLE, OP_DEPLOY_QUANTUM,
-                                OP_SET_NEXT_STEP, Directive, Shuttle)
+from repro.core.shuttle import (OP_ACQUIRE_ROLE, OP_SET_NEXT_STEP,
+                                Directive, Shuttle)
 from repro.functions import CachingRole, default_catalog
-from repro.resilience import (ACK_KIND, ARQ_META_KEY, CLOSED, HALF_OPEN,
+from repro.resilience import (ARQ_META_KEY, CLOSED, HALF_OPEN,
                               OPEN, REASON_MAX_ATTEMPTS,
                               REASON_SHUTDOWN, REASON_SOURCE_DEAD,
                               CircuitBreaker, DeadLetterQueue,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.substrates.sim import (Event, SchedulingError, Signal, Simulator,
+from repro.substrates.sim import (SchedulingError, Signal, Simulator,
                                   Timeout, spawn)
 
 
