@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples verify demo figures obs-smoke \
-	chaos-smoke lint all clean
+.PHONY: install test bench bench-smoke bench-baseline examples verify \
+	demo figures obs-smoke chaos-smoke lint all clean
 
 install:
 	pip install -e .
@@ -28,6 +28,22 @@ demo:
 
 figures:
 	$(PYTHON) -m repro figures
+
+# Deterministic macro-benchmark gate: run the scenario suite and gate
+# it against the committed baseline.  Digest mismatch = semantic drift
+# = hard failure; normalized throughput may regress at most 25%.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --all --seed 42 \
+		--scale short --out /tmp/bench-smoke \
+		--compare BENCH_baseline.json --fail-over 25
+	@echo "bench-smoke: digests match baseline, throughput in budget"
+
+# Regenerate the committed baseline (runs with every optimization
+# switch off — default runs then double as the optimization proof).
+bench-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro bench --all --no-opt --seed 42 \
+		--scale short --repeats 3 --out /tmp/bench-baseline \
+		--combined BENCH_baseline.json
 
 # Tiny instrumented demo: the JSONL must be non-empty, parseable, and
 # renderable by `repro report`.

@@ -7,6 +7,9 @@ Commands
 ``report``    render an observability report from an ``--obs-out`` file;
 ``verify``    model-check the WLI protocol specs (routing x2, jets, docking);
 ``chaos``     run a named chaos campaign and assert its invariants;
+``bench``     run the deterministic macro-benchmark suite, write
+              ``BENCH_<scenario>.json``, gate against a baseline
+              (``--compare BASELINE --fail-over PCT``);
 ``lint``      run the determinism linter (VIA rules) over source trees;
 ``figures``   regenerate the paper's figure artefacts (ASCII);
 ``info``      print the library's systems inventory.
@@ -62,6 +65,43 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the result as JSON instead of text")
     chaos.add_argument("--list", action="store_true",
                        help="list the campaign catalog and exit")
+
+    bench = sub.add_parser(
+        "bench", help="run the deterministic macro-benchmark suite")
+    bench.add_argument("scenarios", nargs="*", default=None,
+                       help="scenario names (see --list); default: all")
+    bench.add_argument("--all", action="store_true",
+                       help="run the whole scenario catalog")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--scale", choices=("tiny", "short", "full"),
+                       default="short",
+                       help="workload size (default: short)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing passes per scenario; wall time is "
+                            "the best of N (default: 3)")
+    bench.add_argument("--out", metavar="DIR", default=".",
+                       help="directory for BENCH_<scenario>.json files")
+    bench.add_argument("--combined", metavar="PATH", default=None,
+                       help="also write all results as one JSON list "
+                            "(the BENCH_baseline.json format)")
+    bench.add_argument("--no-opt", action="store_true",
+                       help="run with every perf switch disabled "
+                            "(baseline mode)")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="gate results against a committed baseline "
+                            "file (digest equality is a hard failure)")
+    bench.add_argument("--fail-over", type=float, default=25.0,
+                       metavar="PCT",
+                       help="max tolerated normalized throughput "
+                            "regression, percent (default: 25)")
+    bench.add_argument("--ablate", action="store_true",
+                       help="per-switch ablation: rerun each scenario "
+                            "with each optimization disabled and "
+                            "report digests + speedups")
+    bench.add_argument("--json", action="store_true",
+                       help="emit results as JSON on stdout")
+    bench.add_argument("--list", action="store_true",
+                       help="list the scenario catalog and exit")
 
     lint = sub.add_parser(
         "lint", help="run the determinism linter (VIA rules)")
@@ -219,6 +259,75 @@ def cmd_chaos(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def cmd_bench(args) -> int:
+    import json as _json
+
+    from .perf import (SCENARIOS, ablate, compare, load_results, run_all,
+                       write_results)
+    from .perf.switches import all_disabled
+
+    if args.list:
+        for name, (_, description) in SCENARIOS.items():
+            print(f"{name:16s} {description}")
+        return 0
+    names = list(args.scenarios) if args.scenarios else None
+    if args.all:
+        names = None
+    unknown = [n for n in (names or []) if n not in SCENARIOS]
+    if unknown:
+        known = ", ".join(SCENARIOS)
+        print(f"bench: unknown scenario(s) {', '.join(unknown)} "
+              f"(known: {known})", file=sys.stderr)
+        return 2
+
+    if args.ablate:
+        reports = [ablate(name, seed=args.seed, scale=args.scale,
+                          repeats=args.repeats)
+                   for name in (names or list(SCENARIOS))]
+        if args.json:
+            print(_json.dumps(reports, indent=2, sort_keys=True))
+        else:
+            for report in reports:
+                mark = "ok" if report["digest_stable"] else "DRIFT"
+                print(f"{report['scenario']:16s} digest={report['digest']} "
+                      f"[{mark}] speedup-vs-all-off "
+                      f"x{report['speedup_vs_all_off']}")
+        return 0 if all(r["digest_stable"] for r in reports) else 1
+
+    if args.no_opt:
+        with all_disabled():
+            results = run_all(seed=args.seed, scale=args.scale,
+                              repeats=args.repeats, names=names)
+    else:
+        results = run_all(seed=args.seed, scale=args.scale,
+                          repeats=args.repeats, names=names)
+    written = write_results(results, args.out, combined=args.combined)
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in results], indent=2,
+                          sort_keys=True))
+    else:
+        for r in results:
+            print(f"{r.scenario:16s} {r.events_per_sec:12.0f} ev/s "
+                  f"{r.shuttles_per_sec:10.0f} sh/s "
+                  f"{r.wall_time_s * 1e3:8.1f} ms  "
+                  f"depth={r.peak_agenda_depth:<5d} digest={r.digest}")
+        for path in written:
+            print(f"wrote {path}")
+    if args.compare:
+        try:
+            baseline = load_results(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        ok, lines = compare([r.to_dict() for r in results], baseline,
+                            fail_over_pct=args.fail_over)
+        print()
+        for line in lines:
+            print(line)
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .staticcheck import (LintError, lint_paths, lint_self,
                               render_json, render_rule_catalog,
@@ -307,6 +416,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "verify": cmd_verify,
         "chaos": cmd_chaos,
+        "bench": cmd_bench,
         "lint": cmd_lint,
         "figures": cmd_figures,
         "info": cmd_info,

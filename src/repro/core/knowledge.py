@@ -21,9 +21,13 @@ class is alive.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import math
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..perf.switches import switches as _opt
 
 _fact_ids = itertools.count(1)
 _kq_ids = itertools.count(1)
@@ -196,6 +200,11 @@ class KnowledgeBase:
         self._by_class: Dict[str, List[int]] = {}
         self.evictions = 0
         self.inserts = 0
+        # content_digest() cache: valid while the *membership* of the
+        # store is unchanged (weight touches don't enter the digest).
+        self._digest: Optional[str] = None
+        self._digest_dirty = True
+        self.digest_hits = 0
 
     def __len__(self) -> int:
         return len(self._facts)
@@ -219,6 +228,7 @@ class KnowledgeBase:
         self._facts[fact.fact_id] = fact
         self._by_class.setdefault(fact.fact_class, []).append(fact.fact_id)
         self.inserts += 1
+        self._digest_dirty = True
         return fact
 
     def _displace_weakest(self, now: float) -> None:
@@ -229,6 +239,7 @@ class KnowledgeBase:
 
     def _remove(self, fact: Fact) -> None:
         del self._facts[fact.fact_id]
+        self._digest_dirty = True
         members = self._by_class.get(fact.fact_class, [])
         try:
             members.remove(fact.fact_id)
@@ -276,6 +287,34 @@ class KnowledgeBase:
         for fact in facts:
             fact.touch(now, boost, self.decay_rate)
         return len(facts)
+
+    # -- content digest -------------------------------------------------------
+    def content_digest(self) -> str:
+        """Deterministic fingerprint of the store's membership.
+
+        Covers the sorted multiset of ``(fact_class, value, source)``
+        triples — the cross-run-comparable content.  Deliberately
+        excludes fact ids (drawn from a process-global counter) and
+        decayed weights (functions of the query time), so two same-seed
+        runs agree and the digest is stable between membership changes.
+
+        The canonical-JSON/sha256 encoding is recomputed only when a
+        fact was inserted or removed since the last call
+        (``perf.switches.digest_cache``); weight touches preserve
+        membership and correctly reuse the cache.
+        """
+        if _opt.digest_cache and not self._digest_dirty \
+                and self._digest is not None:
+            self.digest_hits += 1
+            return self._digest
+        content = sorted((fact.fact_class, repr(fact.value),
+                          repr(fact.source))
+                         for fact in self._facts.values())
+        payload = json.dumps(content, sort_keys=True, default=repr)
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        self._digest = digest
+        self._digest_dirty = False
+        return digest
 
     # -- knowledge quanta -----------------------------------------------------
     def make_quantum(self, function: NetFunction, now: float,

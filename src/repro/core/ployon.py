@@ -24,9 +24,20 @@ class Manifestation:
 
 
 class Ployon:
-    """Base of both manifestations of the WLI component abstraction."""
+    """Base of both manifestations of the WLI component abstraction.
+
+    ``__slots__`` is deliberately empty: ``Shuttle`` inherits from both
+    :class:`~repro.substrates.phys.packet.Datagram` and ``Ployon``, and
+    Python forbids multiple bases with nonempty slot layouts.  The
+    ``ployon_id`` slot therefore lives in each slotted subclass (Shuttle
+    declares it; Ship keeps an ordinary ``__dict__``).  Without this
+    empty declaration every Shuttle silently grew a ``__dict__`` and
+    Jet's own ``__slots__`` was a no-op.
+    """
 
     manifestation: str = "ployon"
+
+    __slots__ = ()
 
     def __init__(self):
         self.ployon_id = next(_ployon_ids)

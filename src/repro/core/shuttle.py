@@ -23,12 +23,14 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Iterable, List, Optional
 
 from ..obs import TRACE_META_KEY
+from ..perf.switches import switches as _opt
 from ..substrates.hardware import Bitstream
 from ..substrates.nodeos import CodeModule
 from ..substrates.phys import Datagram
+from ..substrates.phys.packet import _packet_ids, copy_meta
 from .genetics import Genome
 from .knowledge import KnowledgeQuantum
-from .ployon import Manifestation, Ployon
+from .ployon import Manifestation, Ployon, _ployon_ids
 
 #: Directive operation names (the shuttle instruction set).
 OP_INSTALL_CODE = "install-code"
@@ -224,7 +226,24 @@ class Shuttle(Datagram, Ployon):
         return [d.args["genome"] for d in self.directives
                 if d.op == OP_TRANSCRIBE_GENOME]
 
+    def freeze_cargo(self) -> "Shuttle":
+        """Freeze the directive list into a shared immutable tuple.
+
+        Copy-on-write enabler: once frozen, :meth:`clone` shares the
+        cargo tuple with every twin instead of rebuilding a list per
+        clone — the ARQ transport freezes its retransmission templates
+        so a storm of retries carries one shared cargo.  Directives are
+        only ever replaced wholesale after construction (the admission
+        tamper tests mutate *unfrozen* shuttles), so sharing is safe.
+        Returns ``self`` for chaining.
+        """
+        if not isinstance(self.directives, tuple):
+            self.directives = tuple(self.directives)
+        return self
+
     def clone(self) -> "Shuttle":
+        if _opt.cow_clone:
+            return self._fast_clone()
         twin = Shuttle(self.src, self.dst,
                        directives=list(self.directives),
                        credential=self.credential,
@@ -233,7 +252,40 @@ class Shuttle(Datagram, Ployon):
                        ttl=self.ttl, data=self.data, flow_id=self.flow_id)
         twin.created_at = self.created_at
         twin.hops = self.hops
-        twin.meta = dict(self.meta)
+        twin.meta = copy_meta(self.meta)
+        return twin
+
+    def _fast_clone(self) -> "Shuttle":
+        """Slot-for-slot clone skipping the constructor.
+
+        Draws exactly one packet id and one ployon id — the same counter
+        consumption as the eager path — so downstream flow ids and run
+        digests are byte-identical whichever path produced the twin.
+        Frozen cargo is shared (CoW); unfrozen cargo is shallow-copied
+        to preserve the eager path's isolation.  Every eager-path quirk
+        is replicated: ``payload`` is dropped, ``morphs`` resets to 0,
+        size/manifest are carried over instead of recomputed.
+        """
+        twin = Shuttle.__new__(Shuttle)
+        twin.packet_id = next(_packet_ids)
+        twin.src = self.src
+        twin.dst = self.dst
+        twin.size_bytes = self.size_bytes
+        twin.ttl = self.ttl
+        twin.payload = None
+        twin.created_at = self.created_at
+        twin.hops = self.hops
+        twin.flow_id = self.flow_id
+        twin.meta = copy_meta(self.meta)
+        twin.ployon_id = next(_ployon_ids)
+        directives = self.directives
+        twin.directives = (directives if isinstance(directives, tuple)
+                           else list(directives))
+        twin.credential = self.credential
+        twin.interface = self.interface
+        twin.target_class = self.target_class
+        twin.morphs = 0
+        twin.data = self.data
         return twin
 
     def __repr__(self) -> str:
@@ -266,14 +318,53 @@ class Jet(Shuttle):
         self.size_bytes += 32  # replication header
 
     def spawn_copy(self, new_dst: Hashable, budget: int) -> "Jet":
+        if _opt.cow_clone:
+            return self._fast_spawn_copy(new_dst, budget)
         copy = Jet(self.src, new_dst, directives=list(self.directives),
                    replicate_budget=budget, max_fanout=self.max_fanout,
                    credential=self.credential, interface=self.interface,
                    target_class=self.target_class, ttl=self.ttl,
                    flow_id=self.flow_id)
         copy.visited = set(self.visited)
-        copy.meta = dict(self.meta)
+        copy.meta = copy_meta(self.meta)
         copy.meta["jet_copy"] = True
+        return copy
+
+    def _fast_spawn_copy(self, new_dst: Hashable, budget: int) -> "Jet":
+        """Slot-for-slot replica skipping the constructor (CoW cargo).
+
+        Mirrors the eager path exactly, including its quirks: the copy
+        drops ``payload``/``data``, starts at ``created_at=0.0`` and
+        ``hops=0``, resets ``morphs``, and consumes one packet id plus
+        one ployon id — so a jet flood's run digest is identical with
+        the optimization on or off.
+        """
+        if budget < 0:
+            raise ValueError("negative replicate budget")
+        copy = Jet.__new__(Jet)
+        copy.packet_id = next(_packet_ids)
+        copy.src = self.src
+        copy.dst = new_dst
+        copy.size_bytes = self.size_bytes
+        copy.ttl = self.ttl
+        copy.payload = None
+        copy.created_at = 0.0
+        copy.hops = 0
+        copy.flow_id = self.flow_id
+        copy.meta = copy_meta(self.meta)
+        copy.meta["jet_copy"] = True
+        copy.ployon_id = next(_ployon_ids)
+        directives = self.directives
+        copy.directives = (directives if isinstance(directives, tuple)
+                           else list(directives))
+        copy.credential = self.credential
+        copy.interface = self.interface
+        copy.target_class = self.target_class
+        copy.morphs = 0
+        copy.data = None
+        copy.replicate_budget = int(budget)
+        copy.max_fanout = self.max_fanout
+        copy.visited = set(self.visited)
         return copy
 
     def clone(self) -> "Jet":

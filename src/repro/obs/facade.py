@@ -16,9 +16,11 @@ stringly re-declaring families at every call site.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
+from ..perf.switches import switches as _opt
 from .profiler import KernelProfiler
 from .registry import (DEFAULT_BUCKETS, PER_CONFIGURATION, PER_DATA_LINK,
                        PER_MESSAGE, PER_METHOD, PER_MULTICAST_BRANCH,
@@ -40,6 +42,10 @@ class Observability:
         self.registry: Optional[MetricsRegistry] = None
         self.tracer: Optional[SpanTracer] = None
         self.profiler: Optional[KernelProfiler] = None
+        # metrics_digest() cache, stamped by the kernel's progress.
+        self._metrics_digest: Optional[str] = None
+        self._metrics_digest_stamp: Optional[Tuple[int, float]] = None
+        self.metrics_digest_hits = 0
         if enabled:
             self.enable()
 
@@ -186,6 +192,32 @@ class Observability:
         if meta is None:
             return None
         return meta.get(TRACE_META_KEY)
+
+    # -- digests ------------------------------------------------------------
+    def metrics_digest(self) -> str:
+        """Canonical-JSON/sha256 fingerprint of every collected sample.
+
+        Instruments only move inside executed events, so the cached
+        digest is stamped with ``(events_executed, now)`` and reused
+        until the kernel makes progress (``perf.switches.
+        digest_cache``).  Mutating instruments *outside* any event and
+        re-reading within the same stamp would return the stale digest
+        — simulation code never does that; tests that do must toggle
+        the switch off.
+        """
+        sim = self.sim
+        stamp = (getattr(sim, "events_executed", 0), sim.now)
+        if _opt.digest_cache and self._metrics_digest is not None \
+                and self._metrics_digest_stamp == stamp:
+            self.metrics_digest_hits += 1
+            return self._metrics_digest
+        samples = (list(self.registry.collect())
+                   if self.registry is not None else [])
+        payload = json.dumps(samples, sort_keys=True, default=repr)
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        self._metrics_digest = digest
+        self._metrics_digest_stamp = stamp
+        return digest
 
     # -- export -------------------------------------------------------------
     def records(self) -> Iterator[Dict[str, Any]]:

@@ -1,0 +1,56 @@
+"""Canonical digests for benchmark results.
+
+A scenario's *run digest* is the acceptance bar of the whole perf plane:
+it folds only machine-independent quantities (event counts, shuttle
+counts, simulated times, deterministic counters) into a sha256, so
+
+* the same (scenario, seed, scale) must produce the same digest on any
+  machine, on any day, with any subset of optimizations enabled, and
+* a committed baseline's digests stay comparable forever, unlike its
+  wall-clock numbers.
+
+The canonical form is the repo-wide idiom (see
+:mod:`repro.resilience.chaos`): ``json.dumps(payload, sort_keys=True,
+default=repr)`` hashed with sha256, truncated to 16 hex chars.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+
+def canonical_digest(payload: Any) -> str:
+    """sha256[:16] of the canonical JSON encoding of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def run_digest(scenario: str, seed: int, scale: str,
+               counters: Dict[str, Any]) -> str:
+    """The digest of one scenario run.
+
+    ``counters`` must hold only deterministic, machine-independent
+    values — the scenario implementations guarantee that (no wall
+    times, no host state, floats rounded to fixed precision).
+    """
+    return canonical_digest({"scenario": scenario, "seed": seed,
+                             "scale": scale, "counters": counters})
+
+
+def round_floats(value: Any, digits: int = 9) -> Any:
+    """Round every float in a nested structure to ``digits`` places.
+
+    Simulated-time aggregates (mean latencies etc.) are deterministic,
+    but summation order inside a dict comprehension could differ across
+    Python builds at the last ulp; fixed rounding removes that footgun
+    before the value enters a digest.
+    """
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {k: round_floats(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [round_floats(v, digits) for v in value]
+    return value

@@ -1,0 +1,290 @@
+"""The deterministic macro-benchmark harness (``repro bench``).
+
+One :class:`BenchResult` per scenario run.  The *counters* block (and
+the digest derived from it) is a pure function of ``(scenario, seed,
+scale)`` — the only nondeterministic fields are the wall-clock
+measurements, which live alongside but never inside the digest.  That
+split is what makes the regression gate work: digests must match a
+committed baseline **exactly** (semantic drift is a hard failure, no
+threshold), while throughput is compared through a median-normalized
+ratio that cancels machine-speed differences between the baseline host
+and the current one.
+
+The committed anchor ``BENCH_baseline.json`` is produced with every
+optimization switch *off* (``repro bench --all --no-opt``), so default
+runs double as the optimization's regression proof: same digests,
+higher throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .digest import run_digest
+from .scenarios import SCENARIOS
+from .switches import DEFAULTS, all_disabled, configured, switches
+
+#: Schema version of the BENCH_*.json files.
+BENCH_VERSION = 1
+
+
+class BenchResult:
+    """One scenario execution: deterministic counters + wall measurements."""
+
+    __slots__ = ("scenario", "seed", "scale", "switches", "repeats",
+                 "wall_time_s", "events_per_sec", "shuttles_per_sec",
+                 "events_executed", "shuttles_processed",
+                 "peak_agenda_depth", "digest", "counters")
+
+    def __init__(self, scenario: str, seed: int, scale: str,
+                 switch_state: Dict[str, bool], repeats: int,
+                 wall_time_s: float, counters: Dict[str, Any],
+                 work: Dict[str, int]):
+        self.scenario = scenario
+        self.seed = int(seed)
+        self.scale = scale
+        self.switches = dict(switch_state)
+        self.repeats = int(repeats)
+        self.wall_time_s = wall_time_s
+        self.events_executed = int(work.get("events", 0))
+        self.shuttles_processed = int(work.get("shuttles", 0))
+        self.events_per_sec = (self.events_executed / wall_time_s
+                               if wall_time_s > 0 else 0.0)
+        self.shuttles_per_sec = (self.shuttles_processed / wall_time_s
+                                 if wall_time_s > 0 else 0.0)
+        self.peak_agenda_depth = int(counters.get("peak_agenda_depth", 0))
+        self.counters = counters
+        self.digest = run_digest(scenario, seed, scale, counters)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": BENCH_VERSION,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "scale": self.scale,
+            "switches": self.switches,
+            "repeats": self.repeats,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "events_per_sec": round(self.events_per_sec, 2),
+            "shuttles_per_sec": round(self.shuttles_per_sec, 2),
+            "events_executed": self.events_executed,
+            "shuttles_processed": self.shuttles_processed,
+            "peak_agenda_depth": self.peak_agenda_depth,
+            "digest": self.digest,
+            "counters": self.counters,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<BenchResult {self.scenario} seed={self.seed} "
+                f"scale={self.scale} {self.events_per_sec:.0f} ev/s "
+                f"digest={self.digest}>")
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+
+def run_scenario(name: str, seed: int = 42, scale: str = "short",
+                 repeats: int = 1) -> BenchResult:
+    """Run one scenario; wall time is the best of ``repeats`` passes.
+
+    Every pass must reproduce the same counters — a mismatch means the
+    scenario leaks process-global state and is reported loudly rather
+    than averaged away.
+    """
+    try:
+        fn, _ = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = None
+    counters = work = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()  # via: ignore[VIA003] host wall time
+        pass_counters, pass_work = fn(seed, scale)
+        elapsed = time.perf_counter() - t0  # via: ignore[VIA003] host wall time
+        if counters is not None and pass_counters != counters:
+            raise RuntimeError(
+                f"scenario {name!r} is not repeatable at seed={seed} "
+                f"scale={scale!r}: counters drifted between passes")
+        counters, work = pass_counters, pass_work
+        if best is None or elapsed < best:
+            best = elapsed
+    return BenchResult(name, seed, scale, switches.as_dict(), repeats,
+                       best, counters, work)
+
+
+def run_all(seed: int = 42, scale: str = "short", repeats: int = 1,
+            names: Optional[Sequence[str]] = None) -> List[BenchResult]:
+    """Run the suite (or the ``names`` subset) in catalog order."""
+    selected = list(names) if names else list(SCENARIOS)
+    return [run_scenario(name, seed=seed, scale=scale, repeats=repeats)
+            for name in selected]
+
+
+def ablate(name: str, seed: int = 42, scale: str = "short",
+           repeats: int = 1) -> Dict[str, Any]:
+    """Per-switch ablation of one scenario.
+
+    Runs the scenario with all switches on, all off, and each switch
+    individually disabled; checks every variant reproduces the all-on
+    digest.  This is the machine-readable form of the optimization
+    ledger's "digests byte-identical on vs. off" proof.
+    """
+    with configured(**{k: True for k in DEFAULTS}):
+        on = run_scenario(name, seed=seed, scale=scale, repeats=repeats)
+    variants: Dict[str, BenchResult] = {}
+    with all_disabled():
+        variants["all-off"] = run_scenario(name, seed=seed, scale=scale,
+                                           repeats=repeats)
+    for switch in DEFAULTS:
+        with configured(**{switch: False}):
+            variants[f"no-{switch}"] = run_scenario(
+                name, seed=seed, scale=scale, repeats=repeats)
+    return {
+        "scenario": name, "seed": seed, "scale": scale,
+        "digest": on.digest,
+        "digest_stable": all(v.digest == on.digest
+                             for v in variants.values()),
+        "all_on": on.to_dict(),
+        "variants": {k: v.to_dict() for k, v in variants.items()},
+        "speedup_vs_all_off": (
+            round(on.events_per_sec
+                  / variants["all-off"].events_per_sec, 3)
+            if variants["all-off"].events_per_sec else None),
+    }
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+def _slug(scenario: str) -> str:
+    return scenario.replace("-", "_")
+
+
+def write_results(results: Iterable[BenchResult], out_dir: str,
+                  combined: Optional[str] = None) -> List[str]:
+    """Write one ``BENCH_<scenario>.json`` per result into ``out_dir``
+    (created if missing); optionally also a combined file holding the
+    whole list (the baseline format)."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    payloads = [r.to_dict() for r in results]
+    for payload in payloads:
+        path = os.path.join(out_dir,
+                            f"BENCH_{_slug(payload['scenario'])}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(path)
+    if combined is not None:
+        with open(combined, "w", encoding="utf-8") as fh:
+            json.dump(payloads, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(combined)
+    return written
+
+
+def load_results(path: str) -> List[Dict[str, Any]]:
+    """Load a BENCH file: either one result object or a list of them."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise ValueError(f"{path}: expected a BENCH object or list")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def compare(current: Sequence[Dict[str, Any]],
+            baseline: Sequence[Dict[str, Any]],
+            fail_over_pct: float = 25.0) -> Tuple[bool, List[str]]:
+    """Gate ``current`` results against a committed ``baseline``.
+
+    Two checks, in order of severity:
+
+    1. **Digest equality** (hard).  For every ``(scenario, seed,
+       scale)`` present in both sets the run digests must be byte
+       identical — optimizations may only change *when*, never *what*.
+    2. **Throughput** (thresholded).  Per-scenario ratios
+       ``current/baseline`` of events/sec are first divided by their
+       median, cancelling uniform machine-speed differences between the
+       baseline host and this one; a scenario whose *normalized* ratio
+       falls below ``1 - fail_over_pct/100`` failed the gate.  With
+       fewer than three overlapping scenarios the raw ratio is used
+       (a median of so few points would cancel real regressions).
+
+    Returns ``(ok, report_lines)``.
+    """
+    def key(entry: Dict[str, Any]) -> Tuple[Any, ...]:
+        return (entry["scenario"], entry["seed"], entry["scale"])
+
+    base_by_key = {key(entry): entry for entry in baseline}
+    lines: List[str] = []
+    ok = True
+    overlap = [(entry, base_by_key[key(entry)]) for entry in current
+               if key(entry) in base_by_key]
+    if not overlap:
+        return False, ["no overlapping (scenario, seed, scale) entries "
+                       "between current results and baseline"]
+    skipped = [key(entry) for entry in current
+               if key(entry) not in base_by_key]
+    for missing in skipped:
+        lines.append(f"~ {missing[0]}: no baseline entry "
+                     f"(seed={missing[1]}, scale={missing[2]}) — skipped")
+
+    for cur, base in overlap:
+        if cur["digest"] != base["digest"]:
+            ok = False
+            lines.append(
+                f"✗ {cur['scenario']}: DIGEST MISMATCH "
+                f"{cur['digest']} != baseline {base['digest']} "
+                f"(semantic drift — hard failure)")
+
+    ratios = []
+    for cur, base in overlap:
+        base_eps = base.get("events_per_sec") or 0.0
+        cur_eps = cur.get("events_per_sec") or 0.0
+        ratios.append((cur, base,
+                       cur_eps / base_eps if base_eps > 0 else 1.0))
+    norm = _median([r for _, _, r in ratios]) if len(ratios) >= 3 else 1.0
+    floor = 1.0 - fail_over_pct / 100.0
+    for cur, base, ratio in ratios:
+        adjusted = ratio / norm if norm > 0 else ratio
+        verdict = "✓"
+        if adjusted < floor:
+            ok = False
+            verdict = "✗"
+            lines.append(
+                f"✗ {cur['scenario']}: throughput regressed "
+                f"{(1.0 - adjusted) * 100.0:.1f}% normalized "
+                f"(> {fail_over_pct:.0f}% budget)")
+        lines.append(
+            f"{verdict} {cur['scenario']}: "
+            f"{cur['events_per_sec']:.0f} ev/s vs baseline "
+            f"{base['events_per_sec']:.0f} ev/s "
+            f"(raw ×{ratio:.2f}, normalized ×{adjusted:.2f}), "
+            f"digest {cur['digest']} "
+            f"{'==' if cur['digest'] == base['digest'] else '!='} baseline")
+    lines.append(f"median raw ratio ×{norm:.2f} "
+                 f"({len(ratios)} scenario(s), "
+                 f"fail-over {fail_over_pct:.0f}%)")
+    return ok, lines

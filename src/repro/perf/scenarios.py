@@ -1,0 +1,539 @@
+"""The standard benchmark scenario suite.
+
+Each scenario is a seeded, self-contained workload that stresses one
+hot plane of the stack and returns only deterministic quantities:
+
+========================  ==================================================
+``event-loop``            pure kernel churn: timer chains + lazy
+                          cancellations (Simulator.run inner loop)
+``shuttle-storm``         role shuttles docking across a quiet grid WN
+                          (clone + admission + directive interpretation)
+``jet-flood``             self-replicating jets sweeping the grid
+                          (spawn_copy + NodeOS-supervised replication)
+``arq-storm``             reliable transport over a lossy fabric
+                          (template clones, retransmission, acks, dedup)
+``admission-dock``        repeated docking of identical payload clones at
+                          one ship (the verdict-memo hot path)
+``nomadic``               a nomadic user firing task capsules while
+                          walking a route (end-to-end workload plane)
+========================  ==================================================
+
+Scenario functions never read wall clocks or host state; the harness
+times them from outside.  The dict a scenario returns becomes the
+``counters`` block of its ``BENCH_<scenario>.json`` and is folded into
+the run digest, so everything in it must be machine-independent and a
+pure function of ``(seed, scale)``.
+
+Scales: ``tiny`` (unit tests), ``short`` (CI smoke), ``full`` (the
+committed trajectory numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from .digest import round_floats
+
+#: scale -> multiplier applied to each scenario's base workload knobs.
+SCALES = ("tiny", "short", "full")
+
+
+def _scale_params(scale: str, tiny: Dict[str, Any], short: Dict[str, Any],
+                  full: Dict[str, Any]) -> Dict[str, Any]:
+    if scale == "tiny":
+        return tiny
+    if scale == "short":
+        return short
+    if scale == "full":
+        return full
+    raise ValueError(f"unknown scale {scale!r} (known: {SCALES})")
+
+
+def _quiet_wn(seed: int, rows: int, cols: int, loss_rate: float = 0.0):
+    """A grid WN with the autopoietic loop parked far beyond the run,
+    so the scenario's own traffic is the only event source (the same
+    recipe the chaos campaigns use for exact accounting)."""
+    from ..core.wandering_network import (WanderingNetwork,
+                                          WanderingNetworkConfig)
+    from ..substrates.phys import grid_topology
+    config = WanderingNetworkConfig(
+        seed=seed, router="static", loss_rate=loss_rate,
+        resonance_enabled=False,
+        horizontal_wandering=False, vertical_wandering=False,
+        audits_enabled=False,
+        pulse_interval=1e9, publish_interval=1e9)
+    return WanderingNetwork(grid_topology(rows, cols), config)
+
+
+# ----------------------------------------------------------------------
+# event-loop: kernel churn
+# ----------------------------------------------------------------------
+
+def scenario_event_loop(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                        Dict[str, Any]]:
+    """Timer chains plus lazy cancellations: the bare agenda loop.
+
+    ``chains`` self-rescheduling callbacks hop forward with jittered
+    delays; every few hops a chain schedules a decoy event and cancels
+    it, so the lazy-cancellation purge is on the hot path too.
+    """
+    from ..substrates.sim import Simulator
+    p = _scale_params(
+        scale,
+        tiny={"chains": 8, "hops": 50},
+        short={"chains": 32, "hops": 400},
+        full={"chains": 64, "hops": 4000})
+    sim = Simulator(seed=seed)
+    rng = sim.rng.stream("perf.event_loop")
+    cancelled = 0
+
+    def hop(chain: int, remaining: int) -> None:
+        nonlocal cancelled
+        if remaining <= 0:
+            return
+        delay = 0.001 + rng.uniform(0.0, 0.01)
+        sim.call_in(delay, hop, chain, remaining - 1, name="bench-hop")
+        if remaining % 4 == 0:
+            decoy = sim.schedule(delay + 1.0, name="bench-decoy")
+            decoy.cancel()
+            cancelled += 1
+
+    for chain in range(p["chains"]):
+        sim.call_in(0.001 * (chain + 1), hop, chain, p["hops"],
+                    name="bench-hop")
+    sim.run()
+    counters = {
+        "events_executed": sim.events_executed,
+        "cancelled": cancelled,
+        "final_time": round(sim.now, 9),
+        "peak_agenda_depth": sim.peak_agenda_depth,
+    }
+    work = {"events": sim.events_executed, "shuttles": 0}
+    return counters, work
+
+
+# ----------------------------------------------------------------------
+# shuttle-storm: clone + dock + interpret
+# ----------------------------------------------------------------------
+
+def scenario_shuttle_storm(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                           Dict[str, Any]]:
+    """A storm of role shuttles cloned from a few templates.
+
+    Every tick each source ship sends a clone of a prepared template
+    toward a destination drawn from a dedicated RNG stream — the clone
+    path, the admission gate and the directive interpreter all sit on
+    the hot path.  Templates are frozen, so CoW sharing engages when
+    enabled.
+    """
+    from ..core.shuttle import (OP_ACQUIRE_ROLE, OP_SET_NEXT_STEP,
+                                Directive, Shuttle)
+    p = _scale_params(
+        scale,
+        tiny={"rows": 2, "cols": 2, "shuttles": 40},
+        short={"rows": 3, "cols": 3, "shuttles": 400},
+        full={"rows": 4, "cols": 4, "shuttles": 4000})
+    wn = _quiet_wn(seed, p["rows"], p["cols"])
+    sim = wn.sim
+    nodes = sorted(wn.ships, key=repr)
+    roles = ("fn.caching", "fn.filtering", "fn.transcoding", "fn.fusion")
+    templates = []
+    for index, role in enumerate(roles):
+        src = nodes[index % len(nodes)]
+        template = Shuttle(src, src,
+                           directives=[
+                               Directive(OP_ACQUIRE_ROLE, role_id=role),
+                               Directive(OP_SET_NEXT_STEP, role_id=role)],
+                           credential=wn.credential,
+                           interface=wn.ships[src].interface)
+        templates.append(template.freeze_cargo())
+    rng = sim.rng.stream("perf.shuttle_storm")
+    sent = 0
+
+    def blast() -> None:
+        nonlocal sent
+        if sent >= p["shuttles"]:
+            task.stop()
+            return
+        template = templates[sent % len(templates)]
+        dst = nodes[rng.randrange(len(nodes))]
+        shuttle = template.clone()
+        shuttle.dst = dst
+        shuttle.created_at = sim.now
+        wn.ships[template.src].send_toward(shuttle)
+        sent += 1
+
+    task = sim.every(0.05, blast)
+    sim.run(until=0.05 * (p["shuttles"] + 4))
+    processed = sum(s.shuttles_processed for s in wn.ships.values())
+    rejected = sum(s.shuttles_rejected for s in wn.ships.values())
+    counters = {
+        "sent": sent,
+        "processed": processed,
+        "rejected": rejected,
+        "events_executed": sim.events_executed,
+        "final_time": round(sim.now, 9),
+        "peak_agenda_depth": sim.peak_agenda_depth,
+    }
+    work = {"events": sim.events_executed, "shuttles": processed}
+    return counters, work
+
+
+# ----------------------------------------------------------------------
+# jet-flood: replication plane
+# ----------------------------------------------------------------------
+
+def scenario_jet_flood(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                       Dict[str, Any]]:
+    """Waves of self-replicating jets sweeping a grid."""
+    from ..core.shuttle import OP_SET_NEXT_STEP, Directive, Jet
+    p = _scale_params(
+        scale,
+        tiny={"rows": 3, "cols": 3, "waves": 3, "budget": 8},
+        short={"rows": 4, "cols": 4, "waves": 12, "budget": 24},
+        full={"rows": 6, "cols": 6, "waves": 60, "budget": 48})
+    wn = _quiet_wn(seed, p["rows"], p["cols"])
+    sim = wn.sim
+    nodes = sorted(wn.ships, key=repr)
+    launched = 0
+
+    def launch(wave: int) -> None:
+        nonlocal launched
+        origin = nodes[wave % len(nodes)]
+        jet = Jet(origin, origin,
+                  directives=[Directive(OP_SET_NEXT_STEP,
+                                        role_id="fn.caching")],
+                  replicate_budget=p["budget"], max_fanout=3,
+                  credential=wn.credential,
+                  interface=wn.ships[origin].interface)
+        jet.freeze_cargo()
+        wn.ships[origin].originate(jet)
+        launched += 1
+
+    for wave in range(p["waves"]):
+        sim.call_in(0.5 * (wave + 1), launch, wave, name="bench-jet")
+    sim.run(until=0.5 * (p["waves"] + 20))
+    replicated = sum(s.jets_replicated for s in wn.ships.values())
+    processed = sum(s.shuttles_processed for s in wn.ships.values())
+    counters = {
+        "launched": launched,
+        "replicated": replicated,
+        "processed": processed,
+        "events_executed": sim.events_executed,
+        "final_time": round(sim.now, 9),
+        "peak_agenda_depth": sim.peak_agenda_depth,
+    }
+    work = {"events": sim.events_executed, "shuttles": processed}
+    return counters, work
+
+
+# ----------------------------------------------------------------------
+# arq-storm: reliable transport under loss
+# ----------------------------------------------------------------------
+
+def scenario_arq_storm(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                       Dict[str, Any]]:
+    """Reliable role delivery over a lossy fabric.
+
+    Every send stores a frozen template; each attempt transmits a fresh
+    clone, so retransmission exercises exactly the CoW path the ARQ
+    optimizes.  The drain runs past the worst-case backoff so every
+    delivery resolves (``delivered + dlq == sent`` holds).
+    """
+    from ..core.shuttle import (OP_ACQUIRE_ROLE, OP_SET_NEXT_STEP,
+                                Directive, Shuttle)
+    from ..resilience.arq import ReliableTransport
+    p = _scale_params(
+        scale,
+        tiny={"rows": 2, "cols": 2, "sends": 30, "loss": 0.15},
+        short={"rows": 3, "cols": 3, "sends": 200, "loss": 0.15},
+        full={"rows": 4, "cols": 4, "sends": 1500, "loss": 0.15})
+    wn = _quiet_wn(seed, p["rows"], p["cols"], loss_rate=p["loss"])
+    sim = wn.sim
+    transport = ReliableTransport(sim, wn.ships, base_timeout=0.5,
+                                  max_timeout=4.0, max_attempts=5,
+                                  jitter=0.25)
+    nodes = sorted(wn.ships, key=repr)
+    roles = ("fn.caching", "fn.filtering", "fn.transcoding", "fn.fusion")
+    rng = sim.rng.stream("perf.arq_storm")
+    sent = 0
+
+    def send_one() -> None:
+        nonlocal sent
+        if sent >= p["sends"]:
+            task.stop()
+            return
+        src = nodes[rng.randrange(len(nodes))]
+        dst = src
+        while dst == src:
+            dst = nodes[rng.randrange(len(nodes))]
+        role = roles[sent % len(roles)]
+        shuttle = Shuttle(src, dst,
+                          directives=[
+                              Directive(OP_ACQUIRE_ROLE, role_id=role),
+                              Directive(OP_SET_NEXT_STEP, role_id=role)],
+                          credential=wn.credential,
+                          interface=wn.ships[src].interface)
+        transport.send(src, shuttle)
+        sent += 1
+
+    task = sim.every(0.1, send_one)
+    sim.run(until=0.1 * (p["sends"] + 4))
+    # Drain: worst-case backoff chain, then finalize the stragglers.
+    sim.run(until=sim.now + 5 * 4.0 * 1.25 + 5.0)
+    transport.finalize()
+    duplicates = sum(s.duplicate_shuttles for s in wn.ships.values())
+    counters = {
+        "sent": transport.sent,
+        "delivered": transport.delivered,
+        "retries": transport.retries,
+        "dlq": len(transport.dlq),
+        "duplicates": duplicates,
+        "mean_latency": round(transport.mean_latency, 9),
+        "events_executed": sim.events_executed,
+        "final_time": round(sim.now, 9),
+        "peak_agenda_depth": sim.peak_agenda_depth,
+    }
+    work = {"events": sim.events_executed,
+            "shuttles": transport.delivered + transport.retries}
+    return counters, work
+
+
+# ----------------------------------------------------------------------
+# admission-dock: the verdict-memo hot path
+# ----------------------------------------------------------------------
+
+def scenario_admission_dock(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                            Dict[str, Any]]:
+    """Repeated docking of payload-identical clones at one ship.
+
+    The dominant cost is the static admission vet of the same few
+    payload shapes over and over — manifest recomputation, directive
+    schemas, quantum well-formedness, carried-code lint lookups —
+    exactly the sweep the verdict memo collapses.  Most templates are
+    *poison* (manifest forged after construction, heavy module +
+    quantum cargo): the gate runs its full sweep and rejects them, so
+    the vet, not directive execution, dominates.  Two honest templates
+    keep the accept path in the digest.  Cache-hit counters stay *out*
+    of the digest: they legitimately differ with the memo on vs. off;
+    verdict outcomes may not.
+    """
+    from ..core.knowledge import KnowledgeQuantum
+    from ..core.shuttle import (OP_ACQUIRE_ROLE, OP_DEPLOY_QUANTUM,
+                                OP_SET_NEXT_STEP, Directive, Shuttle)
+    from ..functions import (CachingRole, CombiningRole, DelegationRole,
+                             FilteringRole, FusionRole, TranscodingRole)
+    p = _scale_params(
+        scale,
+        tiny={"docks": 60},
+        short={"docks": 600},
+        full={"docks": 6000})
+    wn = _quiet_wn(seed, 1, 2)
+    sim = wn.sim
+    nodes = sorted(wn.ships, key=repr)
+    src, dst = nodes[0], nodes[1]
+    ship = wn.ships[dst]
+    role_classes = (CachingRole, FilteringRole, FusionRole,
+                    DelegationRole, CombiningRole, TranscodingRole)
+    templates = []
+    for honest_role in (CachingRole, FilteringRole):
+        templates.append(Shuttle(
+            src, dst,
+            directives=[
+                Directive(OP_ACQUIRE_ROLE, role_id=honest_role.role_id),
+                Directive(OP_SET_NEXT_STEP, role_id=honest_role.role_id)],
+            credential=wn.credential,
+            interface=ship.interface).freeze_cargo())
+    for start in range(4):
+        quantum = KnowledgeQuantum(
+            f"bench.kq{start}",
+            [{"fact_class": "bench-fact", "value": f"v{start}-{i}",
+              "weight": 1.0} for i in range(12)])
+        poison = Shuttle(
+            src, dst,
+            directives=[Directive(OP_ACQUIRE_ROLE,
+                                  role_id=role_cls.role_id,
+                                  module=role_cls.code_module())
+                        for role_cls in role_classes[start:start + 5]]
+                       + [Directive(OP_DEPLOY_QUANTUM, quantum=quantum)],
+            credential=wn.credential, interface=ship.interface)
+        poison.meta["manifest"] = ("install-code",)   # forged en route
+        poison.freeze_cargo()
+        templates.append(poison)
+    docked = 0
+
+    def dock() -> None:
+        nonlocal docked
+        if docked >= p["docks"]:
+            task.stop()
+            return
+        shuttle = templates[docked % len(templates)].clone()
+        shuttle.created_at = sim.now
+        ship.process_shuttle(shuttle, from_node=src)
+        docked += 1
+
+    task = sim.every(0.01, dock)
+    sim.run(until=0.01 * (p["docks"] + 4))
+    counters = {
+        "docked": docked,
+        "processed": ship.shuttles_processed,
+        "rejected": ship.shuttles_rejected,
+        "admission_rejected": ship.shuttles_admission_rejected,
+        "events_executed": sim.events_executed,
+        "final_time": round(sim.now, 9),
+        "peak_agenda_depth": sim.peak_agenda_depth,
+    }
+    work = {"events": sim.events_executed, "shuttles": docked}
+    return counters, work
+
+
+# ----------------------------------------------------------------------
+# nomadic: the end-to-end workload plane
+# ----------------------------------------------------------------------
+
+def scenario_nomadic(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                     Dict[str, Any]]:
+    """A nomadic user walks a route firing task capsules at a delegate."""
+    from ..functions import DelegationRole
+    from ..workloads.nomadic import NomadicUser
+    p = _scale_params(
+        scale,
+        tiny={"rows": 2, "cols": 3, "duration": 30.0},
+        short={"rows": 3, "cols": 3, "duration": 200.0},
+        full={"rows": 4, "cols": 4, "duration": 1500.0})
+    wn = _quiet_wn(seed, p["rows"], p["cols"])
+    sim = wn.sim
+    nodes = sorted(wn.ships, key=repr)
+    delegate = nodes[0]
+    wn.deploy_role(DelegationRole, at=delegate, activate=True)
+    user = NomadicUser(sim, wn.ships, route=nodes[1:], delegate=delegate,
+                       dwell_time=10.0, task_interval=0.5)
+    # user_id comes from a process-global sequence and leaks into task
+    # flow ids (and from there into recorded facts); pin it so the run
+    # is a pure function of (seed, scale) regardless of what ran before.
+    user.user_id = "bench-nomad"
+    user.start()
+    sim.run(until=p["duration"])
+    user.stop()
+    sim.run(until=p["duration"] + 5.0)
+    counters = round_floats({
+        "tasks_sent": user.tasks_sent,
+        "completed": len(user.results),
+        "completion_ratio": user.completion_ratio(),
+        "mean_latency": (user.mean_latency()
+                         if user.results else 0.0),
+        "events_executed": sim.events_executed,
+        "final_time": sim.now,
+        "peak_agenda_depth": sim.peak_agenda_depth,
+    })
+    work = {"events": sim.events_executed, "shuttles": user.tasks_sent}
+    return counters, work
+
+
+# ----------------------------------------------------------------------
+# audit-sweep: the digest-cache hot path
+# ----------------------------------------------------------------------
+
+def scenario_audit_sweep(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                         Dict[str, Any]]:
+    """Periodic integrity audits over large, slowly-changing stores.
+
+    Every sweep fingerprints each ship's knowledge base
+    (:meth:`~repro.core.knowledge.KnowledgeBase.content_digest`) and
+    the metrics registry (:meth:`~repro.obs.facade.Observability.
+    metrics_digest`); mutations arrive an order of magnitude less often
+    than sweeps, so most audits re-read unchanged state — the dirty-bit
+    / stamp caches' designed case.  The digests themselves are chained
+    into the run digest, so a cache returning a stale fingerprint is a
+    hard benchmark failure, not just a slow run.
+    """
+    import hashlib
+    from ..core.shuttle import (OP_ACQUIRE_ROLE, OP_SET_NEXT_STEP,
+                                Directive, Shuttle)
+    p = _scale_params(
+        scale,
+        tiny={"rows": 1, "cols": 3, "facts": 60, "sweeps": 20},
+        short={"rows": 2, "cols": 3, "facts": 300, "sweeps": 120},
+        full={"rows": 3, "cols": 4, "facts": 400, "sweeps": 600})
+    wn = _quiet_wn(seed, p["rows"], p["cols"])
+    sim = wn.sim
+    sim.obs.enable()
+    nodes = sorted(wn.ships, key=repr)
+    for index, node in enumerate(nodes):
+        ship = wn.ships[node]
+        for i in range(p["facts"]):
+            ship.record_fact(f"bench-class-{i % 7}", f"fact-{index}-{i}")
+    template = Shuttle(nodes[0], nodes[-1],
+                       directives=[
+                           Directive(OP_ACQUIRE_ROLE,
+                                     role_id="fn.caching"),
+                           Directive(OP_SET_NEXT_STEP,
+                                     role_id="fn.caching")],
+                       credential=wn.credential,
+                       interface=wn.ships[nodes[0]].interface)
+    template.freeze_cargo()
+    chain = hashlib.sha256()
+    sweeps = 0
+    mutations = 0
+
+    def sweep() -> None:
+        nonlocal sweeps
+        if sweeps >= p["sweeps"]:
+            sweep_task.stop()
+            churn_task.stop()
+            return
+        for node in nodes:
+            chain.update(
+                wn.ships[node].knowledge.content_digest().encode())
+        chain.update(sim.obs.metrics_digest().encode())
+        sweeps += 1
+
+    def churn() -> None:
+        # One new fact on one ship + one shuttle in flight: exactly one
+        # KB goes dirty, and the metrics stamp advances.
+        nonlocal mutations
+        ship = wn.ships[nodes[mutations % len(nodes)]]
+        ship.record_fact("bench-churn", f"churn-{mutations}")
+        shuttle = template.clone()
+        shuttle.created_at = sim.now
+        wn.ships[template.src].send_toward(shuttle)
+        mutations += 1
+
+    sweep_task = sim.every(0.1, sweep)
+    churn_task = sim.every(1.0, churn)
+    sim.run(until=0.1 * (p["sweeps"] + 4))
+    counters = {
+        "sweeps": sweeps,
+        "mutations": mutations,
+        "audit_chain": chain.hexdigest()[:16],
+        "facts": sum(len(wn.ships[n].knowledge) for n in nodes),
+        "events_executed": sim.events_executed,
+        "final_time": round(sim.now, 9),
+        "peak_agenda_depth": sim.peak_agenda_depth,
+    }
+    work = {"events": sim.events_executed,
+            "shuttles": sweeps * len(nodes)}
+    return counters, work
+
+
+ScenarioFn = Callable[[int, str], Tuple[Dict[str, Any], Dict[str, Any]]]
+
+#: name -> (function, one-line description).
+SCENARIOS: Dict[str, Tuple[ScenarioFn, str]] = {
+    "event-loop": (scenario_event_loop,
+                   "kernel churn: timer chains + lazy cancellations"),
+    "shuttle-storm": (scenario_shuttle_storm,
+                      "role-shuttle clones docking across a quiet grid"),
+    "jet-flood": (scenario_jet_flood,
+                  "self-replicating jets sweeping the grid"),
+    "arq-storm": (scenario_arq_storm,
+                  "reliable transport retransmitting over a lossy fabric"),
+    "admission-dock": (scenario_admission_dock,
+                       "payload-identical clones through the admission "
+                       "gate"),
+    "nomadic": (scenario_nomadic,
+                "nomadic user firing task capsules along a route"),
+    "audit-sweep": (scenario_audit_sweep,
+                    "periodic integrity digests over slowly-changing "
+                    "stores"),
+}

@@ -34,10 +34,12 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+from collections import OrderedDict
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..core.genetics import Genome
 from ..core.knowledge import KnowledgeQuantum
+from ..perf.switches import switches as _opt
 from ..core.shuttle import (ALL_OPS, OP_ACQUIRE_ROLE, OP_ACTIVATE_ROLE,
                             OP_DEPLOY_QUANTUM, OP_INSTALL_CODE,
                             OP_INSTALL_DRIVER, OP_LOAD_BITSTREAM,
@@ -133,11 +135,18 @@ class AdmissionVerifier:
     analyzed once per process, not once per dock.
     """
 
+    #: Bound on the whole-shuttle verdict memo (LRU eviction).
+    VERDICT_CACHE_CAP = 4096
+
     def __init__(self, lint_mobile_code: bool = True):
         self.lint_mobile_code = lint_mobile_code
         self._code_verdicts: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        #: Whole-shuttle verdict memo keyed by payload fingerprint
+        #: (structural mode only; see :meth:`_payload_key`).
+        self._verdicts: "OrderedDict[tuple, Verdict]" = OrderedDict()
         self.vets = 0
         self.rejections = 0
+        self.verdict_cache_hits = 0
 
     # -- entry point -------------------------------------------------------
     def vet(self, shuttle: Shuttle, ship=None,
@@ -146,8 +155,36 @@ class AdmissionVerifier:
 
         ``ship`` is only needed for ``check_authorization`` (its
         SecurityManager holds the policy to prove against).
+
+        Structural-mode verdicts are memoized by a content fingerprint
+        of the payload (``perf.switches.admission_memo``): an ARQ
+        retransmission storm or a fleet of identical role shuttles vets
+        once, not once per dock.  The fingerprint is recomputed from the
+        live payload on every call, so in-place tampering (a rewritten
+        op, a spliced directive) changes the key and misses the cache —
+        tamper detection is never weakened, only duplicated work is.
         """
         self.vets += 1
+        key = None
+        if _opt.admission_memo and not check_authorization:
+            key = self._payload_key(shuttle)
+            if key is not None:
+                cached = self._verdicts.get(key)
+                if cached is not None:
+                    self._verdicts.move_to_end(key)
+                    self.verdict_cache_hits += 1
+                    if not cached.ok:
+                        self.rejections += 1
+                    return cached
+        verdict = self._vet_uncached(shuttle, ship, check_authorization)
+        if key is not None:
+            self._verdicts[key] = verdict
+            while len(self._verdicts) > self.VERDICT_CACHE_CAP:
+                self._verdicts.popitem(last=False)
+        return verdict
+
+    def _vet_uncached(self, shuttle: Shuttle, ship,
+                      check_authorization: bool) -> Verdict:
         reasons: List[str] = []
         lint_rules: List[str] = []
         directives = shuttle.directives
@@ -180,6 +217,64 @@ class AdmissionVerifier:
         if not verdict.ok:
             self.rejections += 1
         return verdict
+
+    # -- verdict memo ------------------------------------------------------
+    @staticmethod
+    def _arg_token(name: str, value) -> Optional[tuple]:
+        """A hashable content token for one directive argument, or
+        ``None`` when the argument cannot be fingerprinted (the shuttle
+        is then vetted uncached)."""
+        if value is None or isinstance(value, (str, int, float, bool)):
+            return (name, value)
+        if isinstance(value, CodeModule):
+            # size_bytes is a declared field independent of code_id, so
+            # it goes into the token (the cargo-bound check reads it).
+            entry = value.entry
+            return (name, "module", value.code_id, value.size_bytes,
+                    getattr(entry, "__module__", None),
+                    getattr(entry, "__qualname__", None))
+        if isinstance(value, KnowledgeQuantum):
+            # kq ids are allocated once per constructed object and never
+            # reused, so the id is a sound identity token: retransmitted
+            # clones share the object, distinct quanta get fresh keys.
+            # (A caller mutating a quantum's snapshots *in place* after
+            # a vet would see the stale verdict — the repo never does;
+            # tampering replaces directives, which changes the key.)
+            return (name, "kq", value.kq_id, len(value.fact_snapshots))
+        if isinstance(value, Bitstream):
+            return (name, "bitstream", value.function_id, value.cells)
+        if isinstance(value, Genome):
+            return (name, "genome", value.genome_id)
+        return None
+
+    def _payload_key(self, shuttle: Shuttle) -> Optional[tuple]:
+        """Content fingerprint of everything the structural vet reads.
+
+        One cheap pass over the payload: per directive its op and
+        argument tokens, plus the declared manifest and the lint flag.
+        Directive wire size is *derived* from op and args (every sized
+        carried object contributes its size through its token), so it
+        needs no slot of its own.  Recomputed on every call — the memo
+        trades repeated schema/quantum/manifest/lint work for one
+        fingerprint pass, not for blindness to mutation.
+        """
+        declared = shuttle.meta.get("manifest")
+        parts = [tuple(declared) if declared is not None else None,
+                 self.lint_mobile_code]
+        token_of = self._arg_token
+        for directive in shuttle.directives:
+            args = getattr(directive, "args", None)
+            if not isinstance(args, dict):
+                return None
+            arg_tokens = []
+            for arg_name in sorted(args):
+                token = token_of(arg_name, args[arg_name])
+                if token is None:
+                    return None
+                arg_tokens.append(token)
+            parts.append((getattr(directive, "op", None),
+                          tuple(arg_tokens)))
+        return tuple(parts)
 
     # -- directive schemas -------------------------------------------------
     def _check_directive(self, index: int, directive) -> List[str]:

@@ -17,6 +17,25 @@ _packet_ids = itertools.count(1)
 HEADER_BYTES = 20
 
 
+def copy_meta(meta: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy a packet ``meta`` dict without aliasing nested mutables.
+
+    A plain ``dict(meta)`` shares nested containers — e.g. the ARQ
+    record ``meta["arq"]`` — between a clone and its template, so an
+    in-place mutation on one side corrupts the other (an ARQ retransmit
+    clone would write into the pristine template).  One level of
+    container copying is exactly deep enough: every value the stack
+    stores in ``meta`` is either immutable (strings, numbers, the
+    ``(trace_id, span_id)`` tuple, the manifest tuple) or a flat
+    dict/list/set of immutables.
+    """
+    return {key: (dict(value) if isinstance(value, dict)
+                  else list(value) if isinstance(value, list)
+                  else set(value) if isinstance(value, set)
+                  else value)
+            for key, value in meta.items()}
+
+
 class Datagram:
     """A transmittable unit.
 
@@ -70,7 +89,7 @@ class Datagram:
         twin = Datagram(self.src, self.dst, self.size_bytes, self.ttl,
                         self.payload, self.created_at, flow_id=self.flow_id)
         twin.hops = self.hops
-        twin.meta = dict(self.meta)
+        twin.meta = copy_meta(self.meta)
         return twin
 
     def __repr__(self) -> str:

@@ -21,6 +21,7 @@ import heapq
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from ...obs import Observability
+from ...perf.switches import switches as _opt
 from .errors import SchedulingError
 from .events import Event, NORMAL
 from .rng import RngRegistry
@@ -43,6 +44,10 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        #: Deepest the agenda has ever been (pending + lazily-cancelled
+        #: entries).  Deterministic for a seeded run, so benchmark
+        #: digests may include it.
+        self.peak_agenda_depth = 0
         self.rng = RngRegistry(seed)
         self.trace = TraceBus(self)
         self.seed = seed
@@ -66,6 +71,9 @@ class Simulator:
                 f"cannot schedule at {time} (now={self._now})")
         ev = Event(time, priority, name=name)
         heapq.heappush(self._heap, ev)
+        depth = len(self._heap)
+        if depth > self.peak_agenda_depth:
+            self.peak_agenda_depth = depth
         return ev
 
     def schedule(self, delay: float, priority: int = NORMAL,
@@ -148,27 +156,78 @@ class Simulator:
         if until is not None and until < self._now:
             raise SchedulingError(
                 f"run(until={until}) is in the past (now={self._now})")
-        executed = 0
         try:
-            while not self._stopped:
-                nxt = self.peek()
-                if nxt == float("inf"):
-                    break
-                if until is not None and nxt > until:
-                    self._now = until
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                self.step()
-                executed += 1
+            if _opt.kernel_fast_loop:
+                self._run_fast(until, max_events)
             else:
-                # stop() was called; clock stays at the stopping event.
-                pass
-            if until is not None and self._now < until and not self._stopped:
-                self._now = until
+                self._run_reference(until, max_events)
         finally:
             self._running = False
         return self._now
+
+    def _run_reference(self, until: Optional[float],
+                       max_events: Optional[int]) -> None:
+        """The original peek()/step() loop, kept as the semantic oracle
+        for the fast loop (``perf.switches.kernel_fast_loop = False``)."""
+        executed = 0
+        while not self._stopped:
+            nxt = self.peek()
+            if nxt == float("inf"):
+                break
+            if until is not None and nxt > until:
+                self._now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        else:
+            # stop() was called; clock stays at the stopping event.
+            pass
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def _run_fast(self, until: Optional[float],
+                  max_events: Optional[int]) -> None:
+        """Inlined event loop: one purge-and-pop per event.
+
+        Semantically identical to :meth:`_run_reference` — same purge
+        points, same check order (until before max_events), same
+        trailing clamp of ``_now`` to ``until`` (which the legacy loop
+        applies even after a ``max_events`` break) — but it touches the
+        heap once per event instead of twice (``peek`` then ``step``)
+        and hoists the method/attribute lookups out of the loop.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        executed = 0
+        while not self._stopped:
+            # Single lazy-cancellation purge (the reference path purges
+            # in peek() and then re-checks pending in step()).
+            while heap and (heap[0]._fired or heap[0]._cancelled):
+                heappop(heap)
+            if not heap:
+                break
+            ev = heap[0]
+            if until is not None and ev.time > until:
+                self._now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heappop(heap)
+            self._now = ev.time
+            prof = self._profiler
+            if prof is not None:
+                t0 = prof.clock()
+                ev.fire()
+                prof.record(ev.name or "event", prof.clock() - t0,
+                            len(heap))
+            else:
+                ev.fire()
+            self.events_executed += 1
+            executed += 1
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
