@@ -150,6 +150,15 @@ class Simulator:
             max_events: Optional[int] = None) -> float:
         """Run until the agenda empties, ``until`` is reached, or
         ``max_events`` have executed.  Returns the final simulated time.
+
+        Pause/resume contract: a run paused at a horizon draws no
+        extra RNG or counter state — splitting one run into
+        ``run(until=t1); run(until=t2); ...`` executes the exact same
+        events, callbacks, and stream draws as a single
+        ``run(until=tN)``, and between segments ``schedule_at(t)`` is
+        legal for any ``t >= now`` (external event injection).  After a
+        ``max_events`` break the clock stays at the last executed event
+        (never clamped past pending work).
         """
         self._running = True
         self._stopped = False
@@ -170,6 +179,7 @@ class Simulator:
         """The original peek()/step() loop, kept as the semantic oracle
         for the fast loop (``perf.switches.kernel_fast_loop = False``)."""
         executed = 0
+        budget_hit = False
         while not self._stopped:
             nxt = self.peek()
             if nxt == float("inf"):
@@ -178,13 +188,18 @@ class Simulator:
                 self._now = until
                 break
             if max_events is not None and executed >= max_events:
+                # Clock stays at the last executed event: pending events
+                # at times <= until remain, so advancing to ``until``
+                # here would let time run backwards on resume.
+                budget_hit = True
                 break
             self.step()
             executed += 1
         else:
             # stop() was called; clock stays at the stopping event.
             pass
-        if until is not None and self._now < until and not self._stopped:
+        if (until is not None and self._now < until
+                and not self._stopped and not budget_hit):
             self._now = until
 
     def _run_fast(self, until: Optional[float],
@@ -193,14 +208,16 @@ class Simulator:
 
         Semantically identical to :meth:`_run_reference` — same purge
         points, same check order (until before max_events), same
-        trailing clamp of ``_now`` to ``until`` (which the legacy loop
-        applies even after a ``max_events`` break) — but it touches the
-        heap once per event instead of twice (``peek`` then ``step``)
-        and hoists the method/attribute lookups out of the loop.
+        trailing clamp of ``_now`` to ``until`` (skipped after a
+        ``max_events`` break, where pending events at times <= ``until``
+        remain) — but it touches the heap once per event instead of
+        twice (``peek`` then ``step``) and hoists the method/attribute
+        lookups out of the loop.
         """
         heap = self._heap
         heappop = heapq.heappop
         executed = 0
+        budget_hit = False
         while not self._stopped:
             # Single lazy-cancellation purge (the reference path purges
             # in peek() and then re-checks pending in step()).
@@ -213,6 +230,7 @@ class Simulator:
                 self._now = until
                 break
             if max_events is not None and executed >= max_events:
+                budget_hit = True
                 break
             heappop(heap)
             self._now = ev.time
@@ -226,7 +244,8 @@ class Simulator:
                 ev.fire()
             self.events_executed += 1
             executed += 1
-        if until is not None and self._now < until and not self._stopped:
+        if (until is not None and self._now < until
+                and not self._stopped and not budget_hit):
             self._now = until
 
     def stop(self) -> None:

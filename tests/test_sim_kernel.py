@@ -479,3 +479,134 @@ class TestRunUntilPast:
         with pytest.raises(SchedulingError):
             sim.run(until=5.0)
         assert sim.now == 10.0   # clock untouched
+
+
+class TestHorizonPauseResume:
+    """run(until=...) paused at an epoch boundary and resumed must be
+    indistinguishable from one monolithic run — zero extra RNG draws,
+    zero counter drift.  This is the kernel contract the shard
+    executor's epoch barriers rely on."""
+
+    @staticmethod
+    def _build(sim, log):
+        def tick(tag):
+            log.append((round(sim.now, 9), tag))
+            sim.call_in(0.03, lambda: log.append((round(sim.now, 9),
+                                                  tag + ".child")))
+        sim.every(0.05, tick, "a", jitter=0.02, stream="t.a")
+        sim.every(0.07, tick, "b", jitter=0.01, stream="t.b")
+        sim.every(0.11, tick, "c")
+
+    @staticmethod
+    def _state(sim):
+        return (sim.events_executed, sim.now, sim.peak_agenda_depth,
+                sim.rng.stream("t.a").getstate(),
+                sim.rng.stream("t.b").getstate())
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_segmented_equals_monolithic(self, fast):
+        from repro.perf.switches import configured
+        with configured(kernel_fast_loop=fast):
+            mono_sim = Simulator(seed=7)
+            mono_log = []
+            self._build(mono_sim, mono_log)
+            mono_sim.run(until=2.0)
+
+            seg_sim = Simulator(seed=7)
+            seg_log = []
+            self._build(seg_sim, seg_log)
+            t = 0.0
+            # Awkward epoch lengths, some landing exactly on event times.
+            for step in (0.05, 0.13, 0.02, 0.1) * 10:
+                t = min(2.0, t + step)
+                seg_sim.run(until=t)
+                if t >= 2.0:
+                    break
+
+        assert seg_log == mono_log
+        assert self._state(seg_sim) == self._state(mono_sim)
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_injection_between_segments(self, fast):
+        """External events injected at a barrier (time >= now, beyond
+        the paused horizon) fire exactly like natively scheduled ones."""
+        from repro.perf.switches import configured
+        with configured(kernel_fast_loop=fast):
+            native = Simulator(seed=3)
+            nlog = []
+            native.call_at(0.5, nlog.append, "x")
+            native.call_at(1.0, nlog.append, "boundary")
+            native.call_at(1.25, nlog.append, "y")
+            native.run(until=2.0)
+
+            seg = Simulator(seed=3)
+            slog = []
+            seg.call_at(0.5, slog.append, "x")
+            seg.run(until=1.0)
+            assert seg.now == 1.0
+            # Injection at exactly the horizon and strictly beyond it.
+            seg.call_at(1.0, slog.append, "boundary")
+            seg.call_at(1.25, slog.append, "y")
+            seg.run(until=2.0)
+
+        assert slog == nlog
+        assert seg.now == native.now == 2.0
+        assert seg.events_executed == native.events_executed
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_max_events_break_does_not_clamp_past_pending(self, fast):
+        """Regression: a max_events break used to clamp the clock to
+        ``until`` with events still pending before it, so time ran
+        backwards on resume and injection raised SchedulingError."""
+        from repro.perf.switches import configured
+        with configured(kernel_fast_loop=fast):
+            sim = Simulator(seed=1)
+            fired = []
+            for t in (1.0, 2.0, 3.0):
+                sim.call_at(t, fired.append, t)
+            sim.run(until=10.0, max_events=1)
+            assert fired == [1.0]
+            assert sim.now == 1.0  # not clamped to 10.0
+            # Injection between the paused clock and the pending work
+            # must be legal and fire in order.
+            sim.call_at(1.5, fired.append, 1.5)
+            sim.run(until=10.0)
+            assert fired == [1.0, 1.5, 2.0, 3.0]
+            assert sim.now == 10.0
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_zero_length_epoch_is_a_noop(self, fast):
+        from repro.perf.switches import configured
+        with configured(kernel_fast_loop=fast):
+            sim = Simulator(seed=1)
+            sim.call_at(1.0, lambda: None)
+            sim.run(until=0.5)
+            before = (sim.now, sim.events_executed, sim.pending_events)
+            sim.run(until=0.5)
+            assert (sim.now, sim.events_executed,
+                    sim.pending_events) == before
+
+    def test_scenario_counters_survive_slicing(self):
+        """Slicing a macro-scenario's horizon into awkward epochs
+        reproduces the monolithic counters bit-for-bit."""
+        from repro.perf.scenarios import SCENARIOS
+        fn, _ = SCENARIOS["shuttle-storm"]
+        mono, _work = fn(42, "tiny")
+
+        orig_run = Simulator.run
+
+        def sliced_run(self, until=None, max_events=None):
+            if until is None or max_events is not None:
+                return orig_run(self, until=until, max_events=max_events)
+            t = self.now
+            while t < until:
+                t = min(until, t + 0.037)
+                orig_run(self, until=t)
+            return self.now
+
+        Simulator.run = sliced_run
+        try:
+            sliced, _work = fn(42, "tiny")
+        finally:
+            Simulator.run = orig_run
+        assert sliced == mono
