@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-baseline examples verify \
-	demo figures obs-smoke chaos-smoke lint all clean
+.PHONY: install test bench bench-smoke bench-baseline bench-parallel \
+	examples verify demo figures obs-smoke chaos-smoke lint all clean
 
 install:
 	pip install -e .
@@ -37,6 +37,20 @@ bench-smoke:
 		--scale short --out /tmp/bench-smoke \
 		--compare BENCH_baseline.json --fail-over 25
 	@echo "bench-smoke: digests match baseline, throughput in budget"
+
+# Sharded-execution gate: run every shardable scenario partitioned
+# across 2 worker processes and require byte-identical digests against
+# the committed single-shard baseline (digests never include
+# workers/backend, so the same anchor gates both).  Throughput is not
+# the point here — CI runners may be single-core — so the regression
+# threshold is slack; the digest check stays hard.
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) -m repro bench \
+		shuttle-storm jet-flood shard-scaling \
+		--workers 2 --backend mp --seed 42 --scale short \
+		--out /tmp/bench-parallel \
+		--compare BENCH_baseline.json --fail-over 90
+	@echo "bench-parallel: 2-shard digests byte-identical to the single-shard baseline"
 
 # Regenerate the committed baseline (runs with every optimization
 # switch off — default runs then double as the optimization proof).

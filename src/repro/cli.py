@@ -73,12 +73,22 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--all", action="store_true",
                        help="run the whole scenario catalog")
     bench.add_argument("--seed", type=int, default=42)
-    bench.add_argument("--scale", choices=("tiny", "short", "full"),
+    bench.add_argument("--scale",
+                       choices=("tiny", "short", "medium", "full"),
                        default="short",
                        help="workload size (default: short)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="timing passes per scenario; wall time is "
                             "the best of N (default: 3)")
+    bench.add_argument("--workers", type=int, default=1, metavar="K",
+                       help="execute shardable scenarios partitioned "
+                            "over K shards (digest-identical to K=1; "
+                            "default: 1)")
+    bench.add_argument("--backend", choices=("inline", "mp"),
+                       default="mp",
+                       help="shard backend when --workers > 1: forked "
+                            "processes (mp) or the in-process oracle "
+                            "(inline); default: mp")
     bench.add_argument("--out", metavar="DIR", default=".",
                        help="directory for BENCH_<scenario>.json files")
     bench.add_argument("--combined", metavar="PATH", default=None,
@@ -117,6 +127,22 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="append a per-rule tally to the text report")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    shard = sub.add_parser(
+        "shard", help="inspect the deterministic shard partitioner")
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    plan = shard_sub.add_parser(
+        "plan", help="print the partition plan for a scenario topology")
+    plan.add_argument("scenario",
+                      help="a shardable scenario name (see bench --list)")
+    plan.add_argument("--workers", type=int, default=4, metavar="K",
+                      help="requested shard count (default: 4)")
+    plan.add_argument("--seed", type=int, default=42)
+    plan.add_argument("--scale",
+                      choices=("tiny", "short", "medium", "full"),
+                      default="short")
+    plan.add_argument("--json", action="store_true",
+                      help="emit the plan as JSON instead of text")
 
     figures = sub.add_parser("figures",
                              help="regenerate the figure artefacts")
@@ -294,23 +320,31 @@ def cmd_bench(args) -> int:
                       f"x{report['speedup_vs_all_off']}")
         return 0 if all(r["digest_stable"] for r in reports) else 1
 
+    if args.workers < 1:
+        print("bench: --workers must be >= 1", file=sys.stderr)
+        return 2
     if args.no_opt:
         with all_disabled():
             results = run_all(seed=args.seed, scale=args.scale,
-                              repeats=args.repeats, names=names)
+                              repeats=args.repeats, names=names,
+                              workers=args.workers, backend=args.backend)
     else:
         results = run_all(seed=args.seed, scale=args.scale,
-                          repeats=args.repeats, names=names)
+                          repeats=args.repeats, names=names,
+                          workers=args.workers, backend=args.backend)
     written = write_results(results, args.out, combined=args.combined)
     if args.json:
         print(_json.dumps([r.to_dict() for r in results], indent=2,
                           sort_keys=True))
     else:
         for r in results:
+            sharding = (f" workers={r.workers}({r.backend})"
+                        if r.workers > 1 else "")
             print(f"{r.scenario:16s} {r.events_per_sec:12.0f} ev/s "
                   f"{r.shuttles_per_sec:10.0f} sh/s "
                   f"{r.wall_time_s * 1e3:8.1f} ms  "
-                  f"depth={r.peak_agenda_depth:<5d} digest={r.digest}")
+                  f"depth={r.peak_agenda_depth:<5d} "
+                  f"digest={r.digest}{sharding}")
         for path in written:
             print(f"wrote {path}")
     if args.compare:
@@ -325,6 +359,42 @@ def cmd_bench(args) -> int:
         for line in lines:
             print(line)
         return 0 if ok else 1
+    return 0
+
+
+def cmd_shard(args) -> int:
+    import json as _json
+
+    from .perf.scenarios import SHARD_WORKLOADS
+    from .shard import partition
+
+    if args.scenario not in SHARD_WORKLOADS:
+        known = ", ".join(SHARD_WORKLOADS)
+        print(f"shard: scenario {args.scenario!r} is not shardable "
+              f"(shardable: {known})", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("shard: --workers must be >= 1", file=sys.stderr)
+        return 2
+    workload = SHARD_WORKLOADS[args.scenario](args.seed, args.scale)
+    plan = partition(workload.topology(), args.workers, seed=args.seed)
+    if args.json:
+        print(_json.dumps(plan.to_dict(), indent=2, sort_keys=True,
+                          default=repr))
+        return 0
+    print(f"scenario   {args.scenario} (seed={args.seed}, "
+          f"scale={args.scale})")
+    print(f"shards     {plan.k} (requested {plan.requested_k})")
+    print(f"balance    {plan.balance:.3f} (max/min shard size)")
+    print(f"edge cut   {plan.edge_cut} link(s)")
+    lookahead = ("inf" if plan.lookahead == float("inf")
+                 else f"{plan.lookahead:.6g}")
+    print(f"lookahead  {lookahead} (min cut-link latency = epoch length)")
+    for index, nodes in enumerate(plan.shards):
+        members = ", ".join(repr(n) for n in sorted(nodes, key=repr))
+        print(f"  shard {index}: {len(nodes)} node(s): {members}")
+    for a, b, name, latency in plan.cut_links:
+        print(f"  cut: {name} ({a!r} ~ {b!r}, latency {latency:.6g})")
     return 0
 
 
@@ -417,6 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": cmd_verify,
         "chaos": cmd_chaos,
         "bench": cmd_bench,
+        "shard": cmd_shard,
         "lint": cmd_lint,
         "figures": cmd_figures,
         "info": cmd_info,

@@ -99,12 +99,17 @@ class WanderingNetwork:
     def __init__(self, topology: Topology,
                  config: Optional[WanderingNetworkConfig] = None,
                  sim: Optional[Simulator] = None,
-                 catalog: Optional[RoleCatalog] = None):
+                 catalog: Optional[RoleCatalog] = None,
+                 fabric_factory: Optional[Any] = None):
         self.config = config or WanderingNetworkConfig()
         self.sim = sim or Simulator(seed=self.config.seed)
         self.topology = topology
-        self.fabric = NetworkFabric(self.sim, topology,
-                                    loss_rate=self.config.loss_rate)
+        # fabric_factory(sim, topology, loss_rate) lets the shard
+        # executor substitute a boundary-aware fabric; everything else
+        # about construction stays byte-identical across substitutions.
+        make_fabric = fabric_factory or NetworkFabric
+        self.fabric = make_fabric(self.sim, topology,
+                                  loss_rate=self.config.loss_rate)
         self.catalog = catalog or default_catalog()
         self.authority = CredentialAuthority()
         self.credential = self.authority.issue(self.OPERATOR)

@@ -176,6 +176,16 @@ class Observability:
             "Determinism-lint findings (VIA rules) in statically vetted "
             "mobile code.",
             dimension=PER_METHOD, labels=("rule",))
+        # per-configuration: the shard executor (repro.shard).
+        self.shard_handoffs = r.counter(
+            "repro_shard_handoffs_total",
+            "Cross-shard packet legs diverted (out) or injected (in) at "
+            "epoch barriers.",
+            dimension=PER_CONFIGURATION, labels=("event",))
+        self.shard_barriers = r.counter(
+            "repro_shard_barriers_total",
+            "Epoch barriers this shard synchronized on.",
+            dimension=PER_CONFIGURATION, labels=())
         # trace-bus bridge: every legacy emit() lands here too.
         self.trace_topics = r.counter(
             "repro_trace_topic_total",

@@ -24,17 +24,17 @@ from .switches import DEFAULTS, Switches, all_disabled, configured, switches
 __all__ = [
     "DEFAULTS", "Switches", "all_disabled", "configured", "switches",
     # lazily loaded:
-    "BenchResult", "SCENARIOS", "run_scenario", "run_all", "ablate",
-    "compare", "write_results", "load_results", "run_digest",
-    "canonical_digest",
+    "BenchResult", "SCENARIOS", "SHARD_WORKLOADS", "run_scenario",
+    "run_all", "ablate", "compare", "write_results", "load_results",
+    "run_digest", "canonical_digest",
 ]
 
 _LAZY = {
     "BenchResult": "harness", "run_scenario": "harness",
     "run_all": "harness", "ablate": "harness", "compare": "harness",
     "write_results": "harness", "load_results": "harness",
-    "SCENARIOS": "scenarios", "run_digest": "digest",
-    "canonical_digest": "digest",
+    "SCENARIOS": "scenarios", "SHARD_WORKLOADS": "scenarios",
+    "run_digest": "digest", "canonical_digest": "digest",
 }
 
 

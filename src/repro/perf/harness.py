@@ -23,32 +23,42 @@ import os
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..shard.executor import run_sharded
 from .digest import run_digest
-from .scenarios import SCENARIOS
+from .scenarios import SCENARIOS, SHARD_WORKLOADS
 from .switches import DEFAULTS, all_disabled, configured, switches
 
-#: Schema version of the BENCH_*.json files.
-BENCH_VERSION = 1
+#: Schema version of the BENCH_*.json files.  Version 2 added
+#: ``wall_times_s`` (per-repeat wall clocks), ``workers``/``backend``
+#: and optional ``shard_stats``; :func:`compare` still reads version-1
+#: files, which simply lack those fields.
+BENCH_VERSION = 2
 
 
 class BenchResult:
     """One scenario execution: deterministic counters + wall measurements."""
 
     __slots__ = ("scenario", "seed", "scale", "switches", "repeats",
-                 "wall_time_s", "events_per_sec", "shuttles_per_sec",
-                 "events_executed", "shuttles_processed",
-                 "peak_agenda_depth", "digest", "counters")
+                 "wall_time_s", "wall_times_s", "events_per_sec",
+                 "shuttles_per_sec", "events_executed",
+                 "shuttles_processed", "peak_agenda_depth", "digest",
+                 "counters", "workers", "backend", "shard_stats")
 
     def __init__(self, scenario: str, seed: int, scale: str,
                  switch_state: Dict[str, bool], repeats: int,
                  wall_time_s: float, counters: Dict[str, Any],
-                 work: Dict[str, int]):
+                 work: Dict[str, int],
+                 wall_times_s: Optional[Sequence[float]] = None,
+                 workers: int = 1, backend: str = "inline",
+                 shard_stats: Optional[Dict[str, Any]] = None):
         self.scenario = scenario
         self.seed = int(seed)
         self.scale = scale
         self.switches = dict(switch_state)
         self.repeats = int(repeats)
         self.wall_time_s = wall_time_s
+        self.wall_times_s = (list(wall_times_s) if wall_times_s is not None
+                             else [wall_time_s])
         self.events_executed = int(work.get("events", 0))
         self.shuttles_processed = int(work.get("shuttles", 0))
         self.events_per_sec = (self.events_executed / wall_time_s
@@ -57,10 +67,16 @@ class BenchResult:
                                  if wall_time_s > 0 else 0.0)
         self.peak_agenda_depth = int(counters.get("peak_agenda_depth", 0))
         self.counters = counters
+        self.workers = int(workers)
+        self.backend = backend
+        self.shard_stats = shard_stats
+        # The digest is a pure function of the deterministic counters —
+        # never of workers/backend, which is exactly what lets a
+        # --workers K run gate against a single-shard baseline.
         self.digest = run_digest(scenario, seed, scale, counters)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "version": BENCH_VERSION,
             "scenario": self.scenario,
             "seed": self.seed,
@@ -68,14 +84,20 @@ class BenchResult:
             "switches": self.switches,
             "repeats": self.repeats,
             "wall_time_s": round(self.wall_time_s, 6),
+            "wall_times_s": [round(t, 6) for t in self.wall_times_s],
             "events_per_sec": round(self.events_per_sec, 2),
             "shuttles_per_sec": round(self.shuttles_per_sec, 2),
             "events_executed": self.events_executed,
             "shuttles_processed": self.shuttles_processed,
             "peak_agenda_depth": self.peak_agenda_depth,
+            "workers": self.workers,
+            "backend": self.backend,
             "digest": self.digest,
             "counters": self.counters,
         }
+        if self.shard_stats is not None:
+            payload["shard_stats"] = self.shard_stats
+        return payload
 
     def __repr__(self) -> str:
         return (f"<BenchResult {self.scenario} seed={self.seed} "
@@ -88,8 +110,16 @@ class BenchResult:
 # ----------------------------------------------------------------------
 
 def run_scenario(name: str, seed: int = 42, scale: str = "short",
-                 repeats: int = 1) -> BenchResult:
+                 repeats: int = 1, workers: int = 1,
+                 backend: str = "inline") -> BenchResult:
     """Run one scenario; wall time is the best of ``repeats`` passes.
+
+    ``workers > 1`` executes the scenario partitioned over shards
+    (``backend`` is ``inline`` or ``mp``) when it has a registered
+    :data:`~repro.perf.scenarios.SHARD_WORKLOADS` entry; any other
+    scenario silently falls back to the single-shard path, whose
+    counters are worker-invariant by construction.  The digest never
+    depends on ``workers``.
 
     Every pass must reproduce the same counters — a mismatch means the
     scenario leaks process-global state and is reported loudly rather
@@ -102,28 +132,41 @@ def run_scenario(name: str, seed: int = 42, scale: str = "short",
         raise KeyError(f"unknown scenario {name!r} (known: {known})")
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    best = None
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    sharded = workers > 1 and name in SHARD_WORKLOADS
+    wall_times: List[float] = []
     counters = work = None
+    shard_stats = None
     for _ in range(repeats):
         t0 = time.perf_counter()  # via: ignore[VIA003] host wall time
-        pass_counters, pass_work = fn(seed, scale)
+        if sharded:
+            workload = SHARD_WORKLOADS[name](seed, scale)
+            pass_counters, pass_work, shard_stats = run_sharded(
+                workload, workers, backend=backend)
+        else:
+            pass_counters, pass_work = fn(seed, scale)
         elapsed = time.perf_counter() - t0  # via: ignore[VIA003] host wall time
         if counters is not None and pass_counters != counters:
             raise RuntimeError(
                 f"scenario {name!r} is not repeatable at seed={seed} "
                 f"scale={scale!r}: counters drifted between passes")
         counters, work = pass_counters, pass_work
-        if best is None or elapsed < best:
-            best = elapsed
+        wall_times.append(elapsed)
     return BenchResult(name, seed, scale, switches.as_dict(), repeats,
-                       best, counters, work)
+                       min(wall_times), counters, work,
+                       wall_times_s=wall_times,
+                       workers=workers if sharded else 1,
+                       backend=backend, shard_stats=shard_stats)
 
 
 def run_all(seed: int = 42, scale: str = "short", repeats: int = 1,
-            names: Optional[Sequence[str]] = None) -> List[BenchResult]:
+            names: Optional[Sequence[str]] = None, workers: int = 1,
+            backend: str = "inline") -> List[BenchResult]:
     """Run the suite (or the ``names`` subset) in catalog order."""
     selected = list(names) if names else list(SCENARIOS)
-    return [run_scenario(name, seed=seed, scale=scale, repeats=repeats)
+    return [run_scenario(name, seed=seed, scale=scale, repeats=repeats,
+                         workers=workers, backend=backend)
             for name in selected]
 
 

@@ -24,32 +24,45 @@ times them from outside.  The dict a scenario returns becomes the
 the run digest, so everything in it must be machine-independent and a
 pure function of ``(seed, scale)``.
 
-Scales: ``tiny`` (unit tests), ``short`` (CI smoke), ``full`` (the
-committed trajectory numbers).
+Scales: ``tiny`` (unit tests), ``short`` (CI smoke), ``medium`` (the
+shard-scaling measurements), ``full`` (the committed trajectory
+numbers).
+
+Sharding: scenarios listed in :data:`SHARD_WORKLOADS` also exist as
+:class:`~repro.shard.executor.ShardWorkload` classes and can execute
+partitioned over worker shards (``repro bench --workers K``) with
+byte-identical digests; everything else falls back to the single-shard
+path regardless of ``--workers``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Hashable, Optional, Tuple
 
+from ..shard.executor import ShardWorkload, run_single, shard_fabric_factory
 from .digest import round_floats
 
 #: scale -> multiplier applied to each scenario's base workload knobs.
-SCALES = ("tiny", "short", "full")
+SCALES = ("tiny", "short", "medium", "full")
 
 
 def _scale_params(scale: str, tiny: Dict[str, Any], short: Dict[str, Any],
-                  full: Dict[str, Any]) -> Dict[str, Any]:
+                  full: Dict[str, Any],
+                  medium: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     if scale == "tiny":
         return tiny
     if scale == "short":
         return short
+    if scale == "medium":
+        # Scenarios without an explicit medium sit at the CI size.
+        return medium if medium is not None else short
     if scale == "full":
         return full
     raise ValueError(f"unknown scale {scale!r} (known: {SCALES})")
 
 
-def _quiet_wn(seed: int, rows: int, cols: int, loss_rate: float = 0.0):
+def _quiet_wn(seed: int, rows: int, cols: int, loss_rate: float = 0.0,
+              fabric_factory=None, latency: float = 0.01):
     """A grid WN with the autopoietic loop parked far beyond the run,
     so the scenario's own traffic is the only event source (the same
     recipe the chaos campaigns use for exact accounting)."""
@@ -62,7 +75,8 @@ def _quiet_wn(seed: int, rows: int, cols: int, loss_rate: float = 0.0):
         horizontal_wandering=False, vertical_wandering=False,
         audits_enabled=False,
         pulse_interval=1e9, publish_interval=1e9)
-    return WanderingNetwork(grid_topology(rows, cols), config)
+    return WanderingNetwork(grid_topology(rows, cols, latency=latency),
+                            config, fabric_factory=fabric_factory)
 
 
 # ----------------------------------------------------------------------
@@ -82,6 +96,7 @@ def scenario_event_loop(seed: int, scale: str) -> Tuple[Dict[str, Any],
         scale,
         tiny={"chains": 8, "hops": 50},
         short={"chains": 32, "hops": 400},
+        medium={"chains": 48, "hops": 1200},
         full={"chains": 64, "hops": 4000})
     sim = Simulator(seed=seed)
     rng = sim.rng.stream("perf.event_loop")
@@ -113,118 +128,325 @@ def scenario_event_loop(seed: int, scale: str) -> Tuple[Dict[str, Any],
 
 
 # ----------------------------------------------------------------------
-# shuttle-storm: clone + dock + interpret
+# shard workloads: the scenarios that also run partitioned
 # ----------------------------------------------------------------------
+#
+# The three workloads below are written *order-invariant*: every
+# counter they emit is a sum over completed traffic (the horizon
+# includes a drain tail long past the last send, so sent == processed
+# regardless of how equal-timestamp events interleave), hop counts
+# come from the static router, and ``final_time`` is the horizon
+# itself.  That is what makes the K-shard digest equal the single-
+# shard digest byte for byte: the conservative epoch executor
+# preserves every event's *time* exactly, while same-time tie-breaks
+# may differ — so nothing digest-visible may depend on them.
+# ``peak_agenda_depth`` is the one kernel counter that is genuinely
+# tie-order- and partition-dependent, which is why these scenarios do
+# not report it.
 
-def scenario_shuttle_storm(seed: int, scale: str) -> Tuple[Dict[str, Any],
-                                                           Dict[str, Any]]:
+class _GridShardWorkload(ShardWorkload):
+    """Shared plumbing: a quiet grid WN replica per shard."""
+
+    #: link latency of the benchmark grid (drives the shard lookahead).
+    latency = 0.01
+
+    def topology(self):
+        from ..substrates.phys import grid_topology
+        return grid_topology(self.p["rows"], self.p["cols"],
+                             latency=self.latency)
+
+    def build(self, owned: Optional[FrozenSet[Hashable]] = None
+              ) -> Dict[str, Any]:
+        wn = _quiet_wn(self.seed, self.p["rows"], self.p["cols"],
+                       fabric_factory=shard_fabric_factory(owned),
+                       latency=self.latency)
+        return {"wn": wn, "sim": wn.sim, "fabric": wn.fabric}
+
+    def _ships(self, ctx, owned):
+        wn = ctx["wn"]
+        if owned is None:
+            return list(wn.ships.values())
+        return [wn.ships[node] for node in owned]
+
+
+class ShuttleStormWorkload(_GridShardWorkload):
     """A storm of role shuttles cloned from a few templates.
 
-    Every tick each source ship sends a clone of a prepared template
-    toward a destination drawn from a dedicated RNG stream — the clone
-    path, the admission gate and the directive interpreter all sit on
-    the hot path.  Templates are frozen, so CoW sharing engages when
-    enabled.
+    Each of the four source ships runs its own driver on its own RNG
+    stream (``perf.shuttle_storm.<i>``) with its own send quota, so a
+    shard owning a source reproduces that source's traffic exactly
+    without reference to the other shards.  The clone path, the
+    admission gate and the directive interpreter all sit on the hot
+    path; templates are frozen, so CoW sharing engages when enabled.
     """
-    from ..core.shuttle import (OP_ACQUIRE_ROLE, OP_SET_NEXT_STEP,
-                                Directive, Shuttle)
-    p = _scale_params(
-        scale,
-        tiny={"rows": 2, "cols": 2, "shuttles": 40},
-        short={"rows": 3, "cols": 3, "shuttles": 400},
-        full={"rows": 4, "cols": 4, "shuttles": 4000})
-    wn = _quiet_wn(seed, p["rows"], p["cols"])
-    sim = wn.sim
-    nodes = sorted(wn.ships, key=repr)
+
+    name = "shuttle-storm"
     roles = ("fn.caching", "fn.filtering", "fn.transcoding", "fn.fusion")
-    templates = []
-    for index, role in enumerate(roles):
-        src = nodes[index % len(nodes)]
+
+    def __init__(self, seed: int, scale: str):
+        super().__init__(seed, scale)
+        self.p = _scale_params(
+            scale,
+            tiny={"rows": 2, "cols": 2, "per_source": 10},
+            short={"rows": 3, "cols": 3, "per_source": 100},
+            medium={"rows": 4, "cols": 5, "per_source": 400},
+            full={"rows": 5, "cols": 5, "per_source": 1000})
+
+    def horizon(self) -> float:
+        # Last send at 0.05 * per_source, then a drain tail so every
+        # shuttle in flight docks before the clock stops.
+        return round(0.05 * (self.p["per_source"] + 4) + 2.0, 9)
+
+    def setup(self, ctx: Dict[str, Any],
+              owned: Optional[FrozenSet[Hashable]]) -> None:
+        wn = ctx["wn"]
+        nodes = sorted(wn.ships, key=repr)
+        ctx["sent"] = [0] * len(self.roles)
+        for index, role in enumerate(self.roles):
+            src = nodes[index % len(nodes)]
+            if owned is None or src in owned:
+                self._install(ctx, wn, nodes, index, role, src)
+
+    def _install(self, ctx, wn, nodes, index, role, src):
+        from ..core.shuttle import (OP_ACQUIRE_ROLE, OP_SET_NEXT_STEP,
+                                    Directive, Shuttle)
+        sim = wn.sim
         template = Shuttle(src, src,
                            directives=[
                                Directive(OP_ACQUIRE_ROLE, role_id=role),
                                Directive(OP_SET_NEXT_STEP, role_id=role)],
                            credential=wn.credential,
-                           interface=wn.ships[src].interface)
-        templates.append(template.freeze_cargo())
-    rng = sim.rng.stream("perf.shuttle_storm")
-    sent = 0
+                           interface=wn.ships[src].interface).freeze_cargo()
+        rng = sim.rng.stream(f"perf.shuttle_storm.{index}")
+        quota = self.p["per_source"]
+        counts = ctx["sent"]
 
-    def blast() -> None:
-        nonlocal sent
-        if sent >= p["shuttles"]:
-            task.stop()
-            return
-        template = templates[sent % len(templates)]
-        dst = nodes[rng.randrange(len(nodes))]
-        shuttle = template.clone()
-        shuttle.dst = dst
-        shuttle.created_at = sim.now
-        wn.ships[template.src].send_toward(shuttle)
-        sent += 1
+        def blast() -> None:
+            if counts[index] >= quota:
+                task.stop()
+                return
+            shuttle = template.clone()
+            shuttle.dst = nodes[rng.randrange(len(nodes))]
+            shuttle.created_at = sim.now
+            wn.ships[src].send_toward(shuttle)
+            counts[index] += 1
 
-    task = sim.every(0.05, blast)
-    sim.run(until=0.05 * (p["shuttles"] + 4))
-    processed = sum(s.shuttles_processed for s in wn.ships.values())
-    rejected = sum(s.shuttles_rejected for s in wn.ships.values())
-    counters = {
-        "sent": sent,
-        "processed": processed,
-        "rejected": rejected,
-        "events_executed": sim.events_executed,
-        "final_time": round(sim.now, 9),
-        "peak_agenda_depth": sim.peak_agenda_depth,
-    }
-    work = {"events": sim.events_executed, "shuttles": processed}
-    return counters, work
+        task = sim.every(0.05, blast)
+
+    def collect(self, ctx: Dict[str, Any],
+                owned: Optional[FrozenSet[Hashable]]) -> Dict[str, Any]:
+        ships = self._ships(ctx, owned)
+        return {
+            "sent": sum(ctx["sent"]),
+            "processed": sum(s.shuttles_processed for s in ships),
+            "rejected": sum(s.shuttles_rejected for s in ships),
+            "events_executed": ctx["sim"].events_executed,
+        }
+
+    def finalize(self, totals: Dict[str, Any]
+                 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
+        counters = {
+            "sent": totals["sent"],
+            "processed": totals["processed"],
+            "rejected": totals["rejected"],
+            "events_executed": totals["events_executed"],
+            "final_time": round(self.horizon(), 9),
+        }
+        work = {"events": totals["events_executed"],
+                "shuttles": totals["processed"]}
+        return counters, work
+
+
+def scenario_shuttle_storm(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                           Dict[str, Any]]:
+    """Single-shard entry point for :class:`ShuttleStormWorkload`."""
+    return run_single(ShuttleStormWorkload(seed, scale))
 
 
 # ----------------------------------------------------------------------
 # jet-flood: replication plane
 # ----------------------------------------------------------------------
 
+class JetFloodWorkload(_GridShardWorkload):
+    """Waves of self-replicating jets sweeping a grid.
+
+    A wave launches at its origin ship only in the shard owning that
+    origin; the jet's copies carry their ``visited`` set with them, so
+    replication decisions are packet-local and migrate cleanly across
+    shard boundaries.
+    """
+
+    name = "jet-flood"
+
+    def __init__(self, seed: int, scale: str):
+        super().__init__(seed, scale)
+        self.p = _scale_params(
+            scale,
+            tiny={"rows": 3, "cols": 3, "waves": 3, "budget": 8},
+            short={"rows": 4, "cols": 4, "waves": 12, "budget": 24},
+            medium={"rows": 5, "cols": 5, "waves": 30, "budget": 36},
+            full={"rows": 6, "cols": 6, "waves": 60, "budget": 48})
+
+    def horizon(self) -> float:
+        # Waves land every 0.5; the 10-unit tail drains the last flood.
+        return round(0.5 * (self.p["waves"] + 20), 9)
+
+    def setup(self, ctx: Dict[str, Any],
+              owned: Optional[FrozenSet[Hashable]]) -> None:
+        wn, sim = ctx["wn"], ctx["sim"]
+        nodes = sorted(wn.ships, key=repr)
+        ctx["launched"] = [0]
+
+        def launch(wave: int) -> None:
+            from ..core.shuttle import OP_SET_NEXT_STEP, Directive, Jet
+            origin = nodes[wave % len(nodes)]
+            jet = Jet(origin, origin,
+                      directives=[Directive(OP_SET_NEXT_STEP,
+                                            role_id="fn.caching")],
+                      replicate_budget=self.p["budget"], max_fanout=3,
+                      credential=wn.credential,
+                      interface=wn.ships[origin].interface)
+            jet.freeze_cargo()
+            wn.ships[origin].originate(jet)
+            ctx["launched"][0] += 1
+
+        for wave in range(self.p["waves"]):
+            origin = nodes[wave % len(nodes)]
+            if owned is None or origin in owned:
+                sim.call_in(0.5 * (wave + 1), launch, wave,
+                            name="bench-jet")
+
+    def collect(self, ctx: Dict[str, Any],
+                owned: Optional[FrozenSet[Hashable]]) -> Dict[str, Any]:
+        ships = self._ships(ctx, owned)
+        return {
+            "launched": ctx["launched"][0],
+            "replicated": sum(s.jets_replicated for s in ships),
+            "processed": sum(s.shuttles_processed for s in ships),
+            "events_executed": ctx["sim"].events_executed,
+        }
+
+    def finalize(self, totals: Dict[str, Any]
+                 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
+        counters = {
+            "launched": totals["launched"],
+            "replicated": totals["replicated"],
+            "processed": totals["processed"],
+            "events_executed": totals["events_executed"],
+            "final_time": round(self.horizon(), 9),
+        }
+        work = {"events": totals["events_executed"],
+                "shuttles": totals["processed"]}
+        return counters, work
+
+
 def scenario_jet_flood(seed: int, scale: str) -> Tuple[Dict[str, Any],
                                                        Dict[str, Any]]:
-    """Waves of self-replicating jets sweeping a grid."""
-    from ..core.shuttle import OP_SET_NEXT_STEP, Directive, Jet
-    p = _scale_params(
-        scale,
-        tiny={"rows": 3, "cols": 3, "waves": 3, "budget": 8},
-        short={"rows": 4, "cols": 4, "waves": 12, "budget": 24},
-        full={"rows": 6, "cols": 6, "waves": 60, "budget": 48})
-    wn = _quiet_wn(seed, p["rows"], p["cols"])
-    sim = wn.sim
-    nodes = sorted(wn.ships, key=repr)
-    launched = 0
+    """Single-shard entry point for :class:`JetFloodWorkload`."""
+    return run_single(JetFloodWorkload(seed, scale))
 
-    def launch(wave: int) -> None:
-        nonlocal launched
-        origin = nodes[wave % len(nodes)]
-        jet = Jet(origin, origin,
-                  directives=[Directive(OP_SET_NEXT_STEP,
-                                        role_id="fn.caching")],
-                  replicate_budget=p["budget"], max_fanout=3,
-                  credential=wn.credential,
-                  interface=wn.ships[origin].interface)
-        jet.freeze_cargo()
-        wn.ships[origin].originate(jet)
-        launched += 1
 
-    for wave in range(p["waves"]):
-        sim.call_in(0.5 * (wave + 1), launch, wave, name="bench-jet")
-    sim.run(until=0.5 * (p["waves"] + 20))
-    replicated = sum(s.jets_replicated for s in wn.ships.values())
-    processed = sum(s.shuttles_processed for s in wn.ships.values())
-    counters = {
-        "launched": launched,
-        "replicated": replicated,
-        "processed": processed,
-        "events_executed": sim.events_executed,
-        "final_time": round(sim.now, 9),
-        "peak_agenda_depth": sim.peak_agenda_depth,
-    }
-    work = {"events": sim.events_executed, "shuttles": processed}
-    return counters, work
+# ----------------------------------------------------------------------
+# shard-scaling: the partitioned-execution macro-benchmark
+# ----------------------------------------------------------------------
+
+class ShardScalingWorkload(_GridShardWorkload):
+    """Every node pumps admission-heavy quanta at its ring successor.
+
+    Designed to *scale*: work is spread evenly over all nodes (one
+    driver per node), each shuttle carries a unique knowledge quantum
+    whose full admission vet is the dominant CPU cost (unique payloads
+    defeat the verdict memo on purpose), and the grid's 0.05 latency
+    gives the shard executor a wide lookahead — few barriers, long
+    epochs.  All quanta are byte-for-byte the same *size* (fixed-width
+    fact values), so token-bucket waits are a pure function of the
+    per-link arrival multiset, not of tie-break order.
+    """
+
+    name = "shard-scaling"
+    latency = 0.05
+
+    def __init__(self, seed: int, scale: str):
+        super().__init__(seed, scale)
+        self.p = _scale_params(
+            scale,
+            tiny={"rows": 2, "cols": 2, "per_node": 6, "facts": 8},
+            short={"rows": 3, "cols": 3, "per_node": 40, "facts": 16},
+            medium={"rows": 4, "cols": 5, "per_node": 220, "facts": 24},
+            full={"rows": 6, "cols": 6, "per_node": 600, "facts": 24})
+
+    def horizon(self) -> float:
+        return round(0.1 * (self.p["per_node"] + 4) + 2.0, 9)
+
+    def setup(self, ctx: Dict[str, Any],
+              owned: Optional[FrozenSet[Hashable]]) -> None:
+        wn = ctx["wn"]
+        nodes = sorted(wn.ships, key=repr)
+        ctx["sent"] = [0] * len(nodes)
+        for index, src in enumerate(nodes):
+            if owned is None or src in owned:
+                dst = nodes[(index + 1) % len(nodes)]
+                self._install(ctx, wn, index, src, dst)
+
+    def _install(self, ctx, wn, index, src, dst):
+        from ..core.knowledge import KnowledgeQuantum
+        from ..core.shuttle import OP_DEPLOY_QUANTUM, Directive, Shuttle
+        sim = wn.sim
+        quota = self.p["per_node"]
+        facts = self.p["facts"]
+        counts = ctx["sent"]
+
+        def pump() -> None:
+            i = counts[index]
+            if i >= quota:
+                task.stop()
+                return
+            quantum = KnowledgeQuantum(
+                f"bench.sh{index:04d}",
+                [{"fact_class": "bench-shard",
+                  "value": f"{index:04d}-{i:06d}-{k:02d}",
+                  "weight": 1.0} for k in range(facts)])
+            shuttle = Shuttle(src, dst,
+                              directives=[Directive(OP_DEPLOY_QUANTUM,
+                                                    quantum=quantum)],
+                              credential=wn.credential,
+                              interface=wn.ships[src].interface)
+            shuttle.freeze_cargo()
+            wn.ships[src].send_toward(shuttle)
+            counts[index] = i + 1
+
+        task = sim.every(0.1, pump)
+
+    def collect(self, ctx: Dict[str, Any],
+                owned: Optional[FrozenSet[Hashable]]) -> Dict[str, Any]:
+        ships = self._ships(ctx, owned)
+        return {
+            "sent": sum(ctx["sent"]),
+            "processed": sum(s.shuttles_processed for s in ships),
+            "rejected": sum(s.shuttles_rejected for s in ships),
+            "facts": sum(len(s.knowledge) for s in ships),
+            "events_executed": ctx["sim"].events_executed,
+        }
+
+    def finalize(self, totals: Dict[str, Any]
+                 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
+        counters = {
+            "sent": totals["sent"],
+            "processed": totals["processed"],
+            "rejected": totals["rejected"],
+            "facts": totals["facts"],
+            "events_executed": totals["events_executed"],
+            "final_time": round(self.horizon(), 9),
+        }
+        work = {"events": totals["events_executed"],
+                "shuttles": totals["processed"]}
+        return counters, work
+
+
+def scenario_shard_scaling(seed: int, scale: str) -> Tuple[Dict[str, Any],
+                                                           Dict[str, Any]]:
+    """Single-shard entry point for :class:`ShardScalingWorkload`."""
+    return run_single(ShardScalingWorkload(seed, scale))
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +469,7 @@ def scenario_arq_storm(seed: int, scale: str) -> Tuple[Dict[str, Any],
         scale,
         tiny={"rows": 2, "cols": 2, "sends": 30, "loss": 0.15},
         short={"rows": 3, "cols": 3, "sends": 200, "loss": 0.15},
+        medium={"rows": 3, "cols": 4, "sends": 600, "loss": 0.15},
         full={"rows": 4, "cols": 4, "sends": 1500, "loss": 0.15})
     wn = _quiet_wn(seed, p["rows"], p["cols"], loss_rate=p["loss"])
     sim = wn.sim
@@ -327,6 +550,7 @@ def scenario_admission_dock(seed: int, scale: str) -> Tuple[Dict[str, Any],
         scale,
         tiny={"docks": 60},
         short={"docks": 600},
+        medium={"docks": 2000},
         full={"docks": 6000})
     wn = _quiet_wn(seed, 1, 2)
     sim = wn.sim
@@ -400,6 +624,7 @@ def scenario_nomadic(seed: int, scale: str) -> Tuple[Dict[str, Any],
         scale,
         tiny={"rows": 2, "cols": 3, "duration": 30.0},
         short={"rows": 3, "cols": 3, "duration": 200.0},
+        medium={"rows": 3, "cols": 4, "duration": 600.0},
         full={"rows": 4, "cols": 4, "duration": 1500.0})
     wn = _quiet_wn(seed, p["rows"], p["cols"])
     sim = wn.sim
@@ -454,6 +679,7 @@ def scenario_audit_sweep(seed: int, scale: str) -> Tuple[Dict[str, Any],
         scale,
         tiny={"rows": 1, "cols": 3, "facts": 60, "sweeps": 20},
         short={"rows": 2, "cols": 3, "facts": 300, "sweeps": 120},
+        medium={"rows": 2, "cols": 4, "facts": 350, "sweeps": 240},
         full={"rows": 3, "cols": 4, "facts": 400, "sweeps": 600})
     wn = _quiet_wn(seed, p["rows"], p["cols"])
     sim = wn.sim
@@ -536,4 +762,16 @@ SCENARIOS: Dict[str, Tuple[ScenarioFn, str]] = {
     "audit-sweep": (scenario_audit_sweep,
                     "periodic integrity digests over slowly-changing "
                     "stores"),
+    "shard-scaling": (scenario_shard_scaling,
+                      "admission-heavy quanta pumped node-to-node; the "
+                      "partitioned-execution macro-benchmark"),
+}
+
+#: name -> ShardWorkload class, for scenarios that can run partitioned
+#: (``repro bench --workers K``).  Everything else is single-shard only
+#: and trivially worker-invariant.
+SHARD_WORKLOADS: Dict[str, type] = {
+    "shuttle-storm": ShuttleStormWorkload,
+    "jet-flood": JetFloodWorkload,
+    "shard-scaling": ShardScalingWorkload,
 }

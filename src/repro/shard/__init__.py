@@ -1,0 +1,25 @@
+"""repro.shard — deterministic sharded execution.
+
+Partition the Wandering Network across workers with digest-identical
+results: a deterministic topology partitioner (:func:`partition`), a
+boundary-aware fabric (:class:`ShardFabric`), and a conservative
+epoch-synchronized executor (:func:`run_sharded`) with ``inline`` and
+``mp`` backends.  See ``docs/PERFORMANCE.md`` ("Sharded execution").
+"""
+
+from .executor import (ShardWorkload, run_sharded, run_single,
+                       shard_fabric_factory)
+from .fabric import Handoff, ShardFabric
+from .partition import ShardPlan, effective_k, partition
+
+__all__ = [
+    "Handoff",
+    "ShardFabric",
+    "ShardPlan",
+    "ShardWorkload",
+    "effective_k",
+    "partition",
+    "run_sharded",
+    "run_single",
+    "shard_fabric_factory",
+]

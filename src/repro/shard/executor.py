@@ -1,0 +1,346 @@
+"""The conservative epoch-synchronized shard executor.
+
+Two backends behind one API:
+
+``inline``
+    Round-robin over the K shard replicas in one process — the
+    always-available determinism oracle.  Handoff batches take the
+    same pickle round-trip the multiprocessing transport uses, so the
+    two backends exercise byte-identical semantics.
+``mp``
+    One forked worker per shard, handoff batches exchanged over pipes.
+    Real multi-core speedup; every digest must equal the inline (and
+    the single-shard) run.
+
+Epoch protocol
+--------------
+With ``L`` = the plan's lookahead (minimum latency over cut links),
+every shard runs ``run(until=T_n)`` for epoch ends ``T_n = n * L``.  A
+packet sent at ``t in (T_{n-1}, T_n]`` cannot arrive across a shard
+boundary sooner than ``t + L > T_n``, so handoffs collected at barrier
+``n`` always inject strictly into the future of every shard — no shard
+ever sees an event earlier than its clock (conservative PDES, no
+rollback).  Batches are merged in canonical ``(time, source shard,
+send order)`` order before injection so event tie-breaking at equal
+timestamps is identical no matter how many shards contributed.
+
+A workload is *sharded* only when its scenario opts in (see
+``repro.perf.scenarios.SHARD_WORKLOADS``); everything else falls back
+to the single-shard path, where ``--workers K`` is digest-trivially
+invariant by construction.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from .fabric import Handoff, ShardFabric
+from .partition import ShardPlan, partition
+
+NodeId = Hashable
+
+
+class ShardWorkload:
+    """Base protocol for a scenario that can execute sharded.
+
+    Subclasses are plain picklable data (``seed``, ``scale``, derived
+    params) plus pure methods — a forked worker reconstructs the whole
+    world from the instance alone.  Contract:
+
+    * :meth:`build` constructs the **full** network replica —
+      byte-identical construction in every shard — wiring a
+      :class:`ShardFabric` that owns ``owned`` (``None`` = everything,
+      the single-shard oracle).
+    * :meth:`setup` installs event sources (drivers) **only** for
+      owned nodes.
+    * :meth:`collect` returns summable numeric partials over owned
+      ships; the executor sums them across shards.
+    * :meth:`finalize` maps the summed totals to the scenario's
+      ``(counters, work)`` — a pure function, so the K-shard digest
+      can only equal the single-shard digest if every partial does.
+    """
+
+    name = "workload"
+
+    def __init__(self, seed: int, scale: str):
+        self.seed = int(seed)
+        self.scale = scale
+
+    def topology(self):
+        raise NotImplementedError
+
+    def horizon(self) -> float:
+        raise NotImplementedError
+
+    def build(self, owned: Optional[FrozenSet[NodeId]] = None
+              ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def setup(self, ctx: Dict[str, Any],
+              owned: Optional[FrozenSet[NodeId]]) -> None:
+        raise NotImplementedError
+
+    def collect(self, ctx: Dict[str, Any],
+                owned: Optional[FrozenSet[NodeId]]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def finalize(self, totals: Dict[str, Any]
+                 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
+        raise NotImplementedError
+
+
+def shard_fabric_factory(owned: Optional[FrozenSet[NodeId]]):
+    """A ``fabric_factory`` for :class:`~repro.core.wandering_network.
+    WanderingNetwork` producing a boundary-aware fabric, or the plain
+    fabric when ``owned`` is ``None`` (the oracle path)."""
+    if owned is None:
+        return None
+
+    def factory(sim, topology, loss_rate=0.0):
+        return ShardFabric(sim, topology, loss_rate=loss_rate, owned=owned)
+    return factory
+
+
+def run_single(workload: ShardWorkload
+               ) -> Tuple[Dict[str, Any], Dict[str, int]]:
+    """The single-shard oracle: build once, run to the horizon."""
+    ctx = workload.build(owned=None)
+    workload.setup(ctx, owned=None)
+    ctx["sim"].run(until=workload.horizon())
+    totals = workload.collect(ctx, owned=None)
+    return workload.finalize(totals)
+
+
+def run_sharded(workload: ShardWorkload, workers: int,
+                backend: str = "inline"
+                ) -> Tuple[Dict[str, Any], Dict[str, int], Dict[str, Any]]:
+    """Execute ``workload`` over ``workers`` shards.
+
+    Returns ``(counters, work, stats)`` where counters/work are
+    byte-identical to :func:`run_single` and ``stats`` describes the
+    parallel execution (never folded into digests).
+    """
+    if backend not in ("inline", "mp"):
+        raise ValueError(f"unknown shard backend {backend!r} "
+                         "(known: inline, mp)")
+    plan = partition(workload.topology(), workers, seed=workload.seed)
+    if plan.k <= 1 or plan.lookahead <= 0.0:
+        counters, work = run_single(workload)
+        return counters, work, {
+            "mode": "single", "k": 1, "requested_k": workers,
+            "backend": backend, "barriers": 0, "handoffs": 0,
+            "reason": ("k=1" if plan.k <= 1 else "zero-lookahead"),
+        }
+    if backend == "mp":
+        return _run_mp(workload, plan)
+    return _run_inline(workload, plan)
+
+
+# ----------------------------------------------------------------------
+# the canonical barrier merge
+# ----------------------------------------------------------------------
+
+def _epoch_ends(horizon: float, lookahead: float) -> List[float]:
+    """Barrier times: multiples of the lookahead, horizon-terminated."""
+    ends = []
+    t = 0.0
+    step = lookahead if lookahead != float("inf") else horizon
+    while t < horizon:
+        t = min(horizon, t + step)
+        ends.append(t)
+    return ends
+
+
+def _route(plan: ShardPlan,
+           outboxes: List[List[Handoff]]) -> Dict[int, List[Handoff]]:
+    """Merge per-shard outboxes into per-destination injection batches
+    in canonical ``(time, source shard, send order)`` order."""
+    tagged = []
+    for shard_index, outbox in enumerate(outboxes):
+        for order, handoff in enumerate(outbox):
+            tagged.append((handoff.time, shard_index, order, handoff))
+    tagged.sort(key=lambda entry: entry[:3])
+    batches: Dict[int, List[Handoff]] = {}
+    for _, _, _, handoff in tagged:
+        dest = plan.assignment[handoff.to_node]
+        batches.setdefault(dest, []).append(handoff)
+    return batches
+
+
+def _sum_partials(partials: List[Dict[str, Any]]) -> Dict[str, Any]:
+    totals: Dict[str, Any] = {}
+    for partial in partials:
+        for key, value in partial.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+# ----------------------------------------------------------------------
+# inline backend (the determinism oracle)
+# ----------------------------------------------------------------------
+
+def _run_inline(workload: ShardWorkload, plan: ShardPlan
+                ) -> Tuple[Dict[str, Any], Dict[str, int], Dict[str, Any]]:
+    import time
+    shards = []
+    for shard_index in range(plan.k):
+        owned = frozenset(plan.shards[shard_index])
+        ctx = workload.build(owned=owned)
+        workload.setup(ctx, owned=owned)
+        shards.append((owned, ctx))
+    handoffs = 0
+    barriers = 0
+    worker_cpu_s = [0.0] * plan.k
+    for epoch_end in _epoch_ends(workload.horizon(), plan.lookahead):
+        for shard_index, (_, ctx) in enumerate(shards):
+            t0 = time.perf_counter()  # via: ignore[VIA003] per-shard cost accounting; never digest-visible
+            ctx["sim"].run(until=epoch_end)
+            worker_cpu_s[shard_index] += time.perf_counter() - t0  # via: ignore[VIA003] per-shard cost accounting; never digest-visible
+        batches = _route(plan, [ctx["fabric"].drain_outbox()
+                                for _, ctx in shards])
+        for dest, batch in sorted(batches.items()):
+            # The same wire format the mp transport uses, so inline is
+            # an exact oracle for pickled handoff semantics.
+            payload = pickle.loads(pickle.dumps(batch))
+            shards[dest][1]["fabric"].inject(payload)
+            handoffs += len(batch)
+        barriers += 1
+    partials = [workload.collect(ctx, owned) for owned, ctx in shards]
+    counters, work = workload.finalize(_sum_partials(partials))
+    stats = _stats(plan, "inline", barriers, handoffs,
+                   [p.get("events_executed", 0) for p in partials],
+                   worker_cpu_s)
+    return counters, work, stats
+
+
+# ----------------------------------------------------------------------
+# mp backend (forked workers, piped handoffs)
+# ----------------------------------------------------------------------
+
+def _worker_main(conn, workload_bytes: bytes, plan: ShardPlan,
+                 shard_index: int) -> None:
+    """One shard in its own process: build, then serve the barrier
+    protocol — inject, run to the epoch end, return the outbox."""
+    import time
+    workload = pickle.loads(workload_bytes)
+    owned = frozenset(plan.shards[shard_index])
+    ctx = workload.build(owned=owned)
+    workload.setup(ctx, owned=owned)
+    sim, fabric = ctx["sim"], ctx["fabric"]
+    cpu0 = time.process_time()  # via: ignore[VIA003] per-worker cost accounting; never digest-visible
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "epoch":
+                _, epoch_end, batch = message
+                fabric.inject(batch)
+                sim.run(until=epoch_end)
+                if sim.obs.on:
+                    sim.obs.shard_barriers.inc()
+                conn.send(fabric.drain_outbox())
+            elif kind == "collect":
+                cpu_s = time.process_time() - cpu0  # via: ignore[VIA003] per-worker cost accounting; never digest-visible
+                conn.send((workload.collect(ctx, owned), cpu_s))
+            else:  # "quit"
+                return
+    finally:
+        conn.close()
+
+
+def _run_mp(workload: ShardWorkload, plan: ShardPlan
+            ) -> Tuple[Dict[str, Any], Dict[str, int], Dict[str, Any]]:
+    import multiprocessing
+    import time
+    try:
+        mp_ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        # No fork on this platform: the inline oracle is always exact.
+        return _run_inline(workload, plan)
+    workload_bytes = pickle.dumps(workload)
+    pipes, procs = [], []
+    try:
+        for shard_index in range(plan.k):
+            parent_conn, child_conn = mp_ctx.Pipe()
+            proc = mp_ctx.Process(
+                target=_worker_main,
+                args=(child_conn, workload_bytes, plan, shard_index),
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            procs.append(proc)
+        handoffs = 0
+        barriers = 0
+        stall_s = 0.0
+        batches: Dict[int, List[Handoff]] = {}
+        for epoch_end in _epoch_ends(workload.horizon(), plan.lookahead):
+            for shard_index, conn in enumerate(pipes):
+                conn.send(("epoch", epoch_end,
+                           batches.get(shard_index, [])))
+            t0 = time.perf_counter()  # via: ignore[VIA003] barrier stall is host wall time by definition; never digest-visible
+            outboxes = [conn.recv() for conn in pipes]
+            stall_s += time.perf_counter() - t0  # via: ignore[VIA003] barrier stall is host wall time by definition; never digest-visible
+            batches = _route(plan, outboxes)
+            handoffs += sum(len(b) for b in batches.values())
+            barriers += 1
+        partials = []
+        worker_cpu_s = []
+        for conn in pipes:
+            conn.send(("collect",))
+        for conn in pipes:
+            partial, cpu_s = conn.recv()
+            partials.append(partial)
+            worker_cpu_s.append(cpu_s)
+        for conn in pipes:
+            conn.send(("quit",))
+    except (EOFError, BrokenPipeError) as exc:
+        raise RuntimeError(
+            f"shard worker died mid-run ({exc!r}); "
+            "re-run with backend='inline' to reproduce deterministically"
+        ) from exc
+    finally:
+        for conn in pipes:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+    counters, work = workload.finalize(_sum_partials(partials))
+    stats = _stats(plan, "mp", barriers, handoffs,
+                   [p.get("events_executed", 0) for p in partials],
+                   worker_cpu_s)
+    stats["barrier_stall_s"] = round(stall_s, 6)
+    return counters, work, stats
+
+
+def _stats(plan: ShardPlan, backend: str, barriers: int, handoffs: int,
+           shard_events: List[int],
+           worker_cpu_s: Optional[List[float]] = None) -> Dict[str, Any]:
+    top = max(shard_events) if shard_events else 0
+    mean = (sum(shard_events) / len(shard_events)) if shard_events else 0
+    stats = {
+        "mode": "sharded",
+        "backend": backend,
+        "k": plan.k,
+        "requested_k": plan.requested_k,
+        "shard_sizes": [len(s) for s in plan.shards],
+        "balance": round(plan.balance, 4),
+        "edge_cut": plan.edge_cut,
+        "lookahead": plan.lookahead,
+        "barriers": barriers,
+        "handoffs": handoffs,
+        "shard_events": shard_events,
+        #: max/mean events per shard — 1.0 is a perfectly level load.
+        "imbalance": round(top / mean, 4) if mean else 1.0,
+    }
+    if worker_cpu_s:
+        # Per-worker compute seconds.  max() is the critical path: on a
+        # host with >= K idle cores, wall clock converges to it (plus
+        # barrier overhead), so single_wall / max_worker_cpu_s is the
+        # measured parallel speedup independent of how many cores the
+        # *measuring* host happens to have.
+        stats["worker_cpu_s"] = [round(t, 6) for t in worker_cpu_s]
+        stats["max_worker_cpu_s"] = round(max(worker_cpu_s), 6)
+    return stats

@@ -1,0 +1,111 @@
+"""The shard-aware network fabric.
+
+Every shard (worker) holds a *full replica* of the Wandering Network —
+same construction, same ids, same RNG layout — but executes events only
+for the ships it owns.  :class:`ShardFabric` is the boundary: a packet
+whose next hop lands on a ship owned by another shard is *not*
+scheduled locally; the fully-computed in-flight leg (token-bucket wait,
+serialization, propagation) becomes a :class:`Handoff` in the outbox,
+exchanged at the next epoch barrier and injected into the owning
+shard's agenda at its exact arrival time.
+
+Counter parity with the single-shard run is by construction: the send
+side does all its accounting (``packets_sent``, bucket state) before
+the diversion, and the receive side replays the one ``deliver`` event
+the single-shard run would have executed — one event, same name, same
+arrival time.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, List, Optional
+
+from ..substrates.phys.fabric import NetworkFabric
+from ..substrates.phys.packet import Datagram
+from ..substrates.phys.topology import Link, Topology
+from ..substrates.sim import Simulator
+
+NodeId = Hashable
+
+
+class Handoff:
+    """One cross-shard in-flight packet leg, frozen at send time."""
+
+    __slots__ = ("time", "from_node", "to_node", "packet")
+
+    def __init__(self, time: float, from_node: NodeId, to_node: NodeId,
+                 packet: Datagram):
+        self.time = time
+        self.from_node = from_node
+        self.to_node = to_node
+        self.packet = packet
+
+    def __repr__(self) -> str:
+        return (f"<Handoff t={self.time:.6g} "
+                f"{self.from_node}->{self.to_node} "
+                f"packet={self.packet.packet_id}>")
+
+
+class ShardFabric(NetworkFabric):
+    """A :class:`NetworkFabric` that diverts cross-shard deliveries.
+
+    ``owned=None`` owns everything (identical to the parent class) so
+    the same construction path serves the K=1 oracle and K>1 shards.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 loss_rate: float = 0.0,
+                 owned: Optional[Iterable[NodeId]] = None):
+        super().__init__(sim, topology, loss_rate=loss_rate)
+        self.owned: Optional[FrozenSet[NodeId]] = (
+            frozenset(owned) if owned is not None else None)
+        #: Cross-shard legs sent this epoch, in send order.
+        self.outbox: List[Handoff] = []
+        self.handoffs_out = 0
+        self.handoffs_in = 0
+
+    def _schedule_delivery(self, link: Link, from_node: NodeId,
+                           to_node: NodeId, packet: Datagram,
+                           delay: float) -> None:
+        if self.owned is None or to_node in self.owned:
+            super()._schedule_delivery(link, from_node, to_node, packet,
+                                       delay)
+            return
+        self.outbox.append(Handoff(self.sim.now + delay, from_node,
+                                   to_node, packet))
+        self.handoffs_out += 1
+        obs = self.sim.obs
+        if obs.on:
+            obs.shard_handoffs.inc(event="out")
+
+    def drain_outbox(self) -> List[Handoff]:
+        """Take (and clear) this epoch's cross-shard sends."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def inject(self, handoffs: Iterable[Handoff]) -> int:
+        """Schedule foreign arrivals at their exact in-flight times.
+
+        The caller supplies the batch already in canonical merge order
+        (time, source shard, send order); scheduling in that order
+        makes event-seq tie-breaking deterministic regardless of how
+        many shards contributed.
+        """
+        count = 0
+        obs = self.sim.obs
+        for handoff in handoffs:
+            self.sim.call_at(handoff.time, self._deliver_handoff,
+                             handoff.from_node, handoff.to_node,
+                             handoff.packet, name="deliver")
+            count += 1
+        self.handoffs_in += count
+        if obs.on and count:
+            obs.shard_handoffs.inc(count, event="in")
+        return count
+
+    def _deliver_handoff(self, from_node: NodeId, to_node: NodeId,
+                         packet: Datagram) -> None:
+        """The receive half of a diverted send: resolve the local link
+        replica and run the standard delivery path."""
+        link = self.topology.link(from_node, to_node)
+        self._deliver(link, from_node, to_node, packet)

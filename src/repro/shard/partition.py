@@ -1,0 +1,171 @@
+"""Deterministic topology partitioning for sharded execution.
+
+:func:`partition` splits a ship graph into K balanced, connected-ish
+shards by greedy BFS growth — a pure function of ``(topology, k,
+seed)``: same inputs, byte-identical :class:`ShardPlan`, on every host
+and in every process.  The plan also extracts the *lookahead* — the
+minimum latency over cut links — which bounds how far shards may run
+between barriers without missing a cross-shard arrival (conservative
+synchronization: a packet sent at ``t`` crosses no sooner than
+``t + lookahead``).
+
+Balance guarantee: the requested K is clamped to an *effective* K
+(``k' = k`` when it divides the node count evenly, else
+``min(k, n // 2)``), so shard sizes differ by at most one with a floor
+of two nodes — ``max/min <= 1.5`` always holds for K >= 2 plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from ..substrates.phys.topology import Topology
+
+NodeId = Hashable
+
+
+class ShardPlan:
+    """The partitioning of one topology into K shards.
+
+    Plain data (no topology reference) so plans pickle cheaply into
+    worker processes and print directly from the CLI.
+    """
+
+    __slots__ = ("k", "requested_k", "assignment", "shards", "cut_links",
+                 "lookahead", "edge_cut", "seed")
+
+    def __init__(self, k: int, requested_k: int,
+                 assignment: Dict[NodeId, int],
+                 shards: List[Tuple[NodeId, ...]],
+                 cut_links: List[Tuple[NodeId, NodeId, str, float]],
+                 seed: int):
+        self.k = k
+        self.requested_k = requested_k
+        self.assignment = assignment
+        self.shards = shards
+        #: (a, b, link_name, latency) for every link crossing shards.
+        self.cut_links = cut_links
+        self.edge_cut = len(cut_links)
+        self.lookahead = (min(lat for _, _, _, lat in cut_links)
+                          if cut_links else float("inf"))
+        self.seed = seed
+
+    @property
+    def balance(self) -> float:
+        """max/min shard size (1.0 is perfect)."""
+        sizes = [len(s) for s in self.shards]
+        return max(sizes) / min(sizes) if sizes and min(sizes) else 1.0
+
+    def shard_of(self, node: NodeId) -> int:
+        return self.assignment[node]
+
+    def to_dict(self) -> Dict:
+        return {
+            "k": self.k,
+            "requested_k": self.requested_k,
+            "seed": self.seed,
+            "shards": [[repr(n) for n in shard] for shard in self.shards],
+            "shard_sizes": [len(s) for s in self.shards],
+            "balance": round(self.balance, 4),
+            "edge_cut": self.edge_cut,
+            "lookahead": (self.lookahead
+                          if self.lookahead != float("inf") else None),
+            "cut_links": [{"a": repr(a), "b": repr(b), "link": name,
+                           "latency": lat}
+                          for a, b, name, lat in self.cut_links],
+        }
+
+    def __repr__(self) -> str:
+        sizes = "+".join(str(len(s)) for s in self.shards)
+        return (f"<ShardPlan k={self.k} sizes={sizes} "
+                f"edge_cut={self.edge_cut} lookahead={self.lookahead:.4g}>")
+
+
+def effective_k(n: int, k: int) -> int:
+    """Clamp the requested shard count so balance stays within 1.5.
+
+    ``k`` is kept when it divides ``n`` evenly (perfect balance);
+    otherwise it is clamped to ``n // 2`` so every shard holds at least
+    two nodes — sizes then differ by at most one over a floor of two,
+    bounding max/min at 1.5.
+    """
+    if k <= 1 or n <= 1:
+        return 1
+    if k <= n and n % k == 0:
+        return k
+    return max(1, min(k, n // 2))
+
+
+def partition(topology: Topology, k: int, seed: int = 0) -> ShardPlan:
+    """Split ``topology`` into (at most) ``k`` balanced shards.
+
+    Greedy BFS growth: shard ``i`` grows from the lowest-``repr``
+    unassigned node (the sorted node list is rotated by ``seed`` so
+    different seeds explore different cuts), absorbing the smallest
+    unassigned frontier neighbour until the shard reaches its target
+    size.  Disconnected leftovers are swept into the last shard's
+    budget, so every node is always assigned.
+    """
+    nodes = sorted(topology.nodes, key=repr)
+    n = len(nodes)
+    if n == 0:
+        return ShardPlan(1, k, {}, [()], [], seed)
+    rotation = seed % n
+    ordered = nodes[rotation:] + nodes[:rotation]
+    k_eff = effective_k(n, k)
+    base, extra = divmod(n, k_eff)
+    targets = [base + (1 if i < extra else 0) for i in range(k_eff)]
+
+    assignment: Dict[NodeId, int] = {}
+    for shard_index in range(k_eff):
+        start = next((node for node in ordered if node not in assignment),
+                     None)
+        if start is None:
+            break
+        shard_nodes = [start]
+        assignment[start] = shard_index
+        frontier = [start]
+        while len(shard_nodes) < targets[shard_index]:
+            candidates = sorted(
+                {peer for node in frontier
+                 for peer in topology.neighbors(node)
+                 if peer not in assignment},
+                key=repr)
+            if not candidates:
+                # Disconnected component: jump to the next unassigned
+                # node in rotation order and keep filling the budget.
+                start = next((node for node in ordered
+                              if node not in assignment), None)
+                if start is None:
+                    break
+                candidates = [start]
+            chosen = candidates[0]
+            assignment[chosen] = shard_index
+            shard_nodes.append(chosen)
+            frontier.append(chosen)
+
+    # Sweep any stragglers (happens only when targets were exhausted
+    # early by disconnected pockets) into the last shard.
+    for node in ordered:
+        if node not in assignment:
+            assignment[node] = k_eff - 1
+
+    shards: List[List[NodeId]] = [[] for _ in range(k_eff)]
+    for node in nodes:
+        shards[assignment[node]].append(node)
+    shard_tuples = [tuple(sorted(s, key=repr)) for s in shards]
+
+    cut_links: List[Tuple[NodeId, NodeId, str, float]] = []
+    seen = set()
+    for node in nodes:
+        for peer in topology.neighbors(node):
+            if assignment[node] == assignment.get(peer):
+                continue
+            link = topology.link(node, peer)
+            if link.name in seen:
+                continue
+            seen.add(link.name)
+            a, b = sorted((node, peer), key=repr)
+            cut_links.append((a, b, link.name, link.latency))
+    cut_links.sort(key=lambda c: c[2])
+    return ShardPlan(k_eff, k, assignment, shard_tuples, cut_links, seed)

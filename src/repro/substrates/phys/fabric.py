@@ -109,9 +109,16 @@ class NetworkFabric:
         queue_wait = self._bucket(link, from_node).consume(packet.size_bytes)
         serialization = packet.size_bytes / link.bandwidth
         delay = queue_wait + serialization + link.latency
+        self._schedule_delivery(link, from_node, to_node, packet, delay)
+        return True
+
+    def _schedule_delivery(self, link: Link, from_node: NodeId,
+                           to_node: NodeId, packet: Datagram,
+                           delay: float) -> None:
+        """Enqueue the in-flight leg.  The shard fabric overrides this
+        to divert packets bound for ships another shard owns."""
         self.sim.call_in(delay, self._deliver, link, from_node, to_node,
                          packet, name="deliver")
-        return True
 
     def _deliver(self, link: Link, from_node: NodeId, to_node: NodeId,
                  packet: Datagram) -> None:
