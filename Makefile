@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline bench-parallel \
-	examples verify demo figures obs-smoke chaos-smoke lint all clean
+	examples verify demo figures obs-smoke obs-parallel-smoke \
+	chaos-smoke lint all clean
 
 install:
 	pip install -e .
@@ -71,6 +72,21 @@ obs-smoke:
 	print(f'obs-smoke: {len(records)} records ok')"
 	PYTHONPATH=src $(PYTHON) -m repro report /tmp/obs-smoke.jsonl > /dev/null
 	@echo "obs-smoke: report rendered ok"
+
+# Distributed telemetry gate: a 2-worker mp bench must produce one
+# merged obs artifact whose report renders, with the run digest still
+# byte-identical to the committed obs-off single-shard baseline.
+obs-parallel-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench shard-scaling \
+		--workers 2 --backend mp --seed 42 --scale short \
+		--out /tmp/obs-parallel-smoke \
+		--obs-out /tmp/obs-parallel-smoke.jsonl \
+		--compare BENCH_baseline.json --fail-over 90
+	PYTHONPATH=src $(PYTHON) -m repro obs report \
+		/tmp/obs-parallel-smoke.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro obs timeline \
+		/tmp/obs-parallel-smoke.jsonl
+	@echo "obs-parallel-smoke: merged 2-shard telemetry rendered, digest gated"
 
 # Static analysis gate: the custom determinism linter is mandatory;
 # ruff and mypy run when installed (pip install -e .[lint]) and are

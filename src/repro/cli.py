@@ -5,11 +5,17 @@ Commands
 ``demo``      run a small Wandering Network and print snapshots
               (``--obs-out run.jsonl`` records metrics/spans/profile);
 ``report``    render an observability report from an ``--obs-out`` file;
+``obs``       distributed-telemetry views of an ``--obs-out`` artifact:
+              ``report`` (full), ``timeline`` (epoch Gantt), ``flight``
+              (black-box ring);
 ``verify``    model-check the WLI protocol specs (routing x2, jets, docking);
-``chaos``     run a named chaos campaign and assert its invariants;
+``chaos``     run a named chaos campaign and assert its invariants
+              (``--flight-out`` dumps the black box of a failing run);
 ``bench``     run the deterministic macro-benchmark suite, write
               ``BENCH_<scenario>.json``, gate against a baseline
-              (``--compare BASELINE --fail-over PCT``);
+              (``--compare BASELINE --fail-over PCT``); with
+              ``--workers K --obs-out PATH`` also merge and export the
+              K shards' telemetry;
 ``lint``      run the determinism linter (VIA rules) over source trees;
 ``figures``   regenerate the paper's figure artefacts (ASCII);
 ``info``      print the library's systems inventory.
@@ -48,6 +54,26 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--top", type=int, default=10,
                         help="rows per metric table / profiled handlers")
 
+    obs = sub.add_parser(
+        "obs", help="distributed-telemetry views of an --obs-out artifact")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="full observability report (alias of `repro "
+                       "report`, plus epoch/flight sections)")
+    obs_report.add_argument("path", help="JSONL artifact")
+    obs_report.add_argument("--top", type=int, default=10)
+    obs_timeline = obs_sub.add_parser(
+        "timeline", help="ASCII Gantt of the sharded run's epochs "
+                         "(per-shard lanes, stall, handoffs)")
+    obs_timeline.add_argument("path", help="JSONL artifact")
+    obs_timeline.add_argument("--width", type=int, default=60,
+                              help="max sparkline buckets (default: 60)")
+    obs_flight = obs_sub.add_parser(
+        "flight", help="the flight recorder's black-box ring")
+    obs_flight.add_argument("path", help="JSONL artifact")
+    obs_flight.add_argument("--last", type=int, default=20,
+                            help="entries to show (default: 20)")
+
     verify = sub.add_parser("verify",
                             help="model-check the WLI protocol specs")
     verify.add_argument("--churn", type=int, default=2)
@@ -63,6 +89,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run with and without ARQ, print both")
     chaos.add_argument("--json", action="store_true",
                        help="emit the result as JSON instead of text")
+    chaos.add_argument("--flight-out", metavar="PATH", default=None,
+                       help="write the flight-recorder black box (last "
+                            "N sim moments) as JSONL after the campaign")
     chaos.add_argument("--list", action="store_true",
                        help="list the campaign catalog and exit")
 
@@ -89,6 +118,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard backend when --workers > 1: forked "
                             "processes (mp) or the in-process oracle "
                             "(inline); default: mp")
+    bench.add_argument("--obs-out", metavar="PATH", default=None,
+                       help="collect each shard's metrics/spans/profile, "
+                            "merge them and write the unified JSONL "
+                            "here (requires exactly one shardable "
+                            "scenario; digest-neutral)")
     bench.add_argument("--out", metavar="DIR", default=".",
                        help="directory for BENCH_<scenario>.json files")
     bench.add_argument("--combined", metavar="PATH", default=None,
@@ -221,6 +255,29 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from .obs import load_jsonl
+
+    try:
+        records = load_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"obs: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"obs: {args.path} holds no records", file=sys.stderr)
+        return 1
+    if args.obs_command == "report":
+        from .obs import render_report
+        print(render_report(records, top=args.top))
+    elif args.obs_command == "timeline":
+        from .obs import render_timeline
+        print(render_timeline(records, width=args.width))
+    else:  # flight
+        from .obs import render_flight
+        print(render_flight(records, last=args.last))
+    return 0
+
+
 def cmd_verify(args) -> int:
     from .verification import (AdaptiveRoutingSpec, DockingSpec,
                                JetReplicationSpec, ModelChecker,
@@ -269,6 +326,14 @@ def cmd_chaos(args) -> int:
     if args.compare:
         results.append(run_campaign(args.campaign, seed=args.seed,
                                     arq=args.no_arq))
+    if args.flight_out:
+        flight = results[0].flight
+        with open(args.flight_out, "w", encoding="utf-8") as fh:
+            for record in flight:
+                fh.write(_json.dumps(record, sort_keys=True, default=repr)
+                         + "\n")
+        print(f"flight: {len(flight)} entries -> {args.flight_out} "
+              f"(render with `repro obs flight {args.flight_out}`)")
     if args.json:
         print(_json.dumps([r.to_dict() for r in results]
                           if len(results) > 1 else results[0].to_dict(),
@@ -323,16 +388,39 @@ def cmd_bench(args) -> int:
     if args.workers < 1:
         print("bench: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.obs_out:
+        from .perf import SHARD_WORKLOADS
+        if names is None or len(names) != 1 \
+                or names[0] not in SHARD_WORKLOADS:
+            shardable = ", ".join(sorted(SHARD_WORKLOADS))
+            print("bench: --obs-out requires exactly one shardable "
+                  f"scenario (shardable: {shardable})", file=sys.stderr)
+            return 2
+
+    def _run() -> list:
+        if args.obs_out:
+            from .perf import run_scenario
+            return [run_scenario(names[0], seed=args.seed,
+                                 scale=args.scale, repeats=args.repeats,
+                                 workers=args.workers,
+                                 backend=args.backend, obs=True)]
+        return run_all(seed=args.seed, scale=args.scale,
+                       repeats=args.repeats, names=names,
+                       workers=args.workers, backend=args.backend)
+
     if args.no_opt:
         with all_disabled():
-            results = run_all(seed=args.seed, scale=args.scale,
-                              repeats=args.repeats, names=names,
-                              workers=args.workers, backend=args.backend)
+            results = _run()
     else:
-        results = run_all(seed=args.seed, scale=args.scale,
-                          repeats=args.repeats, names=names,
-                          workers=args.workers, backend=args.backend)
+        results = _run()
     written = write_results(results, args.out, combined=args.combined)
+    if args.obs_out and results[0].obs is not None:
+        merged = results[0].obs
+        count = merged.export_jsonl(args.obs_out)
+        print(f"obs: {count} records -> {args.obs_out} "
+              f"(merged k={merged.meta['k']}, telemetry digest "
+              f"{merged.metrics_digest()}; render with "
+              f"`repro obs report {args.obs_out}`)")
     if args.json:
         print(_json.dumps([r.to_dict() for r in results], indent=2,
                           sort_keys=True))
@@ -484,6 +572,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "demo": cmd_demo,
         "report": cmd_report,
+        "obs": cmd_obs,
         "verify": cmd_verify,
         "chaos": cmd_chaos,
         "bench": cmd_bench,

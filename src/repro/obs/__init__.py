@@ -16,17 +16,29 @@ Every :class:`~repro.substrates.sim.kernel.Simulator` owns an
 near-zero overhead); enable with ``sim.obs.enable(profiling=True)``,
 export with ``sim.obs.export_jsonl(path)`` and render with
 ``repro report path`` or :func:`render_report`.
+
+Distributed runs add the telemetry plane: :class:`ObsSnapshot` /
+:func:`merge_snapshots` fold K worker replicas into one
+:class:`MergedObs` view (``repro bench --workers K --obs-out PATH``),
+:class:`FlightRecorder` keeps a black-box ring of the last N moments
+(``sim.obs.flight(capacity)``), and the epoch timeline renders the
+executor's barrier-by-barrier record as an ASCII Gantt
+(``repro obs timeline PATH``).
 """
 
 from .exporters import ascii_table, load_jsonl, to_prometheus_text
 from .facade import Observability
+from .flight import FlightRecorder, render_flight
 from .profiler import HandlerStats, KernelProfiler
 from .registry import (DEFAULT_BUCKETS, MFP_DIMENSIONS, Counter, Gauge,
                        Histogram, MetricError, MetricsRegistry)
 from .report import (render_dimension_tables, render_profile,
                      render_report, render_span_trees)
+from .snapshot import (DIGEST_EXCLUDED_PREFIXES, SHARD_ID_STRIDE,
+                       MergedObs, ObsSnapshot, merge_snapshots)
 from .spans import (TRACE_META_KEY, Span, SpanTracer, render_span_tree,
                     spans_from_records, tree_depth)
+from .timeline import make_epoch_record, render_timeline, timeline_summary
 
 __all__ = [
     "Observability", "MetricsRegistry", "Counter", "Gauge", "Histogram",
@@ -37,4 +49,8 @@ __all__ = [
     "load_jsonl", "to_prometheus_text", "ascii_table",
     "render_report", "render_dimension_tables", "render_profile",
     "render_span_trees",
+    "ObsSnapshot", "MergedObs", "merge_snapshots",
+    "SHARD_ID_STRIDE", "DIGEST_EXCLUDED_PREFIXES",
+    "FlightRecorder", "render_flight",
+    "make_epoch_record", "render_timeline", "timeline_summary",
 ]

@@ -43,15 +43,30 @@ def load_jsonl(path: str) -> List[Dict[str, Any]]:
     return records
 
 
+def _escape_label_value(value: Any) -> str:
+    """Escape per the exposition format: backslash, double-quote and
+    newline must be ``\\\\``, ``\\"`` and ``\\n`` inside label values."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_str(labels: Dict[str, Any]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                     for k, v in sorted(labels.items()))
     return "{" + inner + "}"
 
 
-def to_prometheus_text(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus exposition format."""
+def to_prometheus_text(registry: MetricsRegistry,
+                       extras: Iterable[tuple] = ()) -> str:
+    """Render the registry in the Prometheus exposition format.
+
+    ``extras`` are synthetic samples appended after the registry —
+    ``(name, kind, help, labels, value)`` tuples for self-metrics that
+    deliberately live outside the registry (see
+    :mod:`repro.obs.snapshot`).
+    """
     lines: List[str] = []
     for family in registry.families():
         if family.help:
@@ -62,7 +77,7 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
             labels = dict(zip(family.label_names, values))
             if family.kind == "histogram":
                 for edge, cum in child.cumulative():
-                    le = "+Inf" if edge == float("inf") else repr(edge)
+                    le = "+Inf" if edge == float("inf") else f"{edge:g}"
                     bucket_labels = dict(labels, le=le)
                     lines.append(f"{family.name}_bucket"
                                  f"{_label_str(bucket_labels)} {cum}")
@@ -73,6 +88,11 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
             else:
                 lines.append(f"{family.name}{_label_str(labels)} "
                              f"{child.value:g}")
+    for name, kind, help_text, labels, value in extras:
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{_label_str(labels or {})} {value:g}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

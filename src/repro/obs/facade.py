@@ -42,6 +42,11 @@ class Observability:
         self.registry: Optional[MetricsRegistry] = None
         self.tracer: Optional[SpanTracer] = None
         self.profiler: Optional[KernelProfiler] = None
+        #: Armed by :meth:`flight`; also mirrored onto ``sim._flight``
+        #: so the kernel hot loop records executed events.
+        self.flight_recorder = None
+        #: Shard index when this facade lives inside a worker replica.
+        self.shard = 0
         # metrics_digest() cache, stamped by the kernel's progress.
         self._metrics_digest: Optional[str] = None
         self._metrics_digest_stamp: Optional[Tuple[int, float]] = None
@@ -63,11 +68,32 @@ class Observability:
             self.sim._profiler = self.profiler
         return self
 
+    def flight(self, capacity: int = 256):
+        """Arm the flight recorder: a bounded ring of the last
+        ``capacity`` kernel events / fabric deliveries / barrier
+        crossings, dumpable on demand or on invariant failure (the
+        chaos harness's black box).  Implies :meth:`enable`."""
+        from .flight import FlightRecorder
+        self.enable()
+        if (self.flight_recorder is None
+                or self.flight_recorder.capacity != int(capacity)):
+            self.flight_recorder = FlightRecorder(capacity=capacity)
+        self.sim._flight = self.flight_recorder
+        return self.flight_recorder
+
+    def snapshot(self, shard: Optional[int] = None):
+        """Picklable capture of the full obs state (see
+        :class:`~repro.obs.snapshot.ObsSnapshot`)."""
+        from .snapshot import ObsSnapshot
+        return ObsSnapshot.capture(
+            self, shard=self.shard if shard is None else shard)
+
     def disable(self) -> None:
         """Stop collecting (keeps already-collected data for export)."""
         self.on = False
         self.profiling = False
         self.sim._profiler = None
+        self.sim._flight = None
 
     # -- well-known instruments (MFP dimension -> metric mapping) ----------
     def _declare_instruments(self) -> None:
@@ -242,10 +268,21 @@ class Observability:
                                  if self.tracer else 0)}
         if self.registry is not None:
             yield from self.registry.collect()
+            # Obs-about-obs: synthetic records (never live instruments,
+            # so self-measurement cannot move the metrics digest).
+            from .snapshot import _self_metric
+            yield _self_metric("repro_obs_dropped_series_total",
+                               self.registry.dropped_series)
+            yield _self_metric(
+                "repro_obs_trace_subscriber_errors_total",
+                getattr(getattr(self.sim, "trace", None),
+                        "subscriber_errors", 0))
         if self.tracer is not None:
             yield from self.tracer.to_records()
         if self.profiler is not None and self.profiler.events:
             yield from self.profiler.to_records()
+        if self.flight_recorder is not None:
+            yield from self.flight_recorder.to_records()
 
     def export_jsonl(self, path: str) -> int:
         """Write every record as one JSON object per line; returns count."""
@@ -261,7 +298,14 @@ class Observability:
         from .exporters import to_prometheus_text
         if self.registry is None:
             return ""
-        return to_prometheus_text(self.registry)
+        return to_prometheus_text(self.registry, extras=[
+            ("repro_obs_dropped_series_total", "counter",
+             "Series dropped at the cardinality cap.",
+             {}, self.registry.dropped_series),
+            ("repro_obs_trace_subscriber_errors_total", "counter",
+             "TraceBus subscriber exceptions swallowed.",
+             {}, getattr(getattr(self.sim, "trace", None),
+                         "subscriber_errors", 0))])
 
     def summary_text(self, top: int = 10) -> str:
         from .report import render_report

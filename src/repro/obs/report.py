@@ -131,6 +131,9 @@ def render_report(records: List[Dict[str, Any]], top: int = 10) -> str:
               f"seed={meta.get('seed', '?')} "
               f"events_executed={meta.get('events_executed', '?')} "
               f"records={len(records)}")
+    if meta.get("merged"):
+        header += (f"\nmerged view of {meta.get('k', '?')} shard(s): "
+                   f"{meta.get('shards', [])}")
     dropped = meta.get("dropped_series", 0) or meta.get("dropped_spans", 0)
     if dropped:
         header += (f"\n(warning: cardinality caps hit — "
@@ -143,4 +146,12 @@ def render_report(records: List[Dict[str, Any]], top: int = 10) -> str:
         "-- kernel profile --\n" + render_profile(records, top=top),
         "-- causal shuttle traces --\n" + render_span_trees(records),
     ]
+    # Distributed-plane sections appear only when their records do —
+    # single-simulator reports keep their PR-4 shape.
+    if any(r.get("type") == "epoch" for r in records):
+        from .timeline import render_timeline
+        sections.append("-- epoch timeline --\n" + render_timeline(records))
+    if any(r.get("type") == "flight" for r in records):
+        from .flight import render_flight
+        sections.append("-- flight recorder --\n" + render_flight(records))
     return "\n\n".join(sections)

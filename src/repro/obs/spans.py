@@ -81,6 +81,23 @@ class SpanTracer:
         self._next_span = 1
 
     # -- recording ---------------------------------------------------------
+    def rebase_ids(self, base: int) -> "SpanTracer":
+        """Move this tracer's id space to start at ``base + 1``.
+
+        The shard executor gives each worker's tracer a disjoint range
+        (``shard_index * SHARD_ID_STRIDE``) so that merged multi-shard
+        span sets — and the ``(trace_id, span_id)`` contexts riding in
+        ``packet.meta`` across handoff boundaries — stay globally
+        unambiguous.  Must be called before any span is recorded; a
+        late rebase would orphan existing parent links.
+        """
+        if self.spans or self._next_trace != 1 or self._next_span != 1:
+            raise RuntimeError(
+                "rebase_ids() must run before any span is recorded")
+        self._next_trace = int(base) + 1
+        self._next_span = int(base) + 1
+        return self
+
     def start_trace(self, name: str, node: Any, at: float) -> Span:
         """Open a new root span (a fresh causal tree)."""
         span = self._record(self._next_trace, None, name, node, at)

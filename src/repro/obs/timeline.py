@@ -1,0 +1,176 @@
+"""The epoch timeline: per-barrier execution records and their Gantt.
+
+The conservative shard executor advances all K shards in lockstep
+epochs.  Each barrier crossing yields one *epoch record* — sim-time
+window, events executed and CPU seconds per worker, handoffs exchanged,
+barrier stall — accumulated by the executor and shipped in the merged
+obs artifact as ``type: "epoch"`` JSONL records.  This is the
+measurement stream a live rebalancer needs: *which shard is the
+critical path, when, and how much of the wall clock is barrier wait*.
+
+:func:`render_timeline` turns the records into an ASCII Gantt /
+stall-attribution view (``repro obs timeline run.jsonl``): one sparkline
+lane per shard over simulated time, a stall lane, a handoff lane, and a
+critical-shard attribution line naming the straggler per time bucket.
+
+Determinism: epoch records carry host CPU measurements, so they are
+*never* digest material — like ``wall_time_s`` in a BENCH file they
+live alongside the deterministic telemetry, not inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def make_epoch_record(epoch: int, t0: float, t1: float, handoffs: int,
+                      events: Sequence[int], cpu_s: Sequence[float],
+                      stall_s: float = 0.0) -> Dict[str, Any]:
+    """One barrier crossing, in the canonical record shape.
+
+    ``events``/``cpu_s`` are indexed by shard; ``stall_s`` is the
+    executor's wait at this barrier (0 for the inline backend, which
+    has no concurrent workers to wait on).
+    """
+    return {
+        "type": "epoch",
+        "epoch": int(epoch),
+        "t0": round(float(t0), 9),
+        "t1": round(float(t1), 9),
+        "handoffs": int(handoffs),
+        "events": [int(e) for e in events],
+        "cpu_s": [round(float(c), 6) for c in cpu_s],
+        "stall_s": round(float(stall_s), 6),
+    }
+
+
+def _bucketize(epochs: List[Dict[str, Any]], buckets: int
+               ) -> List[List[Dict[str, Any]]]:
+    """Coalesce many epochs into at most ``buckets`` contiguous groups."""
+    if len(epochs) <= buckets:
+        return [[e] for e in epochs]
+    out: List[List[Dict[str, Any]]] = []
+    per = len(epochs) / buckets
+    start = 0
+    for i in range(buckets):
+        end = len(epochs) if i == buckets - 1 else int(round((i + 1) * per))
+        end = max(end, start + 1)
+        out.append(epochs[start:end])
+        start = end
+        if start >= len(epochs):
+            break
+    return out
+
+
+def render_timeline(records: Iterable[Dict[str, Any]],
+                    width: int = 60) -> str:
+    """ASCII Gantt of the epoch stream.
+
+    One lane per shard (sparkline of its CPU seconds over simulated
+    time, falling back to event counts when CPU was not measured), a
+    barrier-stall lane, a handoff lane, and a *critical* line marking
+    which shard was the per-bucket straggler — the stall attribution
+    the rebalancer (ROADMAP item 5) will act on.
+    """
+    from ..viz import sparkline
+    epochs = sorted((r for r in records if r.get("type") == "epoch"),
+                    key=lambda r: r.get("epoch", 0))
+    if not epochs:
+        return ("(no epoch records — produced by sharded runs with "
+                "observability enabled, e.g. "
+                "`repro bench <scenario> --workers K --obs-out PATH`)")
+    k = max(len(e.get("events", [])) for e in epochs)
+    groups = _bucketize(epochs, width)
+    per_shard_cpu = [[sum((e.get("cpu_s") or [0.0] * k)[s]
+                          for e in group) for group in groups]
+                     for s in range(k)]
+    per_shard_events = [[sum((e.get("events") or [0] * k)[s]
+                             for e in group) for group in groups]
+                        for s in range(k)]
+    stalls = [sum(e.get("stall_s", 0.0) for e in group)
+              for group in groups]
+    handoffs = [sum(e.get("handoffs", 0) for e in group)
+                for group in groups]
+    t0 = epochs[0].get("t0", 0.0)
+    t1 = epochs[-1].get("t1", 0.0)
+    total_cpu = [sum(lane) for lane in per_shard_cpu]
+    total_events = [sum(lane) for lane in per_shard_events]
+    total_stall = sum(stalls)
+    use_cpu = any(c > 0.0 for c in total_cpu)
+
+    lines: List[str] = [
+        f"epoch timeline — {len(epochs)} epoch(s) over "
+        f"sim [{t0:.6g}, {t1:.6g}], {k} shard(s), "
+        f"{sum(handoffs)} handoff(s), stall {total_stall:.3f}s"]
+    label_w = max(len(f"shard {k - 1}"), len("handoffs"))
+    for s in range(k):
+        lane = per_shard_cpu[s] if use_cpu else per_shard_events[s]
+        tail = (f"cpu={total_cpu[s]:.3f}s" if use_cpu
+                else f"events={total_events[s]}")
+        lines.append(f"{f'shard {s}':<{label_w}} "
+                     f"|{sparkline(lane, width=width)}| "
+                     f"{tail}  events={total_events[s]}")
+    if any(v > 0 for v in stalls):
+        lines.append(f"{'stall':<{label_w}} "
+                     f"|{sparkline(stalls, width=width)}| "
+                     f"total={total_stall:.3f}s")
+    lines.append(f"{'handoffs':<{label_w}} "
+                 f"|{sparkline([float(h) for h in handoffs], width=width)}| "
+                 f"total={sum(handoffs)}")
+    lines.append("critical".ljust(label_w) + " |"
+                 + "".join(_critical_mark(per_shard_cpu, per_shard_events,
+                                          use_cpu, b)
+                           for b in range(len(groups))) + "|")
+    if k:
+        top = max(range(k), key=lambda s: (total_cpu[s] if use_cpu
+                                           else total_events[s]))
+        share = _share(total_cpu if use_cpu else
+                       [float(e) for e in total_events], top)
+        lines.append(
+            f"critical path: shard {top} "
+            f"({share:.0%} of {'cpu' if use_cpu else 'events'}); "
+            f"stall/cpu = "
+            f"{(total_stall / max(sum(total_cpu), 1e-12)):.2f}"
+            if use_cpu else
+            f"critical path: shard {top} ({share:.0%} of events)")
+    return "\n".join(lines)
+
+
+def _critical_mark(per_shard_cpu: List[List[float]],
+                   per_shard_events: List[List[int]],
+                   use_cpu: bool, bucket: int) -> str:
+    """One character naming the straggler shard of one time bucket."""
+    lanes = per_shard_cpu if use_cpu else per_shard_events
+    values = [lane[bucket] for lane in lanes]
+    if not any(values):
+        return "·"
+    top = max(range(len(values)), key=lambda s: values[s])
+    return str(top) if top < 10 else "+"
+
+
+def _share(totals: Sequence[float], index: int) -> float:
+    denom = sum(totals)
+    return totals[index] / denom if denom > 0 else 0.0
+
+
+def timeline_summary(records: Iterable[Dict[str, Any]]
+                     ) -> Optional[Dict[str, Any]]:
+    """Aggregate totals of an epoch stream (None when no records)."""
+    epochs = [r for r in records if r.get("type") == "epoch"]
+    if not epochs:
+        return None
+    k = max(len(e.get("events", [])) for e in epochs)
+    events = [sum((e.get("events") or [0] * k)[s] for e in epochs)
+              for s in range(k)]
+    cpu = [round(sum((e.get("cpu_s") or [0.0] * k)[s] for e in epochs), 6)
+           for s in range(k)]
+    return {
+        "epochs": len(epochs),
+        "shards": k,
+        "t0": min(e.get("t0", 0.0) for e in epochs),
+        "t1": max(e.get("t1", 0.0) for e in epochs),
+        "handoffs": sum(e.get("handoffs", 0) for e in epochs),
+        "stall_s": round(sum(e.get("stall_s", 0.0) for e in epochs), 6),
+        "events": events,
+        "cpu_s": cpu,
+    }

@@ -42,7 +42,7 @@ class BenchResult:
                  "wall_time_s", "wall_times_s", "events_per_sec",
                  "shuttles_per_sec", "events_executed",
                  "shuttles_processed", "peak_agenda_depth", "digest",
-                 "counters", "workers", "backend", "shard_stats")
+                 "counters", "workers", "backend", "shard_stats", "obs")
 
     def __init__(self, scenario: str, seed: int, scale: str,
                  switch_state: Dict[str, bool], repeats: int,
@@ -70,6 +70,9 @@ class BenchResult:
         self.workers = int(workers)
         self.backend = backend
         self.shard_stats = shard_stats
+        #: Merged telemetry (``MergedObs``) when the run collected it.
+        #: Lives on the object only — BENCH JSON stays pure counters.
+        self.obs = None
         # The digest is a pure function of the deterministic counters —
         # never of workers/backend, which is exactly what lets a
         # --workers K run gate against a single-shard baseline.
@@ -111,7 +114,7 @@ class BenchResult:
 
 def run_scenario(name: str, seed: int = 42, scale: str = "short",
                  repeats: int = 1, workers: int = 1,
-                 backend: str = "inline") -> BenchResult:
+                 backend: str = "inline", obs: bool = False) -> BenchResult:
     """Run one scenario; wall time is the best of ``repeats`` passes.
 
     ``workers > 1`` executes the scenario partitioned over shards
@@ -120,6 +123,13 @@ def run_scenario(name: str, seed: int = 42, scale: str = "short",
     scenario silently falls back to the single-shard path, whose
     counters are worker-invariant by construction.  The digest never
     depends on ``workers``.
+
+    ``obs=True`` collects the distributed telemetry plane: the merged
+    :class:`~repro.obs.snapshot.MergedObs` lands on the result's
+    ``obs`` attribute (never in BENCH JSON).  Requires a shardable
+    scenario — at ``workers=1`` the executor's single-shard fallback
+    still produces a (K=1) merged view.  Telemetry is digest-neutral:
+    counters stay byte-identical to an obs-off run.
 
     Every pass must reproduce the same counters — a mismatch means the
     scenario leaks process-global state and is reported loudly rather
@@ -134,16 +144,25 @@ def run_scenario(name: str, seed: int = 42, scale: str = "short",
         raise ValueError("repeats must be >= 1")
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    sharded = workers > 1 and name in SHARD_WORKLOADS
+    if obs and name not in SHARD_WORKLOADS:
+        shardable = ", ".join(sorted(SHARD_WORKLOADS))
+        raise ValueError(
+            f"obs collection requires a shardable scenario "
+            f"(known: {shardable}); {name!r} is not one")
+    sharded = (workers > 1 or obs) and name in SHARD_WORKLOADS
     wall_times: List[float] = []
     counters = work = None
     shard_stats = None
+    merged_obs = None
     for _ in range(repeats):
         t0 = time.perf_counter()  # via: ignore[VIA003] host wall time
         if sharded:
             workload = SHARD_WORKLOADS[name](seed, scale)
             pass_counters, pass_work, shard_stats = run_sharded(
-                workload, workers, backend=backend)
+                workload, workers, backend=backend, obs=obs)
+            # The MergedObs object must never leak into BENCH JSON —
+            # pop it off the (serialized) stats dict.
+            merged_obs = shard_stats.pop("obs", None) or merged_obs
         else:
             pass_counters, pass_work = fn(seed, scale)
         elapsed = time.perf_counter() - t0  # via: ignore[VIA003] host wall time
@@ -153,11 +172,13 @@ def run_scenario(name: str, seed: int = 42, scale: str = "short",
                 f"scale={scale!r}: counters drifted between passes")
         counters, work = pass_counters, pass_work
         wall_times.append(elapsed)
-    return BenchResult(name, seed, scale, switches.as_dict(), repeats,
-                       min(wall_times), counters, work,
-                       wall_times_s=wall_times,
-                       workers=workers if sharded else 1,
-                       backend=backend, shard_stats=shard_stats)
+    result = BenchResult(name, seed, scale, switches.as_dict(), repeats,
+                         min(wall_times), counters, work,
+                         wall_times_s=wall_times,
+                         workers=workers if sharded else 1,
+                         backend=backend, shard_stats=shard_stats)
+    result.obs = merged_obs
+    return result
 
 
 def run_all(seed: int = 42, scale: str = "short", repeats: int = 1,

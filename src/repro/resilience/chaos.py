@@ -117,16 +117,25 @@ class Campaign:
 
 
 class CampaignResult:
-    """Counts, invariant verdicts and the reproducibility digest."""
+    """Counts, invariant verdicts and the reproducibility digest.
+
+    ``flight`` is the campaign's black box: the flight recorder's ring
+    of the last simulated moments, attached whenever the harness ran
+    with observability.  It never feeds the digest — the digest is a
+    pure function of the deterministic counts, while the black box
+    exists precisely to carry *extra* evidence out of a failing run.
+    """
 
     def __init__(self, campaign: str, seed: int, arq: bool,
                  counts: Dict[str, Any],
-                 invariants: List[Dict[str, Any]]):
+                 invariants: List[Dict[str, Any]],
+                 flight: Optional[List[Dict[str, Any]]] = None):
         self.campaign = campaign
         self.seed = seed
         self.arq = arq
         self.counts = counts
         self.invariants = invariants
+        self.flight = list(flight) if flight else []
         payload = json.dumps({"campaign": campaign, "seed": seed,
                               "arq": arq, "counts": counts},
                              sort_keys=True, default=repr)
@@ -139,7 +148,8 @@ class CampaignResult:
     def to_dict(self) -> Dict[str, Any]:
         return {"campaign": self.campaign, "seed": self.seed,
                 "arq": self.arq, "ok": self.ok, "digest": self.digest,
-                "counts": self.counts, "invariants": self.invariants}
+                "counts": self.counts, "invariants": self.invariants,
+                "flight_entries": len(self.flight)}
 
     def summary(self) -> str:
         lines = [f"campaign {self.campaign} seed={self.seed} "
@@ -161,6 +171,13 @@ class CampaignResult:
         for inv in self.invariants:
             mark = "PASS" if inv["ok"] else "FAIL"
             lines.append(f"  [{mark}] {inv['name']}: {inv['detail']}")
+        if not self.ok and self.flight:
+            # A failing campaign ships its own black box.
+            from ..obs import render_flight
+            lines.append("  black box (flight recorder):")
+            lines.extend("    " + line for line
+                         in render_flight(self.flight,
+                                          last=10).splitlines()[1:])
         return "\n".join(lines)
 
 
@@ -234,6 +251,9 @@ class ChaosHarness:
         self.sim = self.wn.sim
         if observability:
             self.sim.obs.enable()
+            # The black box: last N sim moments, dumped with the
+            # verdict (and rendered inline when an invariant fails).
+            self.sim.obs.flight(capacity=512)
         self.breakers: Optional[LinkBreakerRegistry] = None
         if campaign.breakers:
             self.breakers = LinkBreakerRegistry(
@@ -346,8 +366,11 @@ class ChaosHarness:
         for check in self.campaign.checks:
             name, ok, detail = check(self, counts)
             add(name, ok, detail)
+        recorder = self.sim.obs.flight_recorder
+        flight = (list(recorder.to_records()) if recorder is not None
+                  else None)
         return CampaignResult(self.campaign.name, self.seed, self.arq,
-                              counts, invariants)
+                              counts, invariants, flight=flight)
 
 
 # -- campaign scripts and checks -------------------------------------------

@@ -112,29 +112,68 @@ def run_single(workload: ShardWorkload
     return workload.finalize(totals)
 
 
+def _arm_obs(ctx: Dict[str, Any], shard_index: int):
+    """Enable one replica's observability *after* construction.
+
+    Every shard builds the full network, so construction-time
+    emissions would be counted K times if collection started earlier —
+    arming post-build is what makes the merged counter sums
+    K-invariant.  The tracer is rebased onto the shard's disjoint id
+    range so merged spans (and the trace contexts crossing handoff
+    boundaries inside ``packet.meta``) stay globally unambiguous.
+    """
+    from ..obs.snapshot import SHARD_ID_STRIDE
+    obs = ctx["sim"].obs.enable()
+    obs.shard = shard_index
+    obs.tracer.rebase_ids(shard_index * SHARD_ID_STRIDE)
+    return obs
+
+
 def run_sharded(workload: ShardWorkload, workers: int,
-                backend: str = "inline"
+                backend: str = "inline", obs: bool = False
                 ) -> Tuple[Dict[str, Any], Dict[str, int], Dict[str, Any]]:
     """Execute ``workload`` over ``workers`` shards.
 
     Returns ``(counters, work, stats)`` where counters/work are
     byte-identical to :func:`run_single` and ``stats`` describes the
     parallel execution (never folded into digests).
+
+    With ``obs=True`` each replica collects metrics/spans/profiles,
+    the executor snapshots them at collect time (shipped over the
+    existing pipes for the mp backend), merges them in canonical
+    shard-index order, and attaches the resulting
+    :class:`~repro.obs.snapshot.MergedObs` — plus the per-epoch
+    timeline — as ``stats["obs"]``.  Observability never draws RNG or
+    schedules events, so ``obs=True`` leaves counters and digests
+    byte-identical to an obs-off run.
     """
     if backend not in ("inline", "mp"):
         raise ValueError(f"unknown shard backend {backend!r} "
                          "(known: inline, mp)")
     plan = partition(workload.topology(), workers, seed=workload.seed)
     if plan.k <= 1 or plan.lookahead <= 0.0:
-        counters, work = run_single(workload)
-        return counters, work, {
+        stats = {
             "mode": "single", "k": 1, "requested_k": workers,
             "backend": backend, "barriers": 0, "handoffs": 0,
             "reason": ("k=1" if plan.k <= 1 else "zero-lookahead"),
         }
+        if not obs:
+            counters, work = run_single(workload)
+            return counters, work, stats
+        from ..obs.snapshot import ObsSnapshot, merge_snapshots
+        ctx = workload.build(owned=None)
+        _arm_obs(ctx, 0)
+        workload.setup(ctx, owned=None)
+        ctx["sim"].run(until=workload.horizon())
+        totals = workload.collect(ctx, owned=None)
+        counters, work = workload.finalize(totals)
+        merged = merge_snapshots([ObsSnapshot.capture(ctx["sim"].obs,
+                                                      shard=0)])
+        stats["obs"] = merged
+        return counters, work, stats
     if backend == "mp":
-        return _run_mp(workload, plan)
-    return _run_inline(workload, plan)
+        return _run_mp(workload, plan, obs=obs)
+    return _run_inline(workload, plan, obs=obs)
 
 
 # ----------------------------------------------------------------------
@@ -180,37 +219,68 @@ def _sum_partials(partials: List[Dict[str, Any]]) -> Dict[str, Any]:
 # inline backend (the determinism oracle)
 # ----------------------------------------------------------------------
 
-def _run_inline(workload: ShardWorkload, plan: ShardPlan
+def _run_inline(workload: ShardWorkload, plan: ShardPlan, obs: bool = False
                 ) -> Tuple[Dict[str, Any], Dict[str, int], Dict[str, Any]]:
     import time
     shards = []
     for shard_index in range(plan.k):
         owned = frozenset(plan.shards[shard_index])
         ctx = workload.build(owned=owned)
+        if obs:
+            _arm_obs(ctx, shard_index)
         workload.setup(ctx, owned=owned)
         shards.append((owned, ctx))
     handoffs = 0
     barriers = 0
     worker_cpu_s = [0.0] * plan.k
+    epoch_records: List[Dict[str, Any]] = []
+    prev_events = [0] * plan.k
+    epoch_start = 0.0
     for epoch_end in _epoch_ends(workload.horizon(), plan.lookahead):
+        epoch_cpu = [0.0] * plan.k
         for shard_index, (_, ctx) in enumerate(shards):
             t0 = time.perf_counter()  # via: ignore[VIA003] per-shard cost accounting; never digest-visible
             ctx["sim"].run(until=epoch_end)
-            worker_cpu_s[shard_index] += time.perf_counter() - t0  # via: ignore[VIA003] per-shard cost accounting; never digest-visible
+            epoch_cpu[shard_index] = time.perf_counter() - t0  # via: ignore[VIA003] per-shard cost accounting; never digest-visible
+            worker_cpu_s[shard_index] += epoch_cpu[shard_index]
+            sim = ctx["sim"]
+            if sim.obs.on:
+                sim.obs.shard_barriers.inc()
+                if sim._flight is not None:
+                    sim._flight.note("barrier", epoch_end,
+                                     f"epoch#{barriers}")
         batches = _route(plan, [ctx["fabric"].drain_outbox()
                                 for _, ctx in shards])
+        epoch_handoffs = 0
         for dest, batch in sorted(batches.items()):
             # The same wire format the mp transport uses, so inline is
             # an exact oracle for pickled handoff semantics.
             payload = pickle.loads(pickle.dumps(batch))
             shards[dest][1]["fabric"].inject(payload)
-            handoffs += len(batch)
+            epoch_handoffs += len(batch)
+        handoffs += epoch_handoffs
+        if obs:
+            from ..obs.timeline import make_epoch_record
+            events = [ctx["sim"].events_executed for _, ctx in shards]
+            epoch_records.append(make_epoch_record(
+                barriers, epoch_start, epoch_end, epoch_handoffs,
+                [e - p for e, p in zip(events, prev_events)], epoch_cpu))
+            prev_events = events
         barriers += 1
+        epoch_start = epoch_end
     partials = [workload.collect(ctx, owned) for owned, ctx in shards]
     counters, work = workload.finalize(_sum_partials(partials))
     stats = _stats(plan, "inline", barriers, handoffs,
                    [p.get("events_executed", 0) for p in partials],
                    worker_cpu_s)
+    if obs:
+        from ..obs.snapshot import ObsSnapshot, merge_snapshots
+        merged = merge_snapshots(
+            [ObsSnapshot.capture(ctx["sim"].obs, shard=i)
+             for i, (_, ctx) in enumerate(shards)])
+        merged.add_epochs(epoch_records)
+        merged.add_shard_stats(worker_cpu_s, 0.0)
+        stats["obs"] = merged
     return counters, work, stats
 
 
@@ -219,16 +289,22 @@ def _run_inline(workload: ShardWorkload, plan: ShardPlan
 # ----------------------------------------------------------------------
 
 def _worker_main(conn, workload_bytes: bytes, plan: ShardPlan,
-                 shard_index: int) -> None:
+                 shard_index: int, obs: bool = False) -> None:
     """One shard in its own process: build, then serve the barrier
-    protocol — inject, run to the epoch end, return the outbox."""
+    protocol — inject, run to the epoch end, return the outbox (plus
+    the running event/CPU counters the epoch timeline needs).  With
+    ``obs`` on, the collect reply carries the worker's full
+    :class:`~repro.obs.snapshot.ObsSnapshot` back over the pipe."""
     import time
     workload = pickle.loads(workload_bytes)
     owned = frozenset(plan.shards[shard_index])
     ctx = workload.build(owned=owned)
+    if obs:
+        _arm_obs(ctx, shard_index)
     workload.setup(ctx, owned=owned)
     sim, fabric = ctx["sim"], ctx["fabric"]
     cpu0 = time.process_time()  # via: ignore[VIA003] per-worker cost accounting; never digest-visible
+    barriers = 0
     try:
         while True:
             message = conn.recv()
@@ -239,17 +315,28 @@ def _worker_main(conn, workload_bytes: bytes, plan: ShardPlan,
                 sim.run(until=epoch_end)
                 if sim.obs.on:
                     sim.obs.shard_barriers.inc()
-                conn.send(fabric.drain_outbox())
+                    if sim._flight is not None:
+                        sim._flight.note("barrier", epoch_end,
+                                         f"epoch#{barriers}")
+                barriers += 1
+                cpu_s = time.process_time() - cpu0  # via: ignore[VIA003] per-worker cost accounting; never digest-visible
+                conn.send((fabric.drain_outbox(), sim.events_executed,
+                           cpu_s))
             elif kind == "collect":
                 cpu_s = time.process_time() - cpu0  # via: ignore[VIA003] per-worker cost accounting; never digest-visible
-                conn.send((workload.collect(ctx, owned), cpu_s))
+                snapshot = None
+                if obs:
+                    from ..obs.snapshot import ObsSnapshot
+                    snapshot = ObsSnapshot.capture(sim.obs,
+                                                   shard=shard_index)
+                conn.send((workload.collect(ctx, owned), cpu_s, snapshot))
             else:  # "quit"
                 return
     finally:
         conn.close()
 
 
-def _run_mp(workload: ShardWorkload, plan: ShardPlan
+def _run_mp(workload: ShardWorkload, plan: ShardPlan, obs: bool = False
             ) -> Tuple[Dict[str, Any], Dict[str, int], Dict[str, Any]]:
     import multiprocessing
     import time
@@ -257,7 +344,7 @@ def _run_mp(workload: ShardWorkload, plan: ShardPlan
         mp_ctx = multiprocessing.get_context("fork")
     except ValueError:
         # No fork on this platform: the inline oracle is always exact.
-        return _run_inline(workload, plan)
+        return _run_inline(workload, plan, obs=obs)
     workload_bytes = pickle.dumps(workload)
     pipes, procs = [], []
     try:
@@ -265,7 +352,7 @@ def _run_mp(workload: ShardWorkload, plan: ShardPlan
             parent_conn, child_conn = mp_ctx.Pipe()
             proc = mp_ctx.Process(
                 target=_worker_main,
-                args=(child_conn, workload_bytes, plan, shard_index),
+                args=(child_conn, workload_bytes, plan, shard_index, obs),
                 daemon=True)
             proc.start()
             child_conn.close()
@@ -274,25 +361,46 @@ def _run_mp(workload: ShardWorkload, plan: ShardPlan
         handoffs = 0
         barriers = 0
         stall_s = 0.0
+        epoch_records: List[Dict[str, Any]] = []
+        prev_events = [0] * plan.k
+        prev_cpu = [0.0] * plan.k
+        epoch_start = 0.0
         batches: Dict[int, List[Handoff]] = {}
         for epoch_end in _epoch_ends(workload.horizon(), plan.lookahead):
             for shard_index, conn in enumerate(pipes):
                 conn.send(("epoch", epoch_end,
                            batches.get(shard_index, [])))
             t0 = time.perf_counter()  # via: ignore[VIA003] barrier stall is host wall time by definition; never digest-visible
-            outboxes = [conn.recv() for conn in pipes]
-            stall_s += time.perf_counter() - t0  # via: ignore[VIA003] barrier stall is host wall time by definition; never digest-visible
+            replies = [conn.recv() for conn in pipes]
+            epoch_stall = time.perf_counter() - t0  # via: ignore[VIA003] barrier stall is host wall time by definition; never digest-visible
+            stall_s += epoch_stall
+            outboxes = [reply[0] for reply in replies]
             batches = _route(plan, outboxes)
-            handoffs += sum(len(b) for b in batches.values())
+            epoch_handoffs = sum(len(b) for b in batches.values())
+            handoffs += epoch_handoffs
+            if obs:
+                from ..obs.timeline import make_epoch_record
+                events = [reply[1] for reply in replies]
+                cpu = [reply[2] for reply in replies]
+                epoch_records.append(make_epoch_record(
+                    barriers, epoch_start, epoch_end, epoch_handoffs,
+                    [e - p for e, p in zip(events, prev_events)],
+                    [c - p for c, p in zip(cpu, prev_cpu)],
+                    epoch_stall))
+                prev_events, prev_cpu = events, cpu
             barriers += 1
+            epoch_start = epoch_end
         partials = []
         worker_cpu_s = []
+        snapshots = []
         for conn in pipes:
             conn.send(("collect",))
         for conn in pipes:
-            partial, cpu_s = conn.recv()
+            partial, cpu_s, snapshot = conn.recv()
             partials.append(partial)
             worker_cpu_s.append(cpu_s)
+            if snapshot is not None:
+                snapshots.append(snapshot)
         for conn in pipes:
             conn.send(("quit",))
     except (EOFError, BrokenPipeError) as exc:
@@ -312,6 +420,12 @@ def _run_mp(workload: ShardWorkload, plan: ShardPlan
                    [p.get("events_executed", 0) for p in partials],
                    worker_cpu_s)
     stats["barrier_stall_s"] = round(stall_s, 6)
+    if obs and snapshots:
+        from ..obs.snapshot import merge_snapshots
+        merged = merge_snapshots(snapshots)
+        merged.add_epochs(epoch_records)
+        merged.add_shard_stats(worker_cpu_s, stall_s)
+        stats["obs"] = merged
     return counters, work, stats
 
 

@@ -142,6 +142,11 @@ class NetworkFabric:
         if obs.on:
             obs.fabric_packets.inc(event="deliver", reason="")
             obs.link_bytes.inc(packet.size_bytes, link=link.name)
+            if obs.flight_recorder is not None:
+                obs.flight_recorder.note(
+                    "delivery", self.sim.now,
+                    f"{from_node}->{to_node}", link=link.name,
+                    packet=packet.packet_id)
             ctx = packet.meta.get(TRACE_META_KEY)
             if ctx is not None:
                 # Chain the journey: each hop re-parents the in-flight
@@ -162,6 +167,10 @@ class NetworkFabric:
         obs = self.sim.obs
         if obs.on:
             obs.fabric_packets.inc(event="drop", reason=reason)
+            if obs.flight_recorder is not None:
+                obs.flight_recorder.note(
+                    "drop", self.sim.now, f"{from_node}->{to_node}",
+                    reason=reason, packet=packet.packet_id)
             ctx = packet.meta.get(TRACE_META_KEY)
             if ctx is not None:
                 obs.tracer.event("drop", ctx, to_node, self.sim.now,

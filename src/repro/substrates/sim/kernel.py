@@ -54,6 +54,9 @@ class Simulator:
         #: Armed by ``obs.enable(profiling=True)``; ``None`` keeps the
         #: step loop on its unprofiled fast path.
         self._profiler = None
+        #: Armed by ``obs.flight(capacity)``; ``None`` keeps the step
+        #: loop free of the ring-buffer append.
+        self._flight = None
         self.obs = Observability(self)
 
     # -- time -------------------------------------------------------------
@@ -124,6 +127,9 @@ class Simulator:
             if not ev.pending:
                 continue
             self._now = ev.time
+            flight = self._flight
+            if flight is not None:
+                flight.note_event(ev.time, ev.name)
             prof = self._profiler
             if prof is not None:
                 t0 = prof.clock()
@@ -234,6 +240,9 @@ class Simulator:
                 break
             heappop(heap)
             self._now = ev.time
+            flight = self._flight
+            if flight is not None:
+                flight.note_event(ev.time, ev.name)
             prof = self._profiler
             if prof is not None:
                 t0 = prof.clock()
