@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline bench-parallel \
 	examples verify demo figures obs-smoke obs-parallel-smoke \
-	chaos-smoke lint all clean
+	chaos-smoke recovery-smoke lint all clean
 
 install:
 	pip install -e .
@@ -107,6 +107,21 @@ lint:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --campaign smoke --seed 7
 	@echo "chaos-smoke: invariants held"
+
+# Fault-tolerant sharding gate: SIGKILL a shard worker mid-run (the
+# worker-kill campaign asserts the recovered 2-shard digest equals the
+# fault-free single-shard digest and that a restart actually
+# happened), then run a supervised 2-worker bench and require its
+# digest byte-identical to the committed baseline.  Recovery must be
+# invisible where determinism is judged.
+recovery-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --campaign worker-kill \
+		--seed 7
+	PYTHONPATH=src $(PYTHON) -m repro bench shard-scaling \
+		--workers 2 --backend mp --recover --seed 42 --scale short \
+		--out /tmp/recovery-smoke \
+		--compare BENCH_baseline.json --fail-over 90
+	@echo "recovery-smoke: digest-identical recovery, supervised digest gated"
 
 all: test bench
 

@@ -118,6 +118,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard backend when --workers > 1: forked "
                             "processes (mp) or the in-process oracle "
                             "(inline); default: mp")
+    bench.add_argument("--recover", action="store_true",
+                       help="fault-tolerant mp backend: supervise shard "
+                            "workers, journal epochs, and recover "
+                            "crashed/stalled workers digest-identically "
+                            "(see docs/RESILIENCE.md)")
+    bench.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="with --recover: compact the epoch journal "
+                            "into checkpoints every N barriers "
+                            "(default: 8; 0 disables)")
     bench.add_argument("--obs-out", metavar="PATH", default=None,
                        help="collect each shard's metrics/spans/profile, "
                             "merge them and write the unified JSONL "
@@ -388,6 +398,25 @@ def cmd_bench(args) -> int:
     if args.workers < 1:
         print("bench: --workers must be >= 1", file=sys.stderr)
         return 2
+    recovery = None
+    if args.recover:
+        if args.backend != "mp":
+            print("bench: --recover requires --backend mp (the inline "
+                  "oracle has no processes to lose)", file=sys.stderr)
+            return 2
+        from .shard import RecoveryConfig
+        kwargs = {}
+        if args.checkpoint_every is not None:
+            if args.checkpoint_every < 0:
+                print("bench: --checkpoint-every must be >= 0",
+                      file=sys.stderr)
+                return 2
+            kwargs["checkpoint_every"] = args.checkpoint_every
+        recovery = RecoveryConfig(**kwargs)
+    elif args.checkpoint_every is not None:
+        print("bench: --checkpoint-every only applies with --recover",
+              file=sys.stderr)
+        return 2
     if args.obs_out:
         from .perf import SHARD_WORKLOADS
         if names is None or len(names) != 1 \
@@ -403,10 +432,12 @@ def cmd_bench(args) -> int:
             return [run_scenario(names[0], seed=args.seed,
                                  scale=args.scale, repeats=args.repeats,
                                  workers=args.workers,
-                                 backend=args.backend, obs=True)]
+                                 backend=args.backend, obs=True,
+                                 recovery=recovery)]
         return run_all(seed=args.seed, scale=args.scale,
                        repeats=args.repeats, names=names,
-                       workers=args.workers, backend=args.backend)
+                       workers=args.workers, backend=args.backend,
+                       recovery=recovery)
 
     if args.no_opt:
         with all_disabled():
@@ -428,6 +459,13 @@ def cmd_bench(args) -> int:
         for r in results:
             sharding = (f" workers={r.workers}({r.backend})"
                         if r.workers > 1 else "")
+            rec = (r.shard_stats or {}).get("recovery")
+            if rec:
+                degraded = (",degraded"
+                            if (r.shard_stats or {}).get("degraded")
+                            else "")
+                sharding += (f" recover[restarts="
+                             f"{rec['worker_restarts']}{degraded}]")
             print(f"{r.scenario:16s} {r.events_per_sec:12.0f} ev/s "
                   f"{r.shuttles_per_sec:10.0f} sh/s "
                   f"{r.wall_time_s * 1e3:8.1f} ms  "

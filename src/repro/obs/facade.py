@@ -212,6 +212,20 @@ class Observability:
             "repro_shard_barriers_total",
             "Epoch barriers this shard synchronized on.",
             dimension=PER_CONFIGURATION, labels=())
+        # per-configuration: crash recovery (repro.shard.supervisor).
+        # A replica that was restored via journal replay counts itself;
+        # the supervisor's run-wide totals land as merged gauges (see
+        # MergedObs.add_recovery) and are the authoritative view.
+        self.shard_worker_restarts = r.counter(
+            "repro_shard_worker_restarts_total",
+            "Times this replica was rebuilt by the supervisor after a "
+            "worker death or stall.",
+            dimension=PER_CONFIGURATION, labels=())
+        self.recovery_replay_epochs = r.counter(
+            "repro_shard_recovery_replay_epochs_total",
+            "Journaled epochs replayed into this replica during crash "
+            "recovery.",
+            dimension=PER_CONFIGURATION, labels=())
         # trace-bus bridge: every legacy emit() lands here too.
         self.trace_topics = r.counter(
             "repro_trace_topic_total",

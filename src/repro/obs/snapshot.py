@@ -273,6 +273,8 @@ class MergedObs:
         self.flight_records = flight
         self.epoch_records: List[Dict[str, Any]] = []
         self.meta = meta
+        #: Supervisor recovery accounting (set by :meth:`add_recovery`).
+        self.recovery: Optional[Dict[str, Any]] = None
 
     # -- shard-plane enrichment (executor stats, epoch stream) -------------
     def add_epochs(self, records: Sequence[Dict[str, Any]]) -> None:
@@ -295,6 +297,49 @@ class MergedObs:
             "(0 for the inline backend).",
             dimension=PER_CONFIGURATION, labels=())
         stall.set(float(barrier_stall_s))
+
+    def add_recovery(self, recovery: Dict[str, Any],
+                     flight_records: Sequence[Dict[str, Any]] = (),
+                     span_records: Sequence[Dict[str, Any]] = ()) -> None:
+        """Fold the supervisor's recovery accounting into the merged
+        view: run-wide restart/replay/checkpoint gauges (the
+        authoritative counts — a replaced worker's own counters die
+        with it), plus the supervisor's parent-plane flight entries and
+        restart/replay spans.  All families are ``repro_shard_``
+        prefixed, so recovery telemetry can never move the merged
+        metrics digest.
+        """
+        self.recovery = dict(recovery)
+        restarts = self.registry.gauge(
+            "repro_shard_worker_restarts",
+            "Worker restarts performed by the shard supervisor.",
+            dimension=PER_CONFIGURATION, labels=("shard",))
+        for shard, count in enumerate(
+                recovery.get("restarts_by_shard", [])):
+            restarts.set(float(count), shard=str(shard))
+        replay = self.registry.gauge(
+            "repro_shard_recovery_replay_epochs",
+            "Journaled epochs replayed into replacement workers.",
+            dimension=PER_CONFIGURATION, labels=())
+        replay.set(float(recovery.get("replayed_epochs", 0)))
+        ckpt = self.registry.gauge(
+            "repro_shard_checkpoint_bytes",
+            "Total bytes written into epoch-journal checkpoints.",
+            dimension=PER_CONFIGURATION, labels=())
+        ckpt.set(float(recovery.get("checkpoint_bytes", 0)))
+        degraded = self.registry.gauge(
+            "repro_shard_recovery_degraded",
+            "1 when the restart budget was exhausted and the run fell "
+            "back to the inline oracle.",
+            dimension=PER_CONFIGURATION, labels=())
+        degraded.set(1.0 if recovery.get("degraded") else 0.0)
+        if flight_records:
+            self.flight_records.extend(flight_records)
+            self.flight_records.sort(
+                key=lambda r: (r.get("t", 0.0), r.get("shard", 0),
+                               r.get("seq", 0)))
+        if span_records:
+            self.span_records.extend(span_records)
 
     # -- digests ------------------------------------------------------------
     def metrics_digest(self) -> str:

@@ -40,11 +40,11 @@ __all__ = [
     "ARQ_META_KEY", "ACK_KIND",
     # lazily resolved from .chaos:
     "CAMPAIGNS", "Campaign", "CampaignResult", "ChaosHarness",
-    "run_campaign",
+    "WorkerFaultCampaign", "run_campaign",
 ]
 
 _CHAOS_NAMES = {"CAMPAIGNS", "Campaign", "CampaignResult", "ChaosHarness",
-                "run_campaign"}
+                "WorkerFaultCampaign", "run_campaign"}
 
 
 def __getattr__(name):

@@ -129,13 +129,20 @@ class CampaignResult:
     def __init__(self, campaign: str, seed: int, arq: bool,
                  counts: Dict[str, Any],
                  invariants: List[Dict[str, Any]],
-                 flight: Optional[List[Dict[str, Any]]] = None):
+                 flight: Optional[List[Dict[str, Any]]] = None,
+                 recovery: Optional[Dict[str, Any]] = None):
         self.campaign = campaign
         self.seed = seed
         self.arq = arq
         self.counts = counts
         self.invariants = invariants
         self.flight = list(flight) if flight else []
+        #: Shard-supervisor accounting for worker-fault campaigns
+        #: (restarts, replayed epochs, degraded flag...); ``None`` for
+        #: transport campaigns.  Like ``flight`` it never feeds the
+        #: digest — the digestible recovery counters are already folded
+        #: into ``counts`` by the campaign itself.
+        self.recovery = dict(recovery) if recovery else None
         payload = json.dumps({"campaign": campaign, "seed": seed,
                               "arq": arq, "counts": counts},
                              sort_keys=True, default=repr)
@@ -146,28 +153,45 @@ class CampaignResult:
         return all(inv["ok"] for inv in self.invariants)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"campaign": self.campaign, "seed": self.seed,
-                "arq": self.arq, "ok": self.ok, "digest": self.digest,
-                "counts": self.counts, "invariants": self.invariants,
-                "flight_entries": len(self.flight)}
+        out = {"campaign": self.campaign, "seed": self.seed,
+               "arq": self.arq, "ok": self.ok, "digest": self.digest,
+               "counts": self.counts, "invariants": self.invariants,
+               "flight_entries": len(self.flight)}
+        if self.recovery is not None:
+            out["recovery"] = self.recovery
+        return out
 
     def summary(self) -> str:
         lines = [f"campaign {self.campaign} seed={self.seed} "
                  f"arq={'on' if self.arq else 'off'} digest={self.digest}"]
         c = self.counts
-        lines.append(
-            f"  sent={c['sent']} delivered={c['delivered']} "
-            f"retries={c['retries']} dlq={c['dlq']} "
-            f"ratio={c['delivery_ratio']:.4f}")
-        if c["dlq_reasons"]:
-            reasons = ", ".join(f"{k}={v}"
-                                for k, v in sorted(c["dlq_reasons"].items()))
-            lines.append(f"  dead letters: {reasons}")
-        lines.append(
-            f"  duplicates={c['duplicates']} "
-            f"double_applied={c['double_applied']} "
-            f"breaker_transitions={c['breaker_transitions']} "
-            f"heals={c['heals']} false_suspicions={c['false_suspicions']}")
+        if "sent" in c:
+            lines.append(
+                f"  sent={c['sent']} delivered={c['delivered']} "
+                f"retries={c['retries']} dlq={c['dlq']} "
+                f"ratio={c['delivery_ratio']:.4f}")
+            if c["dlq_reasons"]:
+                reasons = ", ".join(
+                    f"{k}={v}" for k, v in sorted(c["dlq_reasons"].items()))
+                lines.append(f"  dead letters: {reasons}")
+            lines.append(
+                f"  duplicates={c['duplicates']} "
+                f"double_applied={c['double_applied']} "
+                f"breaker_transitions={c['breaker_transitions']} "
+                f"heals={c['heals']} false_suspicions={c['false_suspicions']}")
+        else:
+            # Worker-fault campaign: process-level counts instead of
+            # transport accounting.
+            lines.append(
+                f"  scenario={c.get('scenario')}/{c.get('scale')} "
+                f"workers={c.get('workers')} "
+                f"run_digest={c.get('run_digest')}")
+            lines.append(
+                f"  restarts={c.get('worker_restarts', 0)} "
+                f"replayed_epochs={c.get('replayed_epochs', 0)} "
+                f"stall_kills={c.get('stall_kills', 0)} "
+                f"crashes={c.get('crashes', 0)} "
+                f"degraded={c.get('degraded', False)}")
         for inv in self.invariants:
             mark = "PASS" if inv["ok"] else "FAIL"
             lines.append(f"  [{mark}] {inv['name']}: {inv['detail']}")
@@ -373,6 +397,122 @@ class ChaosHarness:
                               counts, invariants, flight=flight)
 
 
+# -- process-level fault campaigns (the execution substrate itself) --------
+
+class WorkerFaultCampaign:
+    """Chaos against the *execution substrate*: SIGKILL or SIGSTOP live
+    shard workers mid-epoch and assert digest-identical recovery.
+
+    Where :class:`Campaign` attacks the simulated network (links, nodes,
+    loss), this attacks the host processes running it — the supervisor
+    (:mod:`repro.shard.supervisor`) must detect the death or stall,
+    respawn the shard, replay its journaled handoff history and finish
+    with a run digest byte-identical to the fault-free single-shard
+    oracle.  ``expect_degraded`` campaigns exhaust the restart budget on
+    purpose and instead assert the *degradation* contract: deterministic
+    inline fallback, flagged, never a crash.
+    """
+
+    def __init__(self, name: str, description: str, *,
+                 scenario: str = "shard-scaling", scale: str = "tiny",
+                 workers: int = 2,
+                 faults: Tuple[Tuple[str, int, int], ...] = (),
+                 max_restarts: int = 3,
+                 barrier_deadline_s: float = 30.0,
+                 checkpoint_every: int = 8,
+                 expect_restarts: int = 1,
+                 expect_degraded: bool = False):
+        self.name = name
+        self.description = description
+        self.scenario = scenario
+        self.scale = scale
+        self.workers = int(workers)
+        #: ``(kind, barrier, shard)`` triples — see
+        #: :class:`repro.shard.recovery.Fault`.
+        self.faults = tuple(faults)
+        self.max_restarts = int(max_restarts)
+        self.barrier_deadline_s = float(barrier_deadline_s)
+        self.checkpoint_every = int(checkpoint_every)
+        self.expect_restarts = int(expect_restarts)
+        self.expect_degraded = bool(expect_degraded)
+
+    def run(self, seed: int = 0, arq: bool = True,
+            observability: bool = True) -> CampaignResult:
+        from ..perf.digest import run_digest
+        from ..perf.scenarios import SHARD_WORKLOADS
+        from ..shard import (Fault, FaultPlan, RecoveryConfig,
+                             run_sharded, run_single)
+        factory = SHARD_WORKLOADS[self.scenario]
+        single_counters, _ = run_single(factory(seed, self.scale))
+        digest_single = run_digest(self.scenario, seed, self.scale,
+                                   single_counters)
+        config = RecoveryConfig(
+            barrier_deadline_s=self.barrier_deadline_s,
+            max_restarts=self.max_restarts,
+            checkpoint_every=self.checkpoint_every,
+            # Fast ladder: chaos campaigns restart on purpose and should
+            # not serve real backoff pauses in CI.
+            backoff_base_s=0.01, backoff_max_s=0.05,
+            faults=FaultPlan([Fault(kind, barrier, shard)
+                              for kind, barrier, shard in self.faults]))
+        counters, _, stats = run_sharded(
+            factory(seed, self.scale), self.workers, backend="mp",
+            obs=observability, recovery=config)
+        digest_sharded = run_digest(self.scenario, seed, self.scale,
+                                    counters)
+        recovery = stats.get("recovery", {})
+        counts = {
+            "scenario": self.scenario,
+            "scale": self.scale,
+            "workers": self.workers,
+            "faults": [list(f) for f in self.faults],
+            "run_digest": digest_sharded,
+            "run_digest_single": digest_single,
+            "worker_restarts": recovery.get("worker_restarts", 0),
+            "replayed_epochs": recovery.get("replayed_epochs", 0),
+            "stall_kills": recovery.get("stall_kills", 0),
+            "crashes": recovery.get("crashes", 0),
+            "partial_digest_mismatches": recovery.get(
+                "partial_digest_mismatches", 0),
+            "degraded": bool(stats.get("degraded", False)),
+        }
+        invariants: List[Dict[str, Any]] = []
+
+        def add(name: str, ok: bool, detail: str) -> None:
+            invariants.append({"name": name, "ok": bool(ok),
+                               "detail": detail})
+
+        add("digest-identical", digest_sharded == digest_single,
+            f"sharded={digest_sharded} single={digest_single}")
+        add("no-replay-divergence",
+            counts["partial_digest_mismatches"] == 0,
+            f"partial_digest_mismatches="
+            f"{counts['partial_digest_mismatches']}")
+        if self.expect_degraded:
+            add("degraded-not-crashed",
+                counts["degraded"] and stats.get("backend") == "inline",
+                f"degraded={counts['degraded']} "
+                f"backend={stats.get('backend')}")
+        else:
+            add("workers-restarted",
+                counts["worker_restarts"] >= self.expect_restarts,
+                f"restarts={counts['worker_restarts']} >= "
+                f"{self.expect_restarts}")
+            add("not-degraded", not counts["degraded"],
+                f"degraded={counts['degraded']}")
+        flight = None
+        merged = stats.get("obs")
+        if merged is not None:
+            flight = list(merged.flight_records)
+        return CampaignResult(self.name, seed, arq, counts, invariants,
+                              flight=flight, recovery=recovery)
+
+    def __repr__(self) -> str:
+        return (f"<WorkerFaultCampaign {self.name} "
+                f"{self.scenario}/{self.scale} k={self.workers} "
+                f"faults={self.faults!r}>")
+
+
 # -- campaign scripts and checks -------------------------------------------
 
 def _min_ratio(threshold: float) -> Check:
@@ -506,6 +646,36 @@ CAMPAIGNS: Dict[str, Campaign] = {c.name: c for c in [
                 _check_restoration("surrogate"))),
 ]}
 
+#: Process-level campaigns against the shard execution substrate.
+CAMPAIGNS.update({c.name: c for c in [
+    WorkerFaultCampaign(
+        "worker-kill",
+        "SIGKILL one shard worker mid-run; the supervisor must respawn "
+        "it, replay the epoch journal and finish digest-identical to "
+        "the fault-free single-shard run.",
+        workers=2, faults=(("kill", 2, 1),)),
+    WorkerFaultCampaign(
+        "worker-stall",
+        "SIGSTOP one shard worker so it misses the per-barrier reply "
+        "deadline; the supervisor must kill, respawn and replay it.",
+        workers=2, faults=(("stall", 1, 0),),
+        barrier_deadline_s=0.5),
+    WorkerFaultCampaign(
+        "worker-kill-during-handoff",
+        "SIGKILL a worker after its barrier reply — mid-handoff, with "
+        "its outbox already routed — so the death is detected at the "
+        "next epoch send and the replacement replays into a half-"
+        "exchanged barrier.",
+        workers=2, faults=(("kill-after-reply", 2, 1),)),
+    WorkerFaultCampaign(
+        "worker-budget-exhausted",
+        "Kill a worker with a zero restart budget: the run must "
+        "degrade deterministically to the inline oracle (flagged, "
+        "digest-identical) instead of crashing.",
+        workers=2, faults=(("kill", 2, 0),),
+        max_restarts=0, expect_restarts=0, expect_degraded=True),
+]})
+
 
 def run_campaign(name: str, seed: int = 0, arq: bool = True,
                  observability: bool = True) -> CampaignResult:
@@ -514,6 +684,9 @@ def run_campaign(name: str, seed: int = 0, arq: bool = True,
     if campaign is None:
         known = ", ".join(sorted(CAMPAIGNS))
         raise KeyError(f"unknown campaign {name!r} (known: {known})")
+    if isinstance(campaign, WorkerFaultCampaign):
+        return campaign.run(seed=seed, arq=arq,
+                            observability=observability)
     harness = ChaosHarness(campaign, seed=seed, arq=arq,
                            observability=observability)
     return harness.run()

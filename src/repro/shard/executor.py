@@ -130,7 +130,8 @@ def _arm_obs(ctx: Dict[str, Any], shard_index: int):
 
 
 def run_sharded(workload: ShardWorkload, workers: int,
-                backend: str = "inline", obs: bool = False
+                backend: str = "inline", obs: bool = False,
+                recovery: Optional[Any] = None
                 ) -> Tuple[Dict[str, Any], Dict[str, int], Dict[str, Any]]:
     """Execute ``workload`` over ``workers`` shards.
 
@@ -146,6 +147,12 @@ def run_sharded(workload: ShardWorkload, workers: int,
     timeline — as ``stats["obs"]``.  Observability never draws RNG or
     schedules events, so ``obs=True`` leaves counters and digests
     byte-identical to an obs-off run.
+
+    ``recovery`` (a :class:`~repro.shard.recovery.RecoveryConfig`, or
+    ``True`` for the defaults) enables the fault-tolerant mp backend:
+    worker supervision, epoch journaling and digest-identical crash
+    recovery (see :mod:`repro.shard.supervisor`).  Ignored for the
+    inline backend, which has no processes to lose.
     """
     if backend not in ("inline", "mp"):
         raise ValueError(f"unknown shard backend {backend!r} "
@@ -172,6 +179,13 @@ def run_sharded(workload: ShardWorkload, workers: int,
         stats["obs"] = merged
         return counters, work, stats
     if backend == "mp":
+        if recovery:
+            from .recovery import RecoveryConfig
+            from .supervisor import run_supervised
+            config = (recovery if isinstance(recovery, RecoveryConfig)
+                      else RecoveryConfig())
+            return run_supervised(workload, plan, obs=obs,
+                                  recovery=config)
         return _run_mp(workload, plan, obs=obs)
     return _run_inline(workload, plan, obs=obs)
 
@@ -181,7 +195,17 @@ def run_sharded(workload: ShardWorkload, workers: int,
 # ----------------------------------------------------------------------
 
 def _epoch_ends(horizon: float, lookahead: float) -> List[float]:
-    """Barrier times: multiples of the lookahead, horizon-terminated."""
+    """Barrier times: multiples of the lookahead, horizon-terminated.
+
+    Zero (or negative) lookahead admits no conservative window — the
+    loop could never advance — so it is rejected here rather than
+    spinning; :func:`run_sharded` routes such plans to the single-shard
+    path before ever computing epochs.
+    """
+    if lookahead <= 0:
+        raise ValueError(
+            f"lookahead must be positive, got {lookahead!r} "
+            "(zero-lookahead plans cannot run the epoch protocol)")
     ends = []
     t = 0.0
     step = lookahead if lookahead != float("inf") else horizon
@@ -294,7 +318,17 @@ def _worker_main(conn, workload_bytes: bytes, plan: ShardPlan,
     protocol — inject, run to the epoch end, return the outbox (plus
     the running event/CPU counters the epoch timeline needs).  With
     ``obs`` on, the collect reply carries the worker's full
-    :class:`~repro.obs.snapshot.ObsSnapshot` back over the pipe."""
+    :class:`~repro.obs.snapshot.ObsSnapshot` back over the pipe.
+
+    A ``("replay", entries, verify)`` message (sent by the supervisor
+    to a freshly forked replacement, see :mod:`repro.shard.supervisor`)
+    fast-forwards this replica through the journaled epoch history:
+    each entry's injection batch is unpickled, injected and run to its
+    barrier, and the resulting outbox is *discarded* — the original
+    worker already shipped those handoffs before it died.  With
+    ``verify`` on the discarded outboxes are fingerprinted against the
+    journaled partial digests, so a replay that diverged is detected at
+    the worker, not at the final digest."""
     import time
     workload = pickle.loads(workload_bytes)
     owned = frozenset(plan.shards[shard_index])
@@ -322,6 +356,33 @@ def _worker_main(conn, workload_bytes: bytes, plan: ShardPlan,
                 cpu_s = time.process_time() - cpu0  # via: ignore[VIA003] per-worker cost accounting; never digest-visible
                 conn.send((fabric.drain_outbox(), sim.events_executed,
                            cpu_s))
+            elif kind == "replay":
+                _, entries, verify = message
+                from .recovery import outbox_digest
+                mismatches = 0
+                for epoch_end, batch_bytes, expected in entries:
+                    fabric.inject(pickle.loads(batch_bytes))
+                    sim.run(until=epoch_end)
+                    if sim.obs.on:
+                        sim.obs.shard_barriers.inc()
+                        if sim._flight is not None:
+                            sim._flight.note("barrier", epoch_end,
+                                             f"epoch#{barriers}")
+                    barriers += 1
+                    outbox = fabric.drain_outbox()
+                    if verify and expected is not None \
+                            and outbox_digest(outbox) != expected:
+                        mismatches += 1
+                if sim.obs.on:
+                    sim.obs.shard_worker_restarts.inc()
+                    if entries:
+                        sim.obs.recovery_replay_epochs.inc(len(entries))
+                    if sim._flight is not None:
+                        sim._flight.note(
+                            "replay", sim.now,
+                            f"replayed {len(entries)} epoch(s)",
+                            mismatches=mismatches)
+                conn.send(("replayed", len(entries), mismatches))
             elif kind == "collect":
                 cpu_s = time.process_time() - cpu0  # via: ignore[VIA003] per-worker cost accounting; never digest-visible
                 snapshot = None
@@ -334,6 +395,63 @@ def _worker_main(conn, workload_bytes: bytes, plan: ShardPlan,
                 return
     finally:
         conn.close()
+
+
+def _recv_deadline(conn, proc, shard_index: int, epoch: int,
+                   barrier_time: float,
+                   deadline_s: Optional[float] = None):
+    """One barrier reply, bounded by ``deadline_s`` (default
+    :data:`~repro.shard.recovery.DEFAULT_BARRIER_DEADLINE_S`).
+
+    Raises a typed error instead of blocking forever: a missed deadline
+    with a live process is a :class:`~repro.shard.recovery.
+    ShardWorkerTimeout` (stall), a dead process or EOF on the pipe is a
+    :class:`~repro.shard.recovery.ShardWorkerCrash` — both even when
+    recovery is disabled, so a hung worker can never wedge the parent.
+    """
+    from .recovery import (DEFAULT_BARRIER_DEADLINE_S, ShardWorkerCrash,
+                           ShardWorkerTimeout)
+    if deadline_s is None:
+        deadline_s = DEFAULT_BARRIER_DEADLINE_S
+    if not conn.poll(deadline_s):
+        if proc.is_alive():
+            raise ShardWorkerTimeout(shard_index, epoch, barrier_time,
+                                     deadline_s)
+        raise ShardWorkerCrash(shard_index, epoch, barrier_time,
+                               proc.exitcode)
+    try:
+        return conn.recv()
+    except (EOFError, BrokenPipeError, OSError) as exc:
+        proc.join(timeout=10.0)
+        raise ShardWorkerCrash(shard_index, epoch, barrier_time,
+                               proc.exitcode, cause=repr(exc)) from exc
+
+
+def _shutdown_workers(pipes, procs) -> None:
+    """Escalating teardown shared by every mp exit path (success and
+    abort): close the parent pipe ends, then ``join`` → ``terminate``
+    → ``kill`` → ``join`` each worker, and ``close()`` the process
+    handles so no zombies or leaked fds survive.  ``kill`` matters: a
+    SIGSTOPped worker shrugs off SIGTERM (it stays pending while the
+    process is stopped) but not SIGKILL."""
+    for conn in pipes:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for proc in procs:
+        proc.join(timeout=10.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+    for proc in procs:
+        try:
+            proc.close()
+        except ValueError:
+            pass
 
 
 def _run_mp(workload: ShardWorkload, plan: ShardPlan, obs: bool = False
@@ -371,7 +489,9 @@ def _run_mp(workload: ShardWorkload, plan: ShardPlan, obs: bool = False
                 conn.send(("epoch", epoch_end,
                            batches.get(shard_index, [])))
             t0 = time.perf_counter()  # via: ignore[VIA003] barrier stall is host wall time by definition; never digest-visible
-            replies = [conn.recv() for conn in pipes]
+            replies = [_recv_deadline(conn, procs[i], i, barriers,
+                                      epoch_end)
+                       for i, conn in enumerate(pipes)]
             epoch_stall = time.perf_counter() - t0  # via: ignore[VIA003] barrier stall is host wall time by definition; never digest-visible
             stall_s += epoch_stall
             outboxes = [reply[0] for reply in replies]
@@ -395,26 +515,26 @@ def _run_mp(workload: ShardWorkload, plan: ShardPlan, obs: bool = False
         snapshots = []
         for conn in pipes:
             conn.send(("collect",))
-        for conn in pipes:
-            partial, cpu_s, snapshot = conn.recv()
+        for i, conn in enumerate(pipes):
+            partial, cpu_s, snapshot = _recv_deadline(
+                conn, procs[i], i, barriers, epoch_start)
             partials.append(partial)
             worker_cpu_s.append(cpu_s)
             if snapshot is not None:
                 snapshots.append(snapshot)
         for conn in pipes:
             conn.send(("quit",))
-    except (EOFError, BrokenPipeError) as exc:
-        raise RuntimeError(
-            f"shard worker died mid-run ({exc!r}); "
-            "re-run with backend='inline' to reproduce deterministically"
-        ) from exc
+    except (EOFError, BrokenPipeError, OSError) as exc:
+        # A send-side pipe failure: attribute it to the first dead
+        # worker (the recv side raises typed errors itself).
+        from .recovery import ShardWorkerCrash
+        dead = next((i for i, p in enumerate(procs)
+                     if not p.is_alive()), -1)
+        exitcode = procs[dead].exitcode if dead >= 0 else None
+        raise ShardWorkerCrash(dead, barriers, epoch_start, exitcode,
+                               cause=repr(exc)) from exc
     finally:
-        for conn in pipes:
-            conn.close()
-        for proc in procs:
-            proc.join(timeout=10.0)
-            if proc.is_alive():
-                proc.terminate()
+        _shutdown_workers(pipes, procs)
     counters, work = workload.finalize(_sum_partials(partials))
     stats = _stats(plan, "mp", barriers, handoffs,
                    [p.get("events_executed", 0) for p in partials],

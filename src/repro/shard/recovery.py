@@ -1,0 +1,436 @@
+"""Fault-tolerant sharded execution: the recovery substrate.
+
+The conservative executor's determinism premise — a worker's state is a
+pure function of ``(workload bytes, plan, shard index, injected handoff
+history)`` — is exactly what makes crashed workers *recoverable*: a
+replacement process that rebuilds the replica and re-injects the same
+journaled batches at the same epoch boundaries reaches the same state,
+byte for byte.  This module holds the pieces the supervising parent
+needs to exploit that:
+
+* typed barrier-protocol errors (:class:`ShardWorkerTimeout`,
+  :class:`ShardWorkerCrash`, :class:`RestartBudgetExhausted`) raised by
+  the plain mp backend and handled by the supervisor;
+* :class:`EpochJournal` — every epoch's per-shard injection batch
+  (pickled at send time) plus the worker outbox digests observed at the
+  barrier, in memory with optional spill of checkpoint blobs to disk;
+* :class:`Checkpoint` — the journal prefix compacted into one pickled
+  blob per shard at every ``checkpoint_every`` barriers, bounding the
+  journal's per-epoch object overhead and amortizing replay-message
+  construction (``checkpoint_bytes`` is the measured cost);
+* :class:`FaultPlan` — deterministic process-level fault injection
+  (SIGKILL / SIGSTOP at named barriers) for the chaos campaigns and the
+  recovery test matrix;
+* :class:`RecoveryConfig` — the supervision knobs (per-barrier
+  deadline, restart budget, exponential backoff drawn from a dedicated
+  seeded RNG stream, checkpoint cadence).
+
+Replay determinism also leans on one process-level invariant: the
+supervising parent never *constructs* domain objects mid-run (it only
+pickles and unpickles them, which bypasses ``__init__``), so a
+replacement forked at restart time inherits the same module-global id
+counters the original worker inherited at launch — both replicas draw
+identical packet/quantum/genome id sequences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..substrates.sim.rng import derive_seed
+
+#: Per-barrier reply deadline for the *unsupervised* mp backend: far
+#: beyond any legitimate epoch, so it only trips on a genuinely hung
+#: worker — but trips instead of blocking ``recv()`` forever.
+DEFAULT_BARRIER_DEADLINE_S = 120.0
+
+#: The dedicated stream name feeding restart-backoff jitter.
+BACKOFF_STREAM = "shard.recovery.backoff"
+
+
+# ----------------------------------------------------------------------
+# typed barrier-protocol errors
+# ----------------------------------------------------------------------
+
+class ShardWorkerError(RuntimeError):
+    """One shard worker failed the barrier protocol.
+
+    Subclasses ``RuntimeError`` so callers of the pre-recovery executor
+    keep working; carries the shard index, the epoch ordinal and the
+    barrier's simulated time so the failure is attributable without
+    re-running.
+    """
+
+    def __init__(self, message: str, shard_index: int, epoch: int,
+                 barrier_time: float):
+        super().__init__(message)
+        self.shard_index = int(shard_index)
+        self.epoch = int(epoch)
+        self.barrier_time = float(barrier_time)
+
+
+class ShardWorkerTimeout(ShardWorkerError):
+    """A worker missed its per-barrier reply deadline (stall)."""
+
+    def __init__(self, shard_index: int, epoch: int, barrier_time: float,
+                 deadline_s: float):
+        super().__init__(
+            f"shard worker {shard_index} missed the {deadline_s:g}s reply "
+            f"deadline at epoch {epoch} (barrier t={barrier_time:g}); "
+            "the worker is stalled, not dead — re-run with "
+            "backend='inline' to reproduce deterministically",
+            shard_index, epoch, barrier_time)
+        self.deadline_s = float(deadline_s)
+
+
+class ShardWorkerCrash(ShardWorkerError):
+    """A worker process died mid-protocol (EOF / broken pipe)."""
+
+    def __init__(self, shard_index: int, epoch: int, barrier_time: float,
+                 exitcode: Optional[int], cause: str = ""):
+        detail = f" ({cause})" if cause else ""
+        super().__init__(
+            f"shard worker {shard_index} died at epoch {epoch} "
+            f"(barrier t={barrier_time:g}, exitcode={exitcode}){detail}; "
+            "re-run with backend='inline' to reproduce deterministically",
+            shard_index, epoch, barrier_time)
+        self.exitcode = exitcode
+
+
+class RestartBudgetExhausted(ShardWorkerError):
+    """The supervisor ran out of restarts; callers degrade to inline."""
+
+    def __init__(self, shard_index: int, epoch: int, barrier_time: float,
+                 budget: int):
+        super().__init__(
+            f"restart budget ({budget}) exhausted reviving shard "
+            f"{shard_index} at epoch {epoch}", shard_index, epoch,
+            barrier_time)
+        self.budget = int(budget)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+class RecoveryConfig:
+    """Supervision knobs for the fault-tolerant mp backend.
+
+    ``barrier_deadline_s`` bounds every per-barrier reply wait
+    (:meth:`multiprocessing.connection.Connection.poll`); a miss is a
+    *stall* and the worker is killed and replaced.  ``max_restarts`` is
+    the run-wide budget across all shards — exhausting it degrades the
+    run to the inline oracle instead of raising.  Backoff before each
+    respawn is exponential per shard with jitter drawn from the
+    dedicated :data:`BACKOFF_STREAM` seeded stream, so even wall-clock
+    pauses are a pure function of ``(seed, restart ordinal)``.
+    ``checkpoint_every`` compacts the epoch journal into pickled
+    checkpoint blobs every N barriers (0 disables checkpointing);
+    ``spill_dir`` writes those blobs to disk instead of holding them in
+    memory.  ``faults`` installs a deterministic :class:`FaultPlan`
+    (chaos campaigns, tests).
+    """
+
+    __slots__ = ("barrier_deadline_s", "max_restarts", "checkpoint_every",
+                 "backoff_base_s", "backoff_max_s", "spill_dir",
+                 "verify_replay_digests", "faults")
+
+    def __init__(self, barrier_deadline_s: float = 30.0,
+                 max_restarts: int = 3, checkpoint_every: int = 8,
+                 backoff_base_s: float = 0.05,
+                 backoff_max_s: float = 1.0,
+                 spill_dir: Optional[str] = None,
+                 verify_replay_digests: bool = True,
+                 faults: Optional["FaultPlan"] = None):
+        if barrier_deadline_s <= 0:
+            raise ValueError("barrier_deadline_s must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.barrier_deadline_s = float(barrier_deadline_s)
+        self.max_restarts = int(max_restarts)
+        self.checkpoint_every = int(checkpoint_every)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.spill_dir = spill_dir
+        self.verify_replay_digests = bool(verify_replay_digests)
+        self.faults = faults
+
+    def backoff_rng(self, seed: int) -> random.Random:
+        """The dedicated seeded stream for restart-backoff jitter."""
+        return random.Random(derive_seed(seed, BACKOFF_STREAM))
+
+    def __repr__(self) -> str:
+        return (f"<RecoveryConfig deadline={self.barrier_deadline_s:g}s "
+                f"budget={self.max_restarts} "
+                f"checkpoint_every={self.checkpoint_every}>")
+
+
+# ----------------------------------------------------------------------
+# deterministic fault injection (process level)
+# ----------------------------------------------------------------------
+
+#: SIGKILL the worker right after the epoch message is sent — it dies
+#: mid-epoch, detected while the parent awaits its reply.
+FAULT_KILL = "kill"
+#: SIGSTOP the worker after the epoch message is sent — it hangs, the
+#: per-barrier deadline trips, and the supervisor kills and replaces it.
+FAULT_STALL = "stall"
+#: SIGKILL the worker *after* its reply was received — the death lands
+#: between barriers (mid-handoff), detected at the next send/collect.
+FAULT_KILL_AFTER_REPLY = "kill-after-reply"
+
+FAULT_KINDS = (FAULT_KILL, FAULT_STALL, FAULT_KILL_AFTER_REPLY)
+
+
+class Fault:
+    """One scheduled process-level fault: ``kind`` applied to ``shard``
+    at epoch ordinal ``barrier`` (negative counts from the final
+    barrier, Python-index style: ``-1`` is the last epoch)."""
+
+    __slots__ = ("kind", "barrier", "shard", "fired")
+
+    def __init__(self, kind: str, barrier: int, shard: int):
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} "
+                             f"(known: {', '.join(FAULT_KINDS)})")
+        self.kind = kind
+        self.barrier = int(barrier)
+        self.shard = int(shard)
+        self.fired = False
+
+    def __repr__(self) -> str:
+        return (f"<Fault {self.kind} shard={self.shard} "
+                f"barrier={self.barrier}{' fired' if self.fired else ''}>")
+
+
+class FaultPlan:
+    """A deterministic schedule of process-level faults.
+
+    The supervisor applies faults itself (it owns the ``Process``
+    handles), at exact protocol points — after the epoch send for
+    ``kill``/``stall``, after the reply for ``kill-after-reply`` — so a
+    campaign's fault timeline is reproducible run over run.
+    """
+
+    __slots__ = ("faults",)
+
+    def __init__(self, faults: Sequence[Fault] = ()):
+        self.faults = list(faults)
+
+    def normalize(self, barrier_count: int) -> None:
+        """Resolve negative barrier ordinals against the actual epoch
+        count (``-1`` becomes the final barrier)."""
+        for fault in self.faults:
+            if fault.barrier < 0:
+                fault.barrier += barrier_count
+
+    def pending(self, kind: str, barrier: int) -> List[Fault]:
+        """Unfired faults of ``kind`` scheduled at ``barrier``."""
+        return [f for f in self.faults
+                if not f.fired and f.kind == kind and f.barrier == barrier]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan {self.faults!r}>"
+
+
+# ----------------------------------------------------------------------
+# partial digests
+# ----------------------------------------------------------------------
+
+def outbox_digest(outbox: Sequence[Any]) -> str:
+    """Canonical fingerprint of one epoch's outbox (the worker partial
+    digest journaled at every barrier).
+
+    Digests the *identity* of each diverted leg — arrival time, edge,
+    packet id and wire size — rather than pickled bytes, so the value
+    is stable across pickle round-trips and process generations while
+    still pinning the event content a replay must reproduce.
+    """
+    rows = [(repr(h.time), repr(h.from_node), repr(h.to_node),
+             getattr(h.packet, "packet_id", None),
+             getattr(h.packet, "size_bytes", None))
+            for h in outbox]
+    payload = json.dumps(rows, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# the epoch journal and its checkpoints
+# ----------------------------------------------------------------------
+
+class Checkpoint:
+    """The journal prefix up to (excluding) ``upto_epoch``, compacted
+    into one pickled blob per shard.
+
+    Worker state cannot be checkpointed as a memory image — live
+    simulators hold closures on the agenda — so a checkpoint is
+    *logical*: the replay stream a replacement needs, pre-pickled in
+    one contiguous blob.  Restoring = unpickling the blob and replaying
+    it, which determinism guarantees reaches the barrier-``upto_epoch``
+    state.  Blobs optionally spill to ``spill_dir``.
+    """
+
+    __slots__ = ("upto_epoch", "blobs", "paths", "bytes")
+
+    def __init__(self, upto_epoch: int, blobs: List[bytes],
+                 spill_dir: Optional[str] = None):
+        self.upto_epoch = int(upto_epoch)
+        self.bytes = sum(len(b) for b in blobs)
+        self.paths: Optional[List[str]] = None
+        if spill_dir is None:
+            self.blobs: Optional[List[bytes]] = blobs
+            return
+        self.blobs = None
+        os.makedirs(spill_dir, exist_ok=True)
+        self.paths = []
+        for shard_index, blob in enumerate(blobs):
+            path = os.path.join(
+                spill_dir,
+                f"ckpt-e{self.upto_epoch:06d}-s{shard_index}.pkl")
+            with open(path, "wb") as fh:
+                fh.write(blob)
+            self.paths.append(path)
+
+    def load(self, shard_index: int) -> List[Tuple[float, bytes,
+                                                   Optional[str]]]:
+        """The replay entries ``(epoch_end, batch_bytes, digest)`` for
+        one shard, from memory or the spill file."""
+        if self.blobs is not None:
+            return pickle.loads(self.blobs[shard_index])
+        assert self.paths is not None
+        with open(self.paths[shard_index], "rb") as fh:
+            return pickle.loads(fh.read())
+
+    def discard(self) -> None:
+        """Drop the blob storage (superseded by a newer checkpoint)."""
+        self.blobs = None
+        if self.paths:
+            for path in self.paths:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            self.paths = None
+
+    def __repr__(self) -> str:
+        where = "spilled" if self.paths is not None else "in-memory"
+        return (f"<Checkpoint upto_epoch={self.upto_epoch} "
+                f"bytes={self.bytes} {where}>")
+
+
+class _EpochEntry:
+    """One journaled epoch: end time, per-shard injection batches
+    (pickled at send time) and per-shard outbox digests (stamped when
+    the barrier replies arrive)."""
+
+    __slots__ = ("epoch_end", "batch_bytes", "digests")
+
+    def __init__(self, epoch_end: float, batch_bytes: List[bytes],
+                 k: int):
+        self.epoch_end = float(epoch_end)
+        self.batch_bytes = batch_bytes
+        self.digests: List[Optional[str]] = [None] * k
+
+
+class EpochJournal:
+    """The supervisor's flight log of the barrier protocol.
+
+    ``record_send`` journals the injection batches as each epoch opens;
+    ``record_digest`` stamps the worker partial digests as replies
+    arrive.  ``replay_entries(shard, upto)`` assembles the exact replay
+    stream a replacement for ``shard`` needs to reach barrier ``upto``
+    — checkpoint blob first (if one covers a prefix), live tail after.
+    ``checkpoint(upto)`` compacts the covered prefix and drops its
+    per-epoch entries, bounding memory on long runs.
+    """
+
+    def __init__(self, k: int, spill_dir: Optional[str] = None):
+        self.k = int(k)
+        self.spill_dir = spill_dir
+        #: epoch ordinal -> entry, for epochs after the checkpoint.
+        self.entries: Dict[int, _EpochEntry] = {}
+        self.checkpoint_state: Optional[Checkpoint] = None
+        self.checkpoints_taken = 0
+        self.checkpoint_bytes_total = 0
+
+    # -- recording ---------------------------------------------------------
+    def record_send(self, epoch: int, epoch_end: float,
+                    batches: Dict[int, List[Any]]) -> None:
+        self.entries[epoch] = _EpochEntry(
+            epoch_end,
+            [pickle.dumps(batches.get(i, [])) for i in range(self.k)],
+            self.k)
+
+    def record_digest(self, epoch: int, shard_index: int,
+                      digest: str) -> None:
+        entry = self.entries.get(epoch)
+        if entry is not None:
+            entry.digests[shard_index] = digest
+
+    # -- replay ------------------------------------------------------------
+    def replay_entries(self, shard_index: int, upto_epoch: int
+                       ) -> List[Tuple[float, bytes, Optional[str]]]:
+        """``(epoch_end, batch_bytes, expected_outbox_digest)`` for
+        epochs ``[0, upto_epoch)`` of one shard, oldest first."""
+        out: List[Tuple[float, bytes, Optional[str]]] = []
+        start = 0
+        ckpt = self.checkpoint_state
+        if ckpt is not None and ckpt.upto_epoch <= upto_epoch:
+            out.extend(ckpt.load(shard_index))
+            start = ckpt.upto_epoch
+        for epoch in range(start, upto_epoch):
+            entry = self.entries[epoch]
+            out.append((entry.epoch_end, entry.batch_bytes[shard_index],
+                        entry.digests[shard_index]))
+        return out
+
+    # -- checkpointing -----------------------------------------------------
+    def checkpoint(self, upto_epoch: int) -> int:
+        """Compact epochs ``[0, upto_epoch)`` into per-shard blobs;
+        returns the blob byte count (the ``checkpoint_bytes`` cost)."""
+        blobs = [pickle.dumps(self.replay_entries(i, upto_epoch),
+                              protocol=pickle.HIGHEST_PROTOCOL)
+                 for i in range(self.k)]
+        previous = self.checkpoint_state
+        self.checkpoint_state = Checkpoint(upto_epoch, blobs,
+                                           spill_dir=self.spill_dir)
+        if previous is not None:
+            previous.discard()
+        for epoch in list(self.entries):
+            if epoch < upto_epoch:
+                del self.entries[epoch]
+        self.checkpoints_taken += 1
+        self.checkpoint_bytes_total += self.checkpoint_state.bytes
+        return self.checkpoint_state.bytes
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def journal_bytes(self) -> int:
+        """Live journal footprint: tail batches + current checkpoint."""
+        tail = sum(len(b) for entry in self.entries.values()
+                   for b in entry.batch_bytes)
+        ckpt = self.checkpoint_state
+        held = (ckpt.bytes if ckpt is not None and ckpt.blobs is not None
+                else 0)
+        return tail + held
+
+    def close(self) -> None:
+        if self.checkpoint_state is not None:
+            self.checkpoint_state.discard()
+            self.checkpoint_state = None
+        self.entries.clear()
+
+    def __repr__(self) -> str:
+        return (f"<EpochJournal k={self.k} tail={len(self.entries)} "
+                f"checkpoints={self.checkpoints_taken} "
+                f"bytes={self.journal_bytes}>")

@@ -247,6 +247,89 @@ class TestExecutor:
         assert stats["barrier_stall_s"] >= 0.0
 
 
+class TestEpochEnds:
+    """Barrier-schedule edges: the epoch protocol's only arithmetic."""
+
+    def test_horizon_not_a_multiple_terminates_at_horizon(self):
+        from repro.shard.executor import _epoch_ends
+        ends = _epoch_ends(1.0, 0.3)
+        assert ends == pytest.approx([0.3, 0.6, 0.9, 1.0])
+        assert ends[-1] == 1.0
+
+    def test_exact_multiple_has_no_stub_epoch(self):
+        from repro.shard.executor import _epoch_ends
+        assert _epoch_ends(1.0, 0.25) == pytest.approx(
+            [0.25, 0.5, 0.75, 1.0])
+
+    def test_lookahead_beyond_horizon_is_one_epoch(self):
+        from repro.shard.executor import _epoch_ends
+        assert _epoch_ends(2.0, 5.0) == [2.0]
+        assert _epoch_ends(2.0, float("inf")) == [2.0]
+
+    def test_zero_lookahead_rejected(self):
+        from repro.shard.executor import _epoch_ends
+        with pytest.raises(ValueError, match="lookahead must be positive"):
+            _epoch_ends(1.0, 0.0)
+        with pytest.raises(ValueError, match="lookahead must be positive"):
+            _epoch_ends(1.0, -0.1)
+
+
+class _RoutePacket:
+    """Module-level so Handoff cargo survives pickling in the tests."""
+
+    def __init__(self, pid):
+        self.packet_id = pid
+
+
+class TestCanonicalRouting:
+    """_route's (time, source shard, send order) merge is what keeps
+    injection deterministic; it must survive the mp wire format."""
+
+    @staticmethod
+    def _plan(assignment):
+        class _Plan:
+            pass
+        plan = _Plan()
+        plan.assignment = assignment
+        return plan
+
+    @staticmethod
+    def _handoff(t, dst, pid):
+        return Handoff(t, ("n", 0), dst, _RoutePacket(pid))
+
+    def test_merge_order_is_time_then_shard_then_send_order(self):
+        from repro.shard.executor import _route
+        plan = self._plan({("n", 1): 0, ("n", 2): 0})
+        # Shard 1 sent earlier wall-order, but shard 0's handoff at the
+        # same simulated time must come first; within a shard, send
+        # order breaks the remaining tie.
+        outboxes = [
+            [self._handoff(0.5, ("n", 1), 10),
+             self._handoff(0.2, ("n", 2), 11)],
+            [self._handoff(0.2, ("n", 1), 20),
+             self._handoff(0.2, ("n", 2), 21)],
+        ]
+        batches = _route(plan, outboxes)
+        ids = [h.packet.packet_id for h in batches[0]]
+        assert ids == [11, 20, 21, 10]
+
+    def test_order_survives_pickle_round_trip(self):
+        from repro.shard.executor import _route
+        plan = self._plan({("n", 1): 1, ("n", 2): 1})
+        outboxes = [[self._handoff(0.1 * i, ("n", 1 + i % 2), i)
+                     for i in range(6)],
+                    [self._handoff(0.05 + 0.1 * i, ("n", 1 + i % 2), 100 + i)
+                     for i in range(6)]]
+        direct = _route(plan, outboxes)
+        wired = _route(plan, [pickle.loads(pickle.dumps(ob))
+                              for ob in outboxes])
+        for dest in direct:
+            assert [h.packet.packet_id for h in wired[dest]] \
+                == [h.packet.packet_id for h in direct[dest]]
+            assert [h.time for h in wired[dest]] \
+                == [h.time for h in direct[dest]]
+
+
 class TestShardFabric:
     def test_oracle_mode_owns_everything(self):
         wn_factory = shard_fabric_factory(None)

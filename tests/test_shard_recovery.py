@@ -1,0 +1,504 @@
+"""repro.shard.recovery: fault-tolerant sharded execution.
+
+The contract under test sharpens the shard invariant: K-shard counters
+must equal the single-shard oracle's **even when shard workers are
+SIGKILLed or SIGSTOPped mid-run** — the supervisor respawns the dead
+shard, replays its journaled handoff history, and the barrier protocol
+resumes without a trace in the digest.  When the restart budget runs
+out the run must *degrade* (deterministic inline fallback, flagged),
+never crash.
+"""
+
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.perf.harness import load_results, run_scenario
+from repro.perf.scenarios import SHARD_WORKLOADS
+from repro.resilience import run_campaign
+from repro.shard import (EpochJournal, Fault, FaultPlan, Handoff,
+                         RecoveryConfig, RestartBudgetExhausted,
+                         ShardWorkerCrash, ShardWorkerError,
+                         ShardWorkerTimeout, outbox_digest, run_sharded,
+                         run_single)
+from repro.shard.executor import _recv_deadline
+
+#: Fast restart ladder for tests — chaos on purpose shouldn't idle.
+FAST = dict(backoff_base_s=0.005, backoff_max_s=0.02)
+
+
+def _fault_config(*faults, **kw):
+    kw.setdefault("barrier_deadline_s", 30.0)
+    return RecoveryConfig(faults=FaultPlan(list(faults)), **FAST, **kw)
+
+
+# ----------------------------------------------------------------------
+# the acceptance proof: digest-identical recovery
+# ----------------------------------------------------------------------
+
+class TestDigestIdenticalRecovery:
+    """Every shardable scenario × K ∈ {2, 4} × {SIGKILL, stall}: the
+    supervised run finishes byte-identical to the fault-free single-
+    shard oracle."""
+
+    @pytest.mark.parametrize("name", sorted(SHARD_WORKLOADS))
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_sigkill_recovers_digest_identical(self, name, k):
+        cls = SHARD_WORKLOADS[name]
+        base_counters, base_work = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill", 2, k - 1))
+        counters, work, stats = run_sharded(cls(42, "tiny"), k,
+                                            backend="mp",
+                                            recovery=config)
+        assert counters == base_counters
+        assert work == base_work
+        rec = stats["recovery"]
+        assert rec["worker_restarts"] >= 1
+        assert rec["replayed_epochs"] >= 1
+        assert rec["partial_digest_mismatches"] == 0
+        assert not stats.get("degraded")
+
+    @pytest.mark.parametrize("name", sorted(SHARD_WORKLOADS))
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_stall_recovers_digest_identical(self, name, k):
+        cls = SHARD_WORKLOADS[name]
+        base_counters, base_work = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("stall", 1, 0),
+                               barrier_deadline_s=0.3)
+        counters, work, stats = run_sharded(cls(42, "tiny"), k,
+                                            backend="mp",
+                                            recovery=config)
+        assert counters == base_counters
+        assert work == base_work
+        rec = stats["recovery"]
+        assert rec["stall_kills"] >= 1
+        assert rec["worker_restarts"] >= 1
+        assert not stats.get("degraded")
+
+    def test_kill_during_handoff_recovers(self):
+        """Death *between* barriers — outbox already routed — is
+        detected at the next epoch send and replayed through a half-
+        exchanged barrier."""
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        base_counters, _ = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill-after-reply", 2, 1))
+        counters, _, stats = run_sharded(cls(42, "tiny"), 2,
+                                         backend="mp", recovery=config)
+        assert counters == base_counters
+        assert stats["recovery"]["worker_restarts"] == 1
+
+    def test_kill_after_final_barrier_recovers_at_collect(self):
+        """Death after the last barrier's reply forces a full-history
+        replay at collect time."""
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        base_counters, _ = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill-after-reply", -1, 1))
+        counters, _, stats = run_sharded(cls(42, "tiny"), 2,
+                                         backend="mp", recovery=config)
+        assert counters == base_counters
+        rec = stats["recovery"]
+        assert rec["worker_restarts"] == 1
+        assert rec["replayed_epochs"] == stats["barriers"]
+
+    def test_multiple_faults_same_run(self):
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        base_counters, _ = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill", 2, 0), Fault("kill", 10, 1),
+                               max_restarts=5)
+        counters, _, stats = run_sharded(cls(42, "tiny"), 2,
+                                         backend="mp", recovery=config)
+        assert counters == base_counters
+        assert stats["recovery"]["worker_restarts"] == 2
+
+    def test_no_fault_supervised_matches_plain_mp(self):
+        """Supervision is pure overhead when nothing fails: same
+        counters as the unsupervised mp backend, zero restarts."""
+        cls = SHARD_WORKLOADS["shuttle-storm"]
+        plain, _, _ = run_sharded(cls(42, "tiny"), 2, backend="mp")
+        supervised, _, stats = run_sharded(
+            cls(42, "tiny"), 2, backend="mp", recovery=RecoveryConfig())
+        assert supervised == plain
+        assert stats["supervised"] is True
+        assert stats["recovery"]["worker_restarts"] == 0
+
+    def test_checkpointed_recovery(self):
+        """A tight checkpoint cadence compacts the journal; recovery
+        through a checkpointed prefix is still digest-identical."""
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        base_counters, _ = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill", 30, 1), checkpoint_every=4)
+        counters, _, stats = run_sharded(cls(42, "tiny"), 2,
+                                         backend="mp", recovery=config)
+        assert counters == base_counters
+        rec = stats["recovery"]
+        assert rec["checkpoints"] > 0
+        assert rec["checkpoint_bytes"] > 0
+        assert rec["replayed_epochs"] == 30
+
+    def test_spilled_checkpoints(self, tmp_path):
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        base_counters, _ = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill", 30, 0), checkpoint_every=8,
+                               spill_dir=str(tmp_path))
+        counters, _, stats = run_sharded(cls(42, "tiny"), 2,
+                                         backend="mp", recovery=config)
+        assert counters == base_counters
+        assert stats["recovery"]["checkpoints"] > 0
+        assert stats["recovery"]["checkpoint_bytes"] > 0
+        # The journal unlinks its spill blobs when the run closes.
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCommittedBaselineRecovery:
+    """Recovery digests gate against the committed baseline — the exact
+    check the CI recovery-smoke job runs."""
+
+    def test_worker_kill_matches_committed_digest(self, repo_baseline):
+        entry = repo_baseline["shard-scaling"]
+        config = _fault_config(Fault("kill", 3, 1))
+        result = run_scenario("shard-scaling", seed=entry["seed"],
+                              scale=entry["scale"], repeats=1,
+                              workers=2, backend="mp", recovery=config)
+        assert result.digest == entry["digest"]
+        assert result.shard_stats["recovery"]["worker_restarts"] == 1
+
+    @pytest.fixture(scope="class")
+    def repo_baseline(self):
+        path = os.path.join(os.path.dirname(__file__), "..",
+                            "BENCH_baseline.json")
+        return {entry["scenario"]: entry
+                for entry in load_results(path)}
+
+
+# ----------------------------------------------------------------------
+# degradation: budget exhaustion must not crash
+# ----------------------------------------------------------------------
+
+class TestDegradation:
+    def test_budget_exhaustion_degrades_to_inline(self):
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        base_counters, base_work = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill", 2, 0), max_restarts=0)
+        counters, work, stats = run_sharded(cls(42, "tiny"), 2,
+                                            backend="mp",
+                                            recovery=config)
+        assert counters == base_counters
+        assert work == base_work
+        assert stats["degraded"] is True
+        assert stats["backend"] == "inline"
+        assert stats["requested_backend"] == "mp"
+        assert "restart budget" in stats["degrade_reason"]
+        assert stats["recovery"]["degraded"] is True
+
+    def test_degradation_is_deterministic(self):
+        cls = SHARD_WORKLOADS["shuttle-storm"]
+        runs = []
+        for _ in range(2):
+            config = _fault_config(Fault("kill", 1, 1), max_restarts=0)
+            counters, work, stats = run_sharded(cls(7, "tiny"), 2,
+                                                backend="mp",
+                                                recovery=config)
+            assert stats["degraded"]
+            runs.append((counters, work))
+        assert runs[0] == runs[1]
+        assert runs[0] == run_single(cls(7, "tiny"))
+
+    def test_budget_counts_run_wide(self):
+        """Three kills against a budget of two: the third exhausts it
+        and the run degrades — still digest-identical."""
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        base_counters, _ = run_single(cls(42, "tiny"))
+        config = _fault_config(Fault("kill", 1, 0), Fault("kill", 3, 1),
+                               Fault("kill", 5, 0), max_restarts=2)
+        counters, _, stats = run_sharded(cls(42, "tiny"), 2,
+                                         backend="mp", recovery=config)
+        assert counters == base_counters
+        assert stats["degraded"] is True
+        assert stats["recovery"]["worker_restarts"] == 2
+
+
+# ----------------------------------------------------------------------
+# typed barrier errors (recovery disabled)
+# ----------------------------------------------------------------------
+
+class ExplodingWorkload(SHARD_WORKLOADS["shard-scaling"]):
+    """A worker that calls ``os._exit`` mid-epoch.
+
+    DANGER: only for the *unsupervised* mp backend.  Under supervision
+    the replacement would explode too, exhaust the budget, and the
+    inline fallback would then run the workload — and its ``os._exit``
+    — in the test process itself.
+    """
+
+    def setup(self, ctx, owned):
+        super().setup(ctx, owned)
+        if owned is not None:   # never in the single-shard oracle
+            ctx["sim"].call_at(0.5, lambda: os._exit(13),
+                               name="explode")
+
+
+class TestTypedBarrierErrors:
+    def test_worker_crash_raises_typed_error(self):
+        with pytest.raises(ShardWorkerCrash) as err:
+            run_sharded(ExplodingWorkload(42, "tiny"), 2, backend="mp")
+        assert err.value.shard_index in (0, 1)
+        assert "inline" in str(err.value)   # points at the repro path
+        # Typed errors still satisfy pre-recovery except clauses.
+        assert isinstance(err.value, RuntimeError)
+        assert isinstance(err.value, ShardWorkerError)
+
+    def test_crash_leaves_no_zombie_workers(self):
+        with pytest.raises(ShardWorkerCrash):
+            run_sharded(ExplodingWorkload(42, "tiny"), 2, backend="mp")
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() \
+                and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+    def test_recv_deadline_timeout_carries_context(self):
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=time.sleep, args=(30.0,), daemon=True)
+        proc.start()
+        child.close()
+        try:
+            with pytest.raises(ShardWorkerTimeout) as err:
+                _recv_deadline(parent, proc, 1, 7, 3.5, deadline_s=0.2)
+            assert err.value.shard_index == 1
+            assert err.value.epoch == 7
+            assert err.value.barrier_time == 3.5
+            assert err.value.deadline_s == 0.2
+        finally:
+            proc.kill()
+            proc.join(timeout=10.0)
+            parent.close()
+
+    def test_recv_deadline_crash_carries_exitcode(self):
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=lambda: os._exit(9), daemon=True)
+        proc.start()
+        child.close()
+        proc.join(timeout=10.0)
+        try:
+            with pytest.raises(ShardWorkerCrash) as err:
+                _recv_deadline(parent, proc, 0, 3, 1.0, deadline_s=5.0)
+            assert err.value.epoch == 3
+        finally:
+            parent.close()
+            proc.join(timeout=10.0)
+
+
+# ----------------------------------------------------------------------
+# the epoch journal
+# ----------------------------------------------------------------------
+
+class _BenchPacket:
+    """Minimal picklable stand-in for a diverted packet."""
+
+    def __init__(self, pid):
+        self.packet_id = pid
+        self.size_bytes = 64
+
+
+def _handoff(t, src, dst, packet_id):
+    return Handoff(t, src, dst, _BenchPacket(packet_id))
+
+
+class TestEpochJournal:
+    def _journal(self, epochs=6, k=2):
+        journal = EpochJournal(k)
+        for epoch in range(epochs):
+            batches = {i: [_handoff(epoch + 0.5, (0, 0), (0, 1),
+                                    epoch * 10 + i)]
+                       for i in range(k)}
+            journal.record_send(epoch, float(epoch + 1), batches)
+            for i in range(k):
+                journal.record_digest(epoch, i, f"digest-{epoch}-{i}")
+        return journal
+
+    def test_replay_entries_cover_prefix_in_order(self):
+        journal = self._journal()
+        entries = journal.replay_entries(1, 4)
+        assert [e[0] for e in entries] == [1.0, 2.0, 3.0, 4.0]
+        assert [e[2] for e in entries] == [f"digest-{i}-1"
+                                           for i in range(4)]
+        batch = pickle.loads(entries[2][1])
+        assert batch[0].packet.packet_id == 21
+
+    def test_checkpoint_compacts_and_replays_identically(self):
+        journal = self._journal()
+        before = journal.replay_entries(0, 6)
+        nbytes = journal.checkpoint(4)
+        assert nbytes > 0
+        assert sorted(journal.entries) == [4, 5]
+        assert journal.replay_entries(0, 6) == before
+        assert journal.checkpoints_taken == 1
+
+    def test_second_checkpoint_supersedes_first(self):
+        journal = self._journal()
+        journal.checkpoint(2)
+        journal.checkpoint(4)
+        assert journal.checkpoints_taken == 2
+        assert journal.replay_entries(1, 6) == self._journal() \
+            .replay_entries(1, 6)
+
+    def test_spill_writes_and_discards_files(self, tmp_path):
+        journal = EpochJournal(2, spill_dir=str(tmp_path))
+        for epoch in range(4):
+            journal.record_send(epoch, float(epoch + 1),
+                                {0: [], 1: []})
+        journal.checkpoint(2)
+        assert len(list(tmp_path.iterdir())) == 2
+        journal.checkpoint(4)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert len(names) == 2 and all("e000004" in n for n in names)
+        journal.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_journal_bytes_shrinks_after_spill(self, tmp_path):
+        inmem = self._journal()
+        spilled = EpochJournal(2, spill_dir=str(tmp_path))
+        for epoch in range(6):
+            batches = {i: [_handoff(epoch + 0.5, (0, 0), (0, 1),
+                                    epoch * 10 + i)] for i in range(2)}
+            spilled.record_send(epoch, float(epoch + 1), batches)
+        inmem.checkpoint(6)
+        spilled.checkpoint(6)
+        assert spilled.journal_bytes < inmem.journal_bytes
+
+
+# ----------------------------------------------------------------------
+# fault plans and configuration
+# ----------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("segfault", 0, 0)
+
+    def test_negative_barriers_normalize_from_end(self):
+        plan = FaultPlan([Fault("kill", -1, 0), Fault("stall", -3, 1)])
+        plan.normalize(10)
+        assert [f.barrier for f in plan.faults] == [9, 7]
+
+    def test_pending_excludes_fired(self):
+        plan = FaultPlan([Fault("kill", 2, 0), Fault("kill", 2, 1)])
+        pending = plan.pending("kill", 2)
+        assert len(pending) == 2
+        pending[0].fired = True
+        assert len(plan.pending("kill", 2)) == 1
+        assert plan.pending("stall", 2) == []
+
+
+class TestRecoveryConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(barrier_deadline_s=0.0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(max_restarts=-1)
+        with pytest.raises(ValueError):
+            RecoveryConfig(checkpoint_every=-1)
+
+    def test_backoff_stream_is_seeded(self):
+        config = RecoveryConfig()
+        a = [config.backoff_rng(42).random() for _ in range(3)]
+        b = [config.backoff_rng(42).random() for _ in range(3)]
+        c = [config.backoff_rng(43).random() for _ in range(3)]
+        assert a == b
+        assert a != c
+
+    def test_budget_error_carries_context(self):
+        err = RestartBudgetExhausted(1, 5, 2.5, 3)
+        assert (err.shard_index, err.epoch, err.budget) == (1, 5, 3)
+
+
+class TestOutboxDigest:
+    def test_stable_across_pickle_round_trip(self):
+        outbox = [_handoff(1.5, (0, 0), (0, 1), 7),
+                  _handoff(1.7, (1, 0), (1, 1), 8)]
+        clone = pickle.loads(pickle.dumps(outbox))
+        assert outbox_digest(clone) == outbox_digest(outbox)
+
+    def test_sensitive_to_content(self):
+        a = [_handoff(1.5, (0, 0), (0, 1), 7)]
+        b = [_handoff(1.5, (0, 0), (0, 1), 8)]
+        assert outbox_digest(a) != outbox_digest(b)
+        assert outbox_digest([]) != outbox_digest(a)
+
+
+# ----------------------------------------------------------------------
+# telemetry: recovery is visible, never digest-visible
+# ----------------------------------------------------------------------
+
+class TestRecoveryObservability:
+    def test_recovered_run_keeps_metrics_digest(self):
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        _, _, clean = run_sharded(cls(42, "tiny"), 2, backend="inline",
+                                  obs=True)
+        config = _fault_config(Fault("kill", 2, 1))
+        _, _, stats = run_sharded(cls(42, "tiny"), 2, backend="mp",
+                                  obs=True, recovery=config)
+        merged = stats["obs"]
+        assert merged.metrics_digest() == clean["obs"].metrics_digest()
+
+    def test_restart_lands_in_flight_and_spans(self):
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        config = _fault_config(Fault("kill", 2, 1))
+        _, _, stats = run_sharded(cls(42, "tiny"), 2, backend="mp",
+                                  obs=True, recovery=config)
+        merged = stats["obs"]
+        assert merged.recovery is not None
+        assert merged.recovery["worker_restarts"] == 1
+        supervisor_entries = [r for r in merged.flight_records
+                              if r.get("shard") == 2]
+        kinds = {r["kind"] for r in supervisor_entries}
+        assert {"fault", "restart", "replay"} <= kinds
+        names = {r["name"] for r in merged.span_records}
+        assert {"shard.restart", "shard.replay"} <= names
+
+    def test_recovery_gauges_in_merged_registry(self):
+        cls = SHARD_WORKLOADS["shard-scaling"]
+        config = _fault_config(Fault("kill", 2, 0))
+        _, _, stats = run_sharded(cls(42, "tiny"), 2, backend="mp",
+                                  obs=True, recovery=config)
+        samples = {rec["name"]: rec
+                   for rec in stats["obs"].registry.collect()
+                   if rec["name"].startswith("repro_shard_")}
+        assert "repro_shard_worker_restarts" in samples
+        assert "repro_shard_recovery_replay_epochs" in samples
+        assert "repro_shard_checkpoint_bytes" in samples
+        assert "repro_shard_recovery_degraded" in samples
+
+
+# ----------------------------------------------------------------------
+# chaos campaigns
+# ----------------------------------------------------------------------
+
+class TestWorkerFaultCampaigns:
+    @pytest.mark.parametrize("name", ["worker-kill", "worker-stall",
+                                      "worker-kill-during-handoff",
+                                      "worker-budget-exhausted"])
+    def test_campaign_passes(self, name):
+        result = run_campaign(name, seed=42)
+        assert result.ok, result.summary()
+        assert result.recovery is not None
+        assert result.counts["run_digest"] \
+            == result.counts["run_digest_single"]
+
+    def test_restarts_asserted_with_digest_unchanged(self):
+        result = run_campaign("worker-kill", seed=42)
+        assert result.recovery["worker_restarts"] > 0
+        assert result.counts["run_digest"] \
+            == result.counts["run_digest_single"]
+        payload = result.to_dict()
+        assert payload["recovery"]["worker_restarts"] > 0
+
+    def test_campaign_digest_reproducible(self):
+        a = run_campaign("worker-kill", seed=11, observability=False)
+        b = run_campaign("worker-kill", seed=11, observability=False)
+        assert a.digest == b.digest
