@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline bench-parallel \
 	examples verify demo figures obs-smoke obs-parallel-smoke \
-	chaos-smoke recovery-smoke lint all clean
+	chaos-smoke recovery-smoke lint shardcheck sanitize-smoke \
+	all clean
 
 install:
 	pip install -e .
@@ -93,13 +94,44 @@ obs-parallel-smoke:
 # skipped with a notice otherwise, so the target works in minimal
 # containers.  CI installs both, so all three gates bind there.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro lint src/ --statistics
+	PYTHONPATH=src $(PYTHON) -m repro lint src/ tests/ benchmarks/ \
+		--statistics
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests; \
 	else echo "lint: ruff not installed, skipping"; fi
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy; \
 	else echo "lint: mypy not installed, skipping"; fi
+
+# Whole-program shard-safety gate: cross-file analysis of the pickle
+# boundary, worker-reachable mutable globals, recovery-metric digest
+# hygiene, and RNG seed discipline (rules VIA012+).  Unlike `lint`,
+# which judges files in isolation, this builds the import/call graph
+# and only flags hazards actually reachable from shard entry points.
+shardcheck:
+	PYTHONPATH=src $(PYTHON) -m repro shardcheck src/ --statistics
+	@echo "shardcheck: worker-reachable code is shard-safe"
+
+# Determinism-sanitizer gate, three legs: (1) a taped run of every
+# scenario must reproduce the committed sanitizer-off baseline digest
+# (recording never perturbs a draw); (2) an optimizations-off A/B diff
+# must find zero divergent draws; (3) a deliberately injected draw
+# perturbation MUST be caught and localized to its stream + call site
+# (the detector detects).
+sanitize-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro sanitize --all --scale short \
+		--compare BENCH_baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro sanitize event-loop \
+		--scale tiny --against no-opt
+	@if PYTHONPATH=src $(PYTHON) -m repro sanitize event-loop \
+		--scale tiny --inject perf.event_loop@5 \
+		> /tmp/sanitize-inject.txt; then \
+		echo "sanitize-smoke: injected divergence NOT detected"; \
+		exit 1; \
+	else \
+		grep -q "first divergent draw" /tmp/sanitize-inject.txt; \
+	fi
+	@echo "sanitize-smoke: digests neutral, injection localized"
 
 # Shortest chaos campaign at a fixed seed: exits non-zero if any
 # resilience invariant (no silent loss, no double-apply, delivery

@@ -24,6 +24,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -171,6 +172,46 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="append a per-rule tally to the text report")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    shardcheck = sub.add_parser(
+        "shardcheck",
+        help="whole-program shard-safety analysis (rules VIA012+)")
+    shardcheck.add_argument("paths", nargs="*", default=None,
+                            help="files/directories to analyze "
+                                 "(default: the installed repro package)")
+    shardcheck.add_argument("--format", choices=("text", "json"),
+                            default="text")
+    shardcheck.add_argument("--select", default=None, metavar="RULES",
+                            help="comma-separated rule ids (e.g. "
+                                 "VIA012,VIA013)")
+    shardcheck.add_argument("--statistics", action="store_true",
+                            help="append a per-rule tally to the text "
+                                 "report")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="determinism sanitizer: tape two runs, diff the draws")
+    sanitize.add_argument("scenario", nargs="?", default=None,
+                          help="scenario to sanitize (see bench --list)")
+    sanitize.add_argument("--seed", type=int, default=42)
+    sanitize.add_argument("--scale",
+                          choices=("tiny", "short", "medium", "full"),
+                          default="short")
+    sanitize.add_argument("--against",
+                          choices=("self", "no-opt", "obs"),
+                          default="self",
+                          help="what run B varies (default: self)")
+    sanitize.add_argument("--inject", default=None, metavar="STREAM@N",
+                          help="perturb the Nth draw of STREAM in run B "
+                               "(divergence-localization proof)")
+    sanitize.add_argument("--all", action="store_true",
+                          help="taped digest-neutrality sweep over the "
+                               "whole scenario catalog (no A/B diff)")
+    sanitize.add_argument("--compare", default=None, metavar="BASELINE",
+                          help="also require run digests to match this "
+                               "committed BENCH baseline")
+    sanitize.add_argument("--json", action="store_true",
+                          help="emit the report as JSON on stdout")
 
     shard = sub.add_parser(
         "shard", help="inspect the deterministic shard partitioner")
@@ -549,6 +590,117 @@ def cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_shardcheck(args) -> int:
+    from .staticcheck import (LintError, package_root, render_json,
+                              render_text, shardcheck_paths)
+
+    select = ([part.strip() for part in args.select.split(",")
+               if part.strip()] if args.select else None)
+    paths = args.paths or [str(package_root())]
+    try:
+        findings = shardcheck_paths(paths, select=select)
+    except LintError as exc:
+        print(f"shardcheck: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, statistics=args.statistics))
+    return 1 if findings else 0
+
+
+def cmd_sanitize(args) -> int:
+    from .perf.harness import load_results, run_sanitized, run_scenario
+    from .perf.scenarios import SCENARIOS
+    from .sanitize import Injection, taped
+
+    baseline = None
+    if args.compare:
+        baseline = {(e["scenario"], e["seed"], e["scale"]): e["digest"]
+                    for e in load_results(args.compare)}
+
+    def baseline_verdict(scenario: str, digest: str):
+        key = (scenario, args.seed, args.scale)
+        expected = baseline.get(key)
+        if expected is None:
+            return None, (f"~ {scenario}: no baseline entry for "
+                          f"seed={args.seed} scale={args.scale}")
+        if expected == digest:
+            return True, (f"✓ {scenario}: sanitized digest {digest} "
+                          f"== baseline")
+        return False, (f"✗ {scenario}: sanitized digest {digest} "
+                       f"!= baseline {expected}")
+
+    if args.all:
+        if args.scenario is not None:
+            print("sanitize: --all takes no scenario argument",
+                  file=sys.stderr)
+            return 2
+        ok = True
+        payload = []
+        for name in sorted(SCENARIOS):
+            with taped() as tape:
+                result = run_scenario(name, seed=args.seed,
+                                      scale=args.scale)
+            line = (f"  {name}: digest {result.digest}, "
+                    f"{tape.summary()}")
+            verdict = None
+            if baseline is not None:
+                verdict, line = baseline_verdict(name, result.digest)
+                ok = ok and verdict is not False
+            payload.append({"scenario": name, "digest": result.digest,
+                            "draws": len(tape.draws),
+                            "merges": len(tape.merges),
+                            "baseline_match": verdict})
+            if not args.json:
+                print(line)
+        if args.json:
+            print(json.dumps({"mode": "all", "seed": args.seed,
+                              "scale": args.scale, "ok": ok,
+                              "scenarios": payload},
+                             indent=2, sort_keys=True))
+        elif ok:
+            print("sanitize: taped digests match the sanitizer-off "
+                  "baseline" if baseline is not None else
+                  "sanitize: taped sweep complete")
+        return 0 if ok else 1
+
+    if args.scenario is None:
+        print("sanitize: a scenario (or --all) is required",
+              file=sys.stderr)
+        return 2
+    try:
+        inject = (Injection.parse(args.inject) if args.inject
+                  else None)
+    except ValueError as exc:
+        print(f"sanitize: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_sanitized(args.scenario, seed=args.seed,
+                               scale=args.scale, against=args.against,
+                               inject=inject)
+    except KeyError as exc:
+        print(f"sanitize: {exc.args[0]}", file=sys.stderr)
+        return 2
+    ok = report.ok
+    lines = [] if args.json else [report.render()]
+    base_line = None
+    if baseline is not None:
+        verdict, base_line = baseline_verdict(args.scenario,
+                                              report.digest_a)
+        ok = ok and verdict is not False
+    if args.json:
+        payload = report.to_dict()
+        payload["baseline_line"] = base_line
+        payload["ok"] = ok
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if base_line is not None:
+            lines.append(base_line)
+        print("\n".join(lines))
+    return 0 if ok else 1
+
+
 def cmd_figures(args) -> int:
     from .core import WanderingNetwork, WanderingNetworkConfig
     from .functions import CachingRole, FusionRole
@@ -616,6 +768,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "shard": cmd_shard,
         "lint": cmd_lint,
+        "shardcheck": cmd_shardcheck,
+        "sanitize": cmd_sanitize,
         "figures": cmd_figures,
         "info": cmd_info,
     }[args.command]

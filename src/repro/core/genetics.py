@@ -19,6 +19,9 @@ import itertools
 import json
 from typing import Any, Dict, Hashable, List, Optional
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _genome_ids = itertools.count(1)
 
 

@@ -29,7 +29,13 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..perf.switches import switches as _opt
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _fact_ids = itertools.count(1)
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _kq_ids = itertools.count(1)
 
 #: Default decay rate: weight halves roughly every 70 seconds.

@@ -15,6 +15,9 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _ployon_ids = itertools.count(1)
 
 

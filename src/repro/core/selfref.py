@@ -22,6 +22,9 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Set
 
 NodeId = Hashable
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _aggregate_ids = itertools.count(1)
 
 

@@ -66,6 +66,9 @@ _KIND_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 class ObsSnapshot:
     """Picklable capture of one simulator's full observability state."""
 
+    #: Declared pickle-boundary class: shipped back over the collect
+    #: pipe from every worker (checked by `repro shardcheck`).
+    __shard_boundary__ = True
     __slots__ = ("shard", "families", "spans", "profile", "flight",
                  "meta", "max_series")
 

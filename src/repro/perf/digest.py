@@ -20,6 +20,8 @@ import hashlib
 import json
 from typing import Any, Dict
 
+from ..substrates.sim.rng import active_tape
+
 
 def canonical_digest(payload: Any) -> str:
     """sha256[:16] of the canonical JSON encoding of ``payload``."""
@@ -35,8 +37,12 @@ def run_digest(scenario: str, seed: int, scale: str,
     values — the scenario implementations guarantee that (no wall
     times, no host state, floats rounded to fixed precision).
     """
-    return canonical_digest({"scenario": scenario, "seed": seed,
-                             "scale": scale, "counters": counters})
+    digest = canonical_digest({"scenario": scenario, "seed": seed,
+                               "scale": scale, "counters": counters})
+    tape = active_tape()
+    if tape is not None:
+        tape.record_merge(f"run:{scenario}:{seed}:{scale}", digest)
+    return digest
 
 
 def round_floats(value: Any, digits: int = 9) -> Any:

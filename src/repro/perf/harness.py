@@ -189,6 +189,45 @@ def run_scenario(name: str, seed: int = 42, scale: str = "short",
     return result
 
 
+def run_sanitized(name: str, seed: int = 42, scale: str = "short",
+                  against: str = "self",
+                  inject: Optional[Any] = None) -> Any:
+    """Sanitize mode: run the scenario twice under draw tapes and diff.
+
+    Run A is the plain single-shard scenario.  Run B depends on
+    ``against``:
+
+    * ``"self"``   — the identical run again (a clean environment must
+      produce byte-identical tapes);
+    * ``"no-opt"`` — every optimization switch off (optimizations may
+      change *when* work happens, never *what* is drawn);
+    * ``"obs"``    — telemetry collection on (observability must never
+      draw).
+
+    ``inject`` (an :class:`repro.sanitize.Injection`) perturbs one draw
+    of run B, planting a divergence the diff must localize.  Returns a
+    :class:`repro.sanitize.SanitizeReport`.
+    """
+    from ..sanitize import SanitizeReport, diff_tapes, taped
+    if against not in ("self", "no-opt", "obs"):
+        raise ValueError(f"unknown sanitize comparison {against!r} "
+                         f"(known: self, no-opt, obs)")
+    with taped() as tape_a:
+        result_a = run_scenario(name, seed=seed, scale=scale)
+    with taped(inject=inject) as tape_b:
+        if against == "no-opt":
+            with all_disabled():
+                result_b = run_scenario(name, seed=seed, scale=scale)
+        elif against == "obs":
+            result_b = run_scenario(name, seed=seed, scale=scale,
+                                    obs=True)
+        else:
+            result_b = run_scenario(name, seed=seed, scale=scale)
+    return SanitizeReport(name, seed, scale, against,
+                          result_a.digest, result_b.digest,
+                          tape_a, tape_b, diff_tapes(tape_a, tape_b))
+
+
 def run_all(seed: int = 42, scale: str = "short", repeats: int = 1,
             names: Optional[Sequence[str]] = None, workers: int = 1,
             backend: str = "inline",

@@ -149,6 +149,7 @@ class _GridShardWorkload(ShardWorkload):
 
     #: link latency of the benchmark grid (drives the shard lookahead).
     latency = 0.01
+    __slots__ = ("p",)
 
     def topology(self):
         from ..substrates.phys import grid_topology
@@ -181,6 +182,7 @@ class ShuttleStormWorkload(_GridShardWorkload):
     """
 
     name = "shuttle-storm"
+    __slots__ = ()
     roles = ("fn.caching", "fn.filtering", "fn.transcoding", "fn.fusion")
 
     def __init__(self, seed: int, scale: str):
@@ -277,6 +279,7 @@ class JetFloodWorkload(_GridShardWorkload):
     """
 
     name = "jet-flood"
+    __slots__ = ()
 
     def __init__(self, seed: int, scale: str):
         super().__init__(seed, scale)
@@ -364,6 +367,7 @@ class ShardScalingWorkload(_GridShardWorkload):
     """
 
     name = "shard-scaling"
+    __slots__ = ()
     latency = 0.05
 
     def __init__(self, seed: int, scale: str):

@@ -29,6 +29,9 @@ from ..substrates.sim import Simulator
 
 NodeId = Hashable
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _request_ids = itertools.count(1)
 
 

@@ -22,6 +22,9 @@ from .qos import QosDemand, path_qos, topology_on_demand
 
 NodeId = Hashable
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _overlay_seq = itertools.count(1)
 
 

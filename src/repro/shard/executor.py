@@ -62,6 +62,9 @@ class ShardWorkload:
     """
 
     name = "workload"
+    #: Pickle-boundary contract (VIA012): the instance crosses the
+    #: executor pipe, so the whole chain stays __slots__-closed.
+    __slots__ = ("seed", "scale")
 
     def __init__(self, seed: int, scale: str):
         self.seed = int(seed)

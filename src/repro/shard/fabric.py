@@ -31,6 +31,9 @@ NodeId = Hashable
 class Handoff:
     """One cross-shard in-flight packet leg, frozen at send time."""
 
+    #: Declared pickle-boundary class: instances cross executor pipes
+    #: and are journaled for replay (checked by `repro shardcheck`).
+    __shard_boundary__ = True
     __slots__ = ("time", "from_node", "to_node", "packet")
 
     def __init__(self, time: float, from_node: NodeId, to_node: NodeId,

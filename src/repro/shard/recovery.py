@@ -42,7 +42,7 @@ import pickle
 import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..substrates.sim.rng import derive_seed
+from ..substrates.sim.rng import active_tape, derive_seed
 
 #: Per-barrier reply deadline for the *unsupervised* mp backend: far
 #: beyond any legitimate epoch, so it only trips on a genuinely hung
@@ -261,7 +261,11 @@ def outbox_digest(outbox: Sequence[Any]) -> str:
              getattr(h.packet, "size_bytes", None))
             for h in outbox]
     payload = json.dumps(rows, sort_keys=True, default=repr)
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    tape = active_tape()
+    if tape is not None:
+        tape.record_merge(f"outbox[{len(outbox)}]", digest)
+    return digest
 
 
 # ----------------------------------------------------------------------

@@ -7,6 +7,12 @@ Two layers:
   global RNG use, wall-clock reads, unordered set expansion, unsorted
   JSON digests, allocator-dependent ordering — with per-line suppression
   pragmas and text/JSON reporters (``repro lint``, ``make lint``, CI);
+* a **whole-program shard-safety analyzer**
+  (:mod:`repro.staticcheck.shardcheck`, rules VIA012+) that builds the
+  import graph, computes worker-reachable code, and checks the
+  multiprocess shard plane's cross-file contract — pickle-boundary
+  closure, forked mutable globals, digest-excluded recovery metrics,
+  ``derive_seed`` discipline (``repro shardcheck``, ``make shardcheck``);
 * a **static admission verifier**
   (:class:`~repro.staticcheck.admission.AdmissionVerifier`) that vets a
   docked shuttle's payload — directive schemas, knowledge-quantum
@@ -23,11 +29,16 @@ from .engine import (LintError, iter_python_files, lint_paths,
                      lint_source, normalize_select)
 from .reporters import (count_by_rule, render_json, render_rule_catalog,
                         render_text)
-from .rules import MOBILE_CODE_RULES, RULES, DeterminismVisitor, Finding
+from .reporters import LINT_SCHEMA_VERSION
+from .rules import (ALL_RULES, MOBILE_CODE_RULES, RULES, SHARD_RULES,
+                    DeterminismVisitor, Finding)
 from .selfcheck import lint_self, package_root
+from .shardcheck import (Program, check_program, load_program,
+                         shardcheck_paths)
 
 __all__ = [
-    "RULES", "MOBILE_CODE_RULES", "Finding", "DeterminismVisitor",
+    "RULES", "SHARD_RULES", "ALL_RULES", "MOBILE_CODE_RULES",
+    "Finding", "DeterminismVisitor",
     "LintError", "lint_source", "lint_paths", "iter_python_files",
     "normalize_select",
     "render_text", "render_json", "render_rule_catalog", "count_by_rule",
@@ -35,4 +46,6 @@ __all__ = [
     "REQUIRED_ACTIONS", "MAX_DIRECTIVES", "MAX_SHUTTLE_BYTES",
     "MAX_QUANTUM_FACTS", "MAX_QUANTUM_BYTES",
     "lint_self", "package_root",
+    "LINT_SCHEMA_VERSION",
+    "Program", "load_program", "check_program", "shardcheck_paths",
 ]

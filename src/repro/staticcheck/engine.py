@@ -10,33 +10,53 @@ project's determinism policy)::
 An id-less ``# via: ignore`` silences every rule on its line.  A pragma
 on a comment-only line applies to the next line, so justifications fit
 the 79-column layout.
+
+Pragmas are recognised only in real comment tokens — a pragma spelled
+inside a string literal is data, not a suppression.  A pragma on any
+physical line of a multi-line statement (a decorator, a continuation
+line, the closing paren) covers the whole statement; for compound
+statements (``def``/``if``/``for``/``class``...) coverage stops at the
+header so a pragma can never silence an entire suite.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import pathlib
 import re
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+import tokenize
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .rules import RULES, DeterminismVisitor, Finding
+from .rules import ALL_RULES, DeterminismVisitor, Finding
 
 _PRAGMA = re.compile(r"#\s*via:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 #: Matches every rule on the line when the pragma names none.
-_ALL = frozenset(RULES)
+_ALL = frozenset(ALL_RULES)
 
 
 class LintError(Exception):
     """Raised for unparseable input or unknown rule selections."""
 
 
-def _suppressions(source: str) -> Dict[int, frozenset]:
-    """Map line number -> rule ids silenced there (1-based)."""
+def _raw_suppressions(source: str) -> Dict[int, frozenset]:
+    """Map line number -> rule ids silenced there (1-based).
+
+    Scans real ``COMMENT`` tokens only, so pragma text inside string
+    literals (test fixtures, docstrings) never registers.
+    """
     table: Dict[int, frozenset] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(line)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError) as exc:
+        raise LintError(f"tokenize failed: {exc}") from exc
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(tok.string)
         if match is None:
             continue
+        lineno = tok.start[0]
         ids = (frozenset(part.strip() for part in match.group(1).split(",")
                          if part.strip())
                if match.group(1) else _ALL)
@@ -46,10 +66,74 @@ def _suppressions(source: str) -> Dict[int, frozenset]:
                 f"line {lineno}: unknown rule(s) in pragma: "
                 f"{', '.join(sorted(unknown))}")
         table[lineno] = table.get(lineno, frozenset()) | ids
-        if line.lstrip().startswith("#"):
+        if tok.line[:tok.start[1]].strip() == "":
             # Comment-only pragma covers the following line too.
             table[lineno + 1] = table.get(lineno + 1, frozenset()) | ids
     return table
+
+
+def _statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """(first, last) physical-line spans a pragma should cover as one.
+
+    Simple statements span all their physical lines.  Compound
+    statements contribute only their *header* (decorators, signature or
+    condition continuation lines, up to the line before the first body
+    statement) so a pragma on a ``def`` line never silences the body.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            # Compound statement: clamp to the header.
+            decorators = getattr(node, "decorator_list", None) or []
+            for dec in decorators:
+                start = min(start, dec.lineno)
+                spans.append((dec.lineno, dec.end_lineno or dec.lineno))
+            end = max(start, body[0].lineno - 1)
+        elif isinstance(node, ast.Match) and node.cases:
+            end = max(start, node.cases[0].pattern.lineno - 1)
+        spans.append((start, end))
+    return spans
+
+
+def _expand_suppressions(table: Dict[int, frozenset],
+                         tree: ast.AST) -> Dict[int, frozenset]:
+    """Spread each pragma across the statement span containing it."""
+    expanded = dict(table)
+    if not table:
+        return expanded
+    for start, end in _statement_spans(tree):
+        if end <= start:
+            continue
+        ids = frozenset().union(
+            *(table.get(line, frozenset())
+              for line in range(start, end + 1)))
+        if not ids:
+            continue
+        for line in range(start, end + 1):
+            expanded[line] = expanded.get(line, frozenset()) | ids
+    return expanded
+
+
+def suppressions(source: str, tree: Optional[ast.AST] = None
+                 ) -> Dict[int, frozenset]:
+    """Full suppression table for a module: pragmas + span expansion.
+
+    Shared by the per-file linter and the whole-program shard checker so
+    ``# via: ignore[...]`` means the same thing to both.
+    """
+    table = _raw_suppressions(source)
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise LintError(
+                f"{exc.msg} (line {exc.lineno})") from exc
+    return _expand_suppressions(table, tree)
 
 
 def normalize_select(select: Optional[Iterable[str]]) -> frozenset:
@@ -73,7 +157,7 @@ def lint_source(source: str, path: str = "<string>",
         raise LintError(f"{path}: {exc.msg} (line {exc.lineno})") from exc
     visitor = DeterminismVisitor(path)
     visitor.visit(tree)
-    silenced = _suppressions(source)
+    silenced = suppressions(source, tree)
     findings = [f for f in visitor.findings
                 if f.rule_id in chosen
                 and f.rule_id not in silenced.get(f.line, frozenset())]

@@ -9,7 +9,12 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
-from .rules import RULES, Finding
+from .rules import ALL_RULES, RULES, Finding
+
+#: Version of the JSON report shape.  Bump only when a field is
+#: renamed, removed, or changes meaning — adding fields is compatible.
+#: CI consumers gate on this instead of sniffing keys.
+LINT_SCHEMA_VERSION = 1
 
 
 def render_text(findings: List[Finding], statistics: bool = False) -> str:
@@ -19,7 +24,7 @@ def render_text(findings: List[Finding], statistics: bool = False) -> str:
         lines.append("")
         for rule_id, count in sorted(count_by_rule(findings).items()):
             lines.append(f"{rule_id:8s} {count:4d}  "
-                         f"{RULES[rule_id].title}")
+                         f"{ALL_RULES[rule_id].title}")
     if not findings:
         lines.append("clean: no determinism hazards found")
     else:
@@ -31,6 +36,7 @@ def render_text(findings: List[Finding], statistics: bool = False) -> str:
 def render_json(findings: List[Finding]) -> str:
     """A stable JSON document (sorted findings, sorted keys)."""
     payload = {
+        "schema_version": LINT_SCHEMA_VERSION,
         "findings": [f._asdict() for f in findings],
         "counts": count_by_rule(findings),
         "total": len(findings),
@@ -39,11 +45,16 @@ def render_json(findings: List[Finding]) -> str:
 
 
 def render_rule_catalog() -> str:
-    """The rule table (``repro lint --list-rules``)."""
+    """The rule table (``repro lint --list-rules``).
+
+    Per-file rules first, then the whole-program shard rules emitted by
+    ``repro shardcheck``.
+    """
     lines = []
-    for rule_id in sorted(RULES):
-        rule = RULES[rule_id]
-        lines.append(f"{rule_id}  {rule.title}")
+    for rule_id in sorted(ALL_RULES):
+        rule = ALL_RULES[rule_id]
+        scope = "" if rule_id in RULES else "  [shardcheck]"
+        lines.append(f"{rule_id}  {rule.title}{scope}")
         lines.append(f"        {rule.rationale}")
     return "\n".join(lines)
 

@@ -73,6 +73,37 @@ RULES: Dict[str, Rule] = {r.rule_id: r for r in (
          "invites collisions that couple independent components."),
 )}
 
+#: Whole-program shard-safety rules.  These need cross-file context
+#: (import graph, class hierarchy, obs registration sites) so they are
+#: implemented in :mod:`repro.staticcheck.shardcheck`, not in the
+#: per-file :class:`DeterminismVisitor` — but they share the pragma
+#: namespace: ``# via: ignore[VIA013] reason`` works for both tools.
+SHARD_RULES: Dict[str, Rule] = {r.rule_id: r for r in (
+    Rule("VIA012", "pickle-boundary",
+         "Classes shipped over executor pipes or journaled by "
+         "EpochJournal must be `__slots__`-closed and hold only "
+         "picklable fields — an open file, lock or lambda in a handoff "
+         "dies at the pipe, and a stray `__dict__` lets replayed "
+         "workers diverge from the original's attribute layout."),
+    Rule("VIA013", "worker-mutable-global",
+         "Module-level mutable state reachable from shard worker code "
+         "is aliased per process after fork: each worker mutates its "
+         "own copy and the copies silently diverge.  Keep state on the "
+         "simulator, or document why fork inheritance is deterministic."),
+    Rule("VIA014", "digest-included-recovery-metric",
+         "Obs instruments touched on recovery/supervision paths must "
+         "register under a digest-excluded prefix (see "
+         "DIGEST_EXCLUDED_PREFIXES) — a restart would otherwise change "
+         "the metrics digest and break digest-identical recovery."),
+    Rule("VIA015", "underived-worker-seed",
+         "RNG constructors in worker-reachable code must seed via "
+         "`derive_seed(master, stream)` — a raw integer seed collides "
+         "across shards and decouples the stream from the master seed."),
+)}
+
+#: Every rule either tool can emit (and every valid pragma id).
+ALL_RULES: Dict[str, Rule] = {**RULES, **SHARD_RULES}
+
 #: Rules whose presence in *mobile code* (shuttle-carried modules) makes
 #: the payload unsafe to admit: they would perturb the host ship's run
 #: the moment the code executes.

@@ -16,6 +16,9 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _region_ids = itertools.count(1)
 
 

@@ -17,6 +17,9 @@ from typing import Dict, List, Optional
 from ..nodeos import CodeKind, CodeModule
 from .fabric import HardwareError
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _module_ids = itertools.count(1)
 
 

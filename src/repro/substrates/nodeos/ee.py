@@ -14,6 +14,9 @@ from typing import Any, Dict, List, Optional
 
 from .codecache import CodeModule
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _ee_ids = itertools.count(1)
 
 

@@ -11,6 +11,9 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Hashable, Optional
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _packet_ids = itertools.count(1)
 
 #: Fixed per-packet header overhead in bytes (IPv4-ish).

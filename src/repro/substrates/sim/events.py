@@ -20,6 +20,9 @@ URGENT = -10
 #: Priority for observers that must see the state *after* normal events.
 LAZY = 10
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _seq = itertools.count()
 
 

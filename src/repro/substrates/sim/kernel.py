@@ -49,6 +49,8 @@ class Simulator:
         #: digests may include it.
         self.peak_agenda_depth = 0
         self.rng = RngRegistry(seed)
+        # lets the sanitizer tape stamp draws with simulated time
+        self.rng.clock = self
         self.trace = TraceBus(self)
         self.seed = seed
         #: Armed by ``obs.enable(profiling=True)``; ``None`` keeps the

@@ -4,13 +4,22 @@ Every stochastic component of the simulation draws from its own named
 stream so that adding a new component never perturbs the draws of an
 existing one (stream independence), and the whole run is a pure function
 of the master seed.
+
+The module also hosts the determinism sanitizer's draw hook
+(``repro sanitize``): when a tape is installed via :func:`install_tape`,
+newly created streams are :class:`_TapeRandom` instances that report
+every core draw (``random()`` / ``getrandbits()`` — the two primitives
+every public ``random.Random`` method funnels through) to the tape.
+With no tape installed the hook is a single ``None`` check at stream
+creation; draw values are never altered by recording, so a taped run's
+digest is byte-identical to an untaped one.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -21,27 +30,100 @@ def derive_seed(master: int, name: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+# ----------------------------------------------------------------------
+# sanitizer draw hook
+# ----------------------------------------------------------------------
+
+# single-process sanitizer hook: installed only around `repro sanitize`
+# runs, read-only everywhere else, never active inside shard workers
+# via: ignore[VIA013]
+_ACTIVE_TAPE = None
+
+
+def install_tape(tape) -> None:
+    """Activate a draw tape (see :mod:`repro.sanitize`)."""
+    global _ACTIVE_TAPE  # via: ignore[VIA013] see declaration above
+    _ACTIVE_TAPE = tape
+
+
+def clear_tape() -> None:
+    """Deactivate the draw tape."""
+    global _ACTIVE_TAPE  # via: ignore[VIA013] see declaration above
+    _ACTIVE_TAPE = None
+
+
+def active_tape():
+    """The installed draw tape, or None (read by the digest path too)."""
+    return _ACTIVE_TAPE
+
+
+class _TapeRandom(random.Random):
+    """A stream that reports its core draws to the active tape.
+
+    State evolution is exactly :class:`random.Random`'s — recording
+    observes values without changing them — except when the tape's
+    *injection* matches a draw, in which case the perturbed value is
+    both returned and recorded (that is how ``repro sanitize --inject``
+    plants a reproducible divergence to localize).
+    """
+
+    def __init__(self, seed: int, name: str, registry: "RngRegistry"):
+        super().__init__(seed)
+        self._via_stream = name
+        self._via_registry = registry
+
+    def random(self) -> float:
+        value = super().random()
+        tape = _ACTIVE_TAPE
+        if tape is not None:
+            value = tape.record(self._via_stream, "random", value,
+                                self._via_registry)
+        return value
+
+    def getrandbits(self, k: int) -> int:
+        value = super().getrandbits(k)
+        tape = _ACTIVE_TAPE
+        if tape is not None:
+            value = tape.record(self._via_stream, "getrandbits", value,
+                                self._via_registry)
+        return value
+
+
 class RngRegistry:
     """A factory of independent, named random streams.
 
     ``stream(name)`` returns a :class:`random.Random`; ``np_stream(name)``
     returns a :class:`numpy.random.Generator`.  Both are cached, so
     repeated lookups return the same live stream.
+
+    ``clock`` is set by the owning :class:`Simulator` so the sanitizer
+    tape can stamp draws with simulated time; it is never read on the
+    normal path.
     """
 
     def __init__(self, master_seed: int = 0):
         self.master_seed = int(master_seed)
         self._py: Dict[str, random.Random] = {}
         self._np: Dict[str, np.random.Generator] = {}
+        self.clock = None
 
     def stream(self, name: str) -> random.Random:
         rng = self._py.get(name)
         if rng is None:
-            rng = random.Random(derive_seed(self.master_seed, name))
+            seed = derive_seed(self.master_seed, name)
+            if _ACTIVE_TAPE is not None:
+                rng = _TapeRandom(seed, name, self)
+            else:
+                # seed derived just above; this *is* the derivation site
+                # via: ignore[VIA015]
+                rng = random.Random(seed)
             self._py[name] = rng
         return rng
 
     def np_stream(self, name: str) -> np.random.Generator:
+        # numpy draws happen inside the C generator and cannot be taped
+        # per-draw; the sanitizer still sees their downstream effects
+        # through the digest/merge tape.
         rng = self._np.get(name)
         if rng is None:
             rng = np.random.default_rng(derive_seed(self.master_seed, name))
@@ -51,6 +133,11 @@ class RngRegistry:
     def fork(self, name: str) -> "RngRegistry":
         """A child registry whose streams are independent of the parent's."""
         return RngRegistry(derive_seed(self.master_seed, f"fork:{name}"))
+
+    def sim_now(self) -> Optional[float]:
+        """The owning simulator's clock reading, when wired."""
+        clock = self.clock
+        return None if clock is None else clock.now
 
     def __repr__(self) -> str:
         return (f"<RngRegistry seed={self.master_seed} "

@@ -18,6 +18,9 @@ from .adapter import inject
 
 NodeId = Hashable
 
+# fork-inherited id sequence: every shard replays the same
+# construction order, so per-process copies advance identically
+# (see shard/recovery.py)  # via: ignore[VIA013]
 _user_seq = itertools.count(1)
 
 

@@ -413,6 +413,6 @@ class TestSnapshotSerializable:
         wn.deploy_role(CachingRole, at=1, activate=True)
         wn.overlays.spawn(QosDemand(), overlay_id="ov")
         wn.run(until=20.0)
-        text = json.dumps(wn.snapshot(), default=str)
+        text = json.dumps(wn.snapshot(), default=str, sort_keys=True)
         assert "fn.caching" in text
         assert "ov" in text

@@ -179,7 +179,7 @@ class TestSpanTracer:
         root = tracer.start_trace("journey", 0, 0.0)
         hop = tracer.event("hop:0->1", root.context, 1, 0.5, link="0~1")
         tracer.event("dock:1", hop.context, 1, 0.5)
-        records = [json.loads(json.dumps(r, default=repr))
+        records = [json.loads(json.dumps(r, default=repr, sort_keys=True))
                    for r in tracer.to_records()]
         spans = spans_from_records(records)
         assert tree_depth(spans) == 3

@@ -237,7 +237,7 @@ class TestObsDigestNeutrality:
         payload = result.to_dict()
         assert "obs" not in payload
         assert "obs" not in result.shard_stats
-        json.dumps(payload)   # fully serialisable without the object
+        json.dumps(payload, sort_keys=True)   # serialisable end to end
 
     def test_obs_requires_shardable_scenario(self):
         with pytest.raises(ValueError, match="shardable"):
@@ -611,5 +611,6 @@ class TestCliObs:
         records = load_jsonl(out)
         assert records[0]["type"] == "meta" and records[0]["merged"]
         # The BENCH file next to it carries no telemetry objects.
-        entry = load_results(glob.glob(bench_dir + "/BENCH_*.json")[0])[0]
+        entry = load_results(
+            sorted(glob.glob(bench_dir + "/BENCH_*.json"))[0])[0]
         assert "obs" not in entry

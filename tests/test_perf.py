@@ -104,7 +104,7 @@ class TestScenarioDigests:
 
     def test_counters_carry_no_wall_times(self):
         result = run_scenario("event-loop", seed=SEED, scale=SCALE)
-        payload = json.dumps(result.counters)
+        payload = json.dumps(result.counters, sort_keys=True)
         assert "wall" not in payload
         assert result.wall_time_s > 0.0
 

@@ -4,6 +4,7 @@ admission verifier for mobile code."""
 
 import hashlib
 import json
+import pathlib
 
 import pytest
 
@@ -17,11 +18,12 @@ from repro.core.shuttle import (OP_ACQUIRE_ROLE, OP_DEPLOY_QUANTUM,
                                 shuttle_manifest)
 from repro.functions import CachingRole, FusionRole
 from repro.routing import StaticRouter
-from repro.staticcheck import (MAX_DIRECTIVES, MAX_QUANTUM_FACTS,
-                               MOBILE_CODE_RULES, RULES, AdmissionVerifier,
-                               LintError, count_by_rule, iter_python_files,
-                               lint_paths, lint_self, lint_source,
-                               normalize_select, render_json,
+from repro.staticcheck import (ALL_RULES, LINT_SCHEMA_VERSION,
+                               MAX_DIRECTIVES, MAX_QUANTUM_FACTS,
+                               MOBILE_CODE_RULES, RULES, SHARD_RULES,
+                               AdmissionVerifier, LintError, count_by_rule,
+                               iter_python_files, lint_paths, lint_self,
+                               lint_source, normalize_select, render_json,
                                render_rule_catalog, render_text)
 from repro.substrates.nodeos import Action, CodeModule, CredentialAuthority
 from repro.substrates.phys import NetworkFabric, line_topology
@@ -157,6 +159,57 @@ class TestSuppression:
         with pytest.raises(LintError):
             lint_source("x = 1  # via: ignore[VIA999]\n")
 
+    def test_pragma_in_string_literal_is_not_a_pragma(self):
+        # Only COMMENT tokens carry pragmas: neither an unknown rule
+        # inside a string (no LintError) nor a valid one (no
+        # suppression) has any effect.
+        src = ('doc = "via: ignore[VIA999]"\n'
+               'msg = "via: ignore[VIA003]"\n'
+               'from time import perf_counter\n'
+               't = perf_counter()\n')
+        assert rules_of(lint_source(src)) == ["VIA003"]
+
+    def test_pragma_anywhere_on_multi_line_statement(self):
+        # A statement spanning several physical lines is covered by a
+        # pragma on any of them — including the closing paren.
+        src = ("from time import perf_counter\n"
+               "t = max(\n"
+               "    perf_counter(),\n"
+               "    0.0,\n"
+               ")  # via: ignore[VIA003]\n")
+        assert lint_source(src) == []
+        src = ("from time import perf_counter\n"
+               "t = max(\n"
+               "    perf_counter(),  # via: ignore[VIA003]\n"
+               "    0.0,\n"
+               ")\n")
+        assert lint_source(src) == []
+
+    def test_decorator_lines_join_the_statement_span(self):
+        # A hazard in a decorator expression is covered by a pragma on
+        # the def header (and vice versa) — they are one statement.
+        src = ("import glob\n"
+               "@apply(glob.glob('*.py'))\n"
+               "def f():  # via: ignore[VIA010]\n"
+               "    return 0\n")
+        assert lint_source(src) == []
+
+    def test_compound_header_pragma_does_not_leak_into_body(self):
+        # A pragma on a for/if header covers the header only — a
+        # hazard inside the body still fires.
+        src = ("import random\n"
+               "for _ in range(int(random.random() * 4)):"
+               "  # via: ignore[VIA001]\n"
+               "    x = random.random()\n")
+        assert [f.line for f in lint_source(src)
+                if f.rule_id == "VIA001"] == [3]
+
+    def test_continuation_line_pragma_covers_the_statement(self):
+        src = ("from time import perf_counter\n"
+               "t = perf_counter() + \\\n"
+               "    1.0  # via: ignore[VIA003]\n")
+        assert lint_source(src) == []
+
 
 class TestEngineAndReporters:
     def test_syntax_error_raises_lint_error(self):
@@ -210,10 +263,30 @@ class TestEngineAndReporters:
         assert doc["counts"] == {"VIA006": 1, "VIA009": 1}
         assert render_json(findings) == render_json(findings)
 
+    def test_render_json_declares_a_stable_schema_version(self):
+        clean = json.loads(render_json([]))
+        assert clean["schema_version"] == LINT_SCHEMA_VERSION == 1
+        findings = lint_source("k = id(x)\n", path="m.py")
+        doc = json.loads(render_json(findings))
+        assert doc["schema_version"] == LINT_SCHEMA_VERSION
+        # Round trip: every finding field survives serialization.
+        assert doc["findings"] == [{
+            "path": "m.py", "line": 1, "col": f.col,
+            "rule_id": "VIA006", "message": f.message,
+        } for f in findings]
+
+    def test_shard_rules_extend_but_never_shadow_the_catalog(self):
+        assert set(ALL_RULES) == set(RULES) | set(SHARD_RULES)
+        assert not set(RULES) & set(SHARD_RULES)
+        assert {"VIA012", "VIA013", "VIA014", "VIA015"} <= set(SHARD_RULES)
+
     def test_rule_catalog_lists_every_rule(self):
         catalog = render_rule_catalog()
-        for rule_id in RULES:
+        for rule_id in ALL_RULES:
             assert rule_id in catalog
+        for rule_id in SHARD_RULES:
+            assert "[shardcheck]" in catalog.split(rule_id, 1)[1] \
+                .splitlines()[0]
 
     def test_count_by_rule(self):
         findings = lint_source("a = id(x)\nb = id(y)\n")
@@ -238,9 +311,32 @@ class TestSelfLint:
 
 # -- static admission of mobile code --------------------------------------
 
+# The hazardous mobile-code fixture lives in a module materialised at
+# test time: admission lints `inspect.getsource(entry)`, so an in-file
+# fixture could only pass the repo lint gate by carrying a pragma —
+# which the verifier would then honour, defeating the test.
+_HAZARD_SOURCE = """\
 def _hazardous_entry():
     import time
     return time.time()
+"""
+
+_hazard_module = None
+
+
+def _hazardous_entry():
+    global _hazard_module
+    if _hazard_module is None:
+        import importlib.util
+        import tempfile
+        path = pathlib.Path(tempfile.mkdtemp(prefix="via-hazard-"))
+        mod_path = path / "evil_mobile.py"
+        mod_path.write_text(_HAZARD_SOURCE)
+        spec = importlib.util.spec_from_file_location("evil_mobile",
+                                                      mod_path)
+        _hazard_module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(_hazard_module)
+    return _hazard_module._hazardous_entry
 
 
 def _clean_entry():
@@ -333,7 +429,7 @@ class TestAdmissionVerifier:
         assert verdict.reason_code == "manifest-mismatch"
 
     def test_carried_code_hazard_rejected(self):
-        module = CodeModule("code.evil", entry=_hazardous_entry)
+        module = CodeModule("code.evil", entry=_hazardous_entry())
         shuttle = Shuttle(0, 1, directives=[
             Directive(OP_INSTALL_CODE, module=module)])
         verdict = AdmissionVerifier().vet(shuttle)
@@ -402,7 +498,7 @@ class TestShipAdmissionGate:
     def test_rejection_increments_obs_counters(self):
         sim, topo, fabric, ships, cred = make_network()
         sim.obs.enable()
-        module = CodeModule("code.evil", entry=_hazardous_entry)
+        module = CodeModule("code.evil", entry=_hazardous_entry())
         shuttle = Shuttle(0, 1, directives=[
             Directive(OP_INSTALL_CODE, module=module)], credential=cred)
         ships[1].process_shuttle(shuttle, 0)
