@@ -1,0 +1,134 @@
+"""Heap vs. calendar agenda microbenchmark across depth/churn profiles.
+
+Not a paper artefact and **not part of the regression gate** — this is
+the measurement companion to ``repro.substrates.sim.agenda``: it pits
+the two structures against each other on a steady-state
+schedule/cancel/pop cycle at several agenda depths and lazy-cancellation
+(churn) rates, so the "choosing an agenda" guidance in
+docs/PERFORMANCE.md stays backed by numbers reproducible on the current
+host.
+
+The headline result it demonstrates: at the few-thousand-entry depths
+the bench scenarios reach, C ``heapq`` wins — a pure-Python calendar
+queue cannot beat ``heappush``/``heappop`` loops that never leave C.
+The calendar's regime is *much* deeper agendas (tens of thousands of
+pending events), where its O(1) locality beats the heap's O(log n)
+touch-everything behaviour even from Python.
+
+Usage::
+
+    python benchmarks/bench_agenda.py            # full profile table
+    python benchmarks/bench_agenda.py --quick    # CI-sized subset
+    python benchmarks/bench_agenda.py --json     # machine-readable
+
+Run standalone (``PYTHONPATH=src``) or via ``make bench-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.substrates.sim.agenda import CalendarAgenda, HeapAgenda
+from repro.substrates.sim.events import Event
+
+#: (name, resident depth, churn = fraction of pushes cancelled unpopped,
+#:  steady-state cycles timed).
+PROFILES = [
+    ("shallow",       100, 0.00, 20_000),
+    ("shallow-churn", 100, 0.50, 20_000),
+    ("deep",        5_000, 0.00, 20_000),
+    ("deep-churn",  5_000, 0.50, 20_000),
+    ("vast",       50_000, 0.00, 10_000),
+    ("vast-churn", 50_000, 0.50, 10_000),
+]
+
+QUICK = {"shallow", "deep-churn", "vast"}
+
+
+def _drive(agenda, depth: int, churn: float, cycles: int,
+           seed: int = 42) -> float:
+    """Steady-state cycle time: one push (+ maybe a doomed decoy push),
+    then pops until the resident population is back to ``depth``.
+
+    Returns mean microseconds per cycle.  The event times are jittered
+    so batches stay singletons — this measures the *structure*, not the
+    batch fast path.
+    """
+    rng = random.Random(seed)
+    now = 0.0
+    # Prefill to the resident depth (untimed).
+    for _ in range(depth):
+        agenda.push(Event(now + rng.uniform(1.0, 2.0)))
+    batch = []
+    inf = float("inf")
+    t0 = time.perf_counter()  # via: ignore[VIA003] host wall time IS the measurement
+    for _ in range(cycles):
+        agenda.push(Event(now + rng.uniform(1.0, 2.0)))
+        if churn > 0.0 and rng.random() < churn:
+            # A doomed far-future decoy: cancelled immediately, purged
+            # only when the head sweep reaches it — the lazy-cancel
+            # cost the event-loop scenario stresses.
+            doomed = Event(now + rng.uniform(2.0, 3.0))
+            agenda.push(doomed)
+            doomed.cancel()
+        # One pop_run per push keeps the live population steady (dead
+        # decoys accumulate until the sweep reaches them, exactly the
+        # churn regime being measured).
+        ret = agenda.pop_run(batch)
+        if type(ret) is tuple:
+            now = ret[0]
+        elif ret != inf:
+            now = ret
+            del batch[:]
+    elapsed = time.perf_counter() - t0  # via: ignore[VIA003] as above
+    return elapsed / cycles * 1e6
+
+
+def run_profiles(quick: bool = False):
+    rows = []
+    for name, depth, churn, cycles in PROFILES:
+        if quick and name not in QUICK:
+            continue
+        if quick:
+            cycles //= 4
+        heap_us = _drive(HeapAgenda(), depth, churn, cycles)
+        cal_us = _drive(CalendarAgenda(), depth, churn, cycles)
+        rows.append({"profile": name, "depth": depth, "churn": churn,
+                     "cycles": cycles,
+                     "heap_us_per_cycle": round(heap_us, 3),
+                     "calendar_us_per_cycle": round(cal_us, 3),
+                     "calendar_vs_heap": round(heap_us / cal_us, 2)
+                     if cal_us > 0 else None})
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized subset (3 profiles, 1/4 cycles)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
+    args = parser.parse_args(argv)
+    rows = run_profiles(quick=args.quick)
+    if args.json:
+        json.dump(rows, sys.stdout, indent=1)
+        print()
+        return 0
+    print(f"{'profile':14s} {'depth':>7s} {'churn':>6s} "
+          f"{'heap us':>9s} {'cal us':>9s} {'heap/cal':>9s}")
+    for r in rows:
+        print(f"{r['profile']:14s} {r['depth']:7d} {r['churn']:6.2f} "
+              f"{r['heap_us_per_cycle']:9.3f} "
+              f"{r['calendar_us_per_cycle']:9.3f} "
+              f"{r['calendar_vs_heap']:9.2f}")
+    print("(heap/cal > 1.0 means the calendar wins; microbenchmark "
+          "only, not a regression gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -211,10 +211,14 @@ class WanderingNetwork:
             ship.tick_roles()
         self.engine.pulse()
         self.overlays.resync()
-        # MFP: per-node workload observations feed the bus each pulse.
-        for ship in self.alive_ships():
-            self.feedback.observe(Dimension.PER_NODE, ship.ship_id,
-                                  "cpu-backlog", ship.nodeos.cpu.backlog)
+        # MFP: per-node workload observations feed the bus each pulse —
+        # one vectorized batch update per pulse instead of N scalar
+        # calls (falls back to the scalar loop, same order, when
+        # batch_delivery is off).
+        self.feedback.observe_batch(
+            Dimension.PER_NODE, "cpu-backlog",
+            [(ship.ship_id, ship.nodeos.cpu.backlog)
+             for ship in self.alive_ships()])
 
     def _offload_overloaded_ship(self, node: NodeId, backlog: float,
                                  setpoint: float) -> None:

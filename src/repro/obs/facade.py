@@ -231,6 +231,37 @@ class Observability:
             "repro_trace_topic_total",
             "TraceBus emissions per topic.",
             dimension=PER_METHOD, labels=("topic",))
+        # per-configuration: kernel agenda health (mirrored from
+        # Simulator.agenda_stats at every run() exit; the repro_kernel_
+        # prefix is digest-excluded because op tallies legitimately
+        # differ across digest-equivalent agenda/loop strategies).
+        self.kernel_agenda_ops = r.gauge(
+            "repro_kernel_agenda_ops",
+            "Kernel agenda lifetime operation counters, by op "
+            "(insert/pop/purge).",
+            dimension=PER_CONFIGURATION, labels=("op",))
+        self.kernel_agenda_depth = r.gauge(
+            "repro_kernel_agenda_depth",
+            "Kernel agenda depth diagnostics "
+            "(pending/peak/max_batch).",
+            dimension=PER_CONFIGURATION, labels=("stat",))
+
+    # -- kernel mirrors -----------------------------------------------------
+    def sync_kernel_stats(self) -> None:
+        """Mirror the kernel's agenda counters into gauges.
+
+        Called by ``Simulator.run`` on exit (when enabled), so exported
+        snapshots always carry the latest agenda health without the hot
+        loop touching an instrument per event."""
+        stats = self.sim.agenda_stats()
+        ops = self.kernel_agenda_ops
+        ops.set(stats["inserts"], op="insert")
+        ops.set(stats["pops"], op="pop")
+        ops.set(stats["purges"], op="purge")
+        depth = self.kernel_agenda_depth
+        depth.set(stats["depth"], stat="pending")
+        depth.set(stats["peak_depth"], stat="peak")
+        depth.set(stats["max_batch"], stat="max_batch")
 
     # -- hot-path helpers ---------------------------------------------------
     def record_topic(self, topic: str) -> None:
@@ -245,7 +276,9 @@ class Observability:
 
     # -- digests ------------------------------------------------------------
     def metrics_digest(self) -> str:
-        """Canonical-JSON/sha256 fingerprint of every collected sample.
+        """Canonical-JSON/sha256 fingerprint of the collected samples
+        (minus :data:`~repro.obs.snapshot.DIGEST_EXCLUDED_PREFIXES`,
+        matching :meth:`MergedObs.metrics_digest` semantics).
 
         Instruments only move inside executed events, so the cached
         digest is stamped with ``(events_executed, now)`` and reused
@@ -261,8 +294,13 @@ class Observability:
                 and self._metrics_digest_stamp == stamp:
             self.metrics_digest_hits += 1
             return self._metrics_digest
-        samples = (list(self.registry.collect())
-                   if self.registry is not None else [])
+        if self.registry is not None:
+            from .snapshot import DIGEST_EXCLUDED_PREFIXES
+            samples = [rec for rec in self.registry.collect()
+                       if not rec["name"].startswith(
+                           DIGEST_EXCLUDED_PREFIXES)]
+        else:
+            samples = []
         payload = json.dumps(samples, sort_keys=True, default=repr)
         digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
         self._metrics_digest = digest

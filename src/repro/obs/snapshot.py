@@ -55,10 +55,13 @@ from .timeline import render_timeline, timeline_summary
 #: crossing a handoff boundary stays globally unambiguous after merge.
 SHARD_ID_STRIDE = 1_000_000_000
 
-#: Family-name prefixes excluded from :meth:`MergedObs.metrics_digest`:
-#: per-partition counts (handoffs/barriers fire only when sharded) and
-#: host-dependent or cap-dependent self-metrics.
-DIGEST_EXCLUDED_PREFIXES = ("repro_shard_", "repro_obs_")
+#: Family-name prefixes excluded from :meth:`MergedObs.metrics_digest`
+#: and :meth:`Observability.metrics_digest`: per-partition counts
+#: (handoffs/barriers fire only when sharded), host-dependent or
+#: cap-dependent self-metrics, and kernel agenda diagnostics (insert/
+#: pop/purge tallies vary across agenda implementations and loop
+#: strategies that are digest-equivalent by contract).
+DIGEST_EXCLUDED_PREFIXES = ("repro_shard_", "repro_obs_", "repro_kernel_")
 
 _KIND_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 

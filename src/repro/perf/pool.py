@@ -1,0 +1,112 @@
+"""Free-list object pools for the hot kernel/capsule allocations.
+
+Beyond ``cow_clone`` (which removes *construction work*), the remaining
+allocation cost on the hot paths is the allocator itself: every
+simulated delivery builds an :class:`~repro.substrates.sim.events.Event`
+and every retransmission/replication builds a
+:class:`~repro.core.shuttle.Shuttle`/:class:`~repro.core.shuttle.Jet`.
+The ``object_pool`` switch recycles those objects through per-class
+free lists instead of round-tripping them through the allocator.
+
+Parity contract
+---------------
+Reuse must be observationally identical to fresh construction:
+
+* Re-initialization draws from the exact same id counters (``Event``
+  seq, packet ids, ployon ids) as ``__init__`` — one acquire consumes
+  exactly the counter draws a fresh construction would, so every run
+  digest and the sanitize tape are byte-identical with the pool on or
+  off.
+* An object is released only when the releasing site can prove it holds
+  the last reference (``sys.getrefcount`` guard at the call site) —
+  anything retained (a :class:`PeriodicTask`'s armed event, a DLQ'd
+  template, an in-flight forward) is simply never recycled.
+* Released objects are scrubbed (callbacks/cargo refs dropped) so the
+  free list cannot keep dead object graphs alive.
+
+Fork/shard safety: the free lists below are module globals, like the
+id counters they mirror.  A shard worker fork-inherits a copy and
+recycles through it independently; pooled objects are by definition
+unreferenced, so inherited free-list contents are plain spare memory —
+they carry no cross-shard state and never affect worker digests (each
+acquire re-draws its ids in the worker's own counter order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+
+class FreeList:
+    """A bounded LIFO free list for one class (diagnostics included)."""
+
+    __slots__ = ("items", "capacity", "hits", "misses", "recycled",
+                 "dropped")
+
+    def __init__(self, capacity: int = 4096):
+        self.items: List[object] = []
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
+        self.dropped = 0
+
+    def grab(self) -> Optional[object]:
+        """A recycled instance, or ``None`` (caller constructs fresh)."""
+        items = self.items
+        if items:
+            self.hits += 1
+            return items.pop()
+        self.misses += 1
+        return None
+
+    def put(self, obj: object) -> bool:
+        """Park a proven-unreferenced, already-scrubbed instance."""
+        items = self.items
+        if len(items) < self.capacity:
+            items.append(obj)
+            self.recycled += 1
+            return True
+        self.dropped += 1
+        return False
+
+    def clear(self) -> None:
+        del self.items[:]
+
+    def stats(self) -> Dict[str, int]:
+        return {"size": len(self.items), "hits": self.hits,
+                "misses": self.misses, "recycled": self.recycled,
+                "dropped": self.dropped}
+
+
+# Fork-inherited free lists (see module docstring): recycled spare
+# objects only — no simulation state, no digest influence.
+# via: ignore[VIA013]
+event_pool = FreeList(capacity=8192)
+# via: ignore[VIA013] see event_pool declaration above
+shuttle_pool = FreeList(capacity=4096)
+# via: ignore[VIA013] see event_pool declaration above
+jet_pool = FreeList(capacity=4096)
+
+#: Release-site dispatch: exact type -> free list.  Populated by the
+#: owning modules at import time (``repro.core.shuttle``); keeps the
+#: physical substrate free of imports from ``core``.
+RECYCLABLE: Dict[Type, FreeList] = {}
+
+
+def register(cls: Type, free_list: FreeList) -> None:
+    """Declare ``cls`` recyclable through ``free_list`` (exact type)."""
+    RECYCLABLE[cls] = free_list
+
+
+def clear_all() -> None:
+    """Drop every pooled instance (tests / memory pressure)."""
+    event_pool.clear()
+    shuttle_pool.clear()
+    jet_pool.clear()
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Per-pool diagnostics for BENCH JSON / obs export."""
+    return {"event": event_pool.stats(), "shuttle": shuttle_pool.stats(),
+            "jet": jet_pool.stats()}

@@ -31,6 +31,26 @@ Flags
     :meth:`KnowledgeBase.content_digest` and
     :meth:`Observability.metrics_digest` reuse their last canonical
     JSON/sha256 result until a dirty bit invalidates it.
+``agenda_calendar``
+    :class:`Simulator` stores pending events in a calendar-queue agenda
+    (sorted buckets, O(1) amortized insert) instead of the reference
+    binary heap.  Selected at simulator *construction*; both structures
+    pop the exact ``(time, priority, seq)`` order and agree on entry
+    counts at every push point, so ``peak_agenda_depth`` and all run
+    digests are byte-identical.
+``batch_delivery``
+    The fast event loop drains every event sharing the head timestamp
+    into one batch (canonical intra-batch order preserved, including
+    same-instant insertions from callbacks), and the MFP hot paths gain
+    vectorized numpy batch entry points
+    (:meth:`FeedbackBus.observe_batch`, :meth:`KnowledgeBase.sweep`,
+    the adaptive router's hello-vector screen) that are IEEE-exact or
+    scalar-oracle-checked at decision boundaries.
+``object_pool``
+    ``Event``/``Shuttle``/``Jet`` instances are recycled through free
+    lists (:mod:`repro.perf.pool`) with exact id-counter-draw parity;
+    release sites prove last-reference ownership via a refcount guard,
+    so retained objects are never recycled.
 """
 
 from __future__ import annotations
@@ -44,6 +64,9 @@ DEFAULTS: Dict[str, bool] = {
     "cow_clone": True,
     "admission_memo": True,
     "digest_cache": True,
+    "agenda_calendar": True,
+    "batch_delivery": True,
+    "object_pool": True,
 }
 
 

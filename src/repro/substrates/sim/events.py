@@ -35,7 +35,7 @@ class Event:
     """
 
     __slots__ = ("time", "priority", "seq", "callbacks", "value",
-                 "_fired", "_cancelled", "name")
+                 "_fired", "_cancelled", "name", "_fn", "_args")
 
     def __init__(self, time: float, priority: int = NORMAL,
                  name: Optional[str] = None):
@@ -47,6 +47,39 @@ class Event:
         self._fired = False
         self._cancelled = False
         self.name = name
+        # Direct-call fast path used by Simulator.call_at/call_in: the
+        # (fn, args) pair fires before the callbacks list, in exactly
+        # the position the old ``lambda _ev: fn(*args)`` first callback
+        # occupied, without the closure allocation.
+        self._fn: Optional[Callable[..., Any]] = None
+        self._args: tuple = ()
+
+    # -- pooling ----------------------------------------------------------
+    def _reuse(self, time: float, priority: int,
+               name: Optional[str]) -> "Event":
+        """Re-initialize a recycled instance (``perf.switches.
+        object_pool``).  Mirrors ``__init__`` exactly — including the
+        ``_seq`` draw, so id consumption is identical to a fresh
+        construction — except ``callbacks`` keeps its (cleared) list,
+        saving the allocation."""
+        self.time = float(time)
+        self.priority = int(priority)
+        self.seq = next(_seq)
+        self.value = None
+        self._fired = False
+        self._cancelled = False
+        self.name = name
+        return self
+
+    def _recycle(self) -> "Event":
+        """Scrub before parking on the free list: drop everything that
+        could pin an object graph."""
+        self.callbacks.clear()
+        self.value = None
+        self.name = None
+        self._fn = None
+        self._args = ()
+        return self
 
     # -- ordering ---------------------------------------------------------
     def sort_key(self):
@@ -87,6 +120,9 @@ class Event:
         if self._fired:
             raise RuntimeError(f"event {self!r} fired twice")
         self._fired = True
+        fn = self._fn
+        if fn is not None:
+            fn(*self._args)
         for fn in self.callbacks:
             fn(self)
 

@@ -1,8 +1,9 @@
 """The discrete-event simulation kernel.
 
-A :class:`Simulator` owns a binary-heap agenda of :class:`~repro.substrates.
-sim.events.Event` objects and advances simulated time by popping the
-earliest event.  Processes (generator coroutines) are layered on top in
+A :class:`Simulator` owns a pluggable agenda (:mod:`repro.substrates.
+sim.agenda`) of :class:`~repro.substrates.sim.events.Event` objects and
+advances simulated time by popping the earliest event.  Processes
+(generator coroutines) are layered on top in
 :mod:`repro.substrates.sim.process`.
 
 Design notes
@@ -13,19 +14,34 @@ Design notes
 * The kernel is single-threaded by construction — the concurrency of the
   Wandering Network is *simulated* concurrency, which keeps every
   experiment reproducible.
+* The agenda structure (binary heap reference vs. calendar queue) is
+  selected at construction from ``perf.switches.agenda_calendar``; both
+  are digest-identical by the ordering/parity contract in
+  :mod:`repro.substrates.sim.agenda`.
+* With ``perf.switches.batch_delivery`` the fast loop drains every
+  event sharing the head timestamp into one batch.  Depth parity with
+  the one-at-a-time reference is kept by combined accounting: a push
+  during a batch reports ``len(agenda) + remaining batch entries``,
+  and dead batch entries stay counted until the batch cursor passes
+  them (exactly when the reference heap would have purged them).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Dict, Iterator, Optional
+from bisect import insort
+from sys import getrefcount as _refcount
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ...obs import Observability
+from ...perf.pool import event_pool as _event_pool
 from ...perf.switches import switches as _opt
+from .agenda import Entry, make_agenda, tally_absorb
 from .errors import SchedulingError
-from .events import Event, NORMAL
+from .events import Event, NORMAL, _seq as _event_seq
 from .rng import RngRegistry
 from .trace import TraceBus
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -40,14 +56,31 @@ class Simulator:
 
     def __init__(self, seed: int = 0):
         self._now = 0.0
-        self._heap: list[Event] = []
+        self._agenda = make_agenda(_opt.agenda_calendar)
+        # Bound once: the agenda never changes after construction and
+        # schedule_at is the hottest method in the kernel.
+        self._agenda_push = self._agenda.push
         self._running = False
         self._stopped = False
         self.events_executed = 0
         #: Deepest the agenda has ever been (pending + lazily-cancelled
-        #: entries).  Deterministic for a seeded run, so benchmark
-        #: digests may include it.
+        #: entries; during batched execution the not-yet-reached batch
+        #: entries still count).  Deterministic for a seeded run, so
+        #: benchmark digests may include it.
         self.peak_agenda_depth = 0
+        # Live same-timestamp batch (``batch_delivery``): the entry
+        # list being drained, the time it fires at (None outside a
+        # batch), the cursor, and the count of entries after the
+        # cursor — consulted by schedule_at for same-instant insertion
+        # and combined depth.
+        self._batch: List[Entry] = []
+        self._batch_time: Optional[float] = None
+        self._batch_index = 0
+        self._batch_pending = 0
+        #: Largest same-timestamp batch drained so far (diagnostic).
+        self.max_batch = 0
+        # Agenda counters already folded into the process tally.
+        self._stats_mark = [0, 0, 0]
         self.rng = RngRegistry(seed)
         # lets the sanitizer tape stamp draws with simulated time
         self.rng.clock = self
@@ -74,9 +107,37 @@ class Simulator:
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule at {time} (now={self._now})")
-        ev = Event(time, priority, name=name)
-        heapq.heappush(self._heap, ev)
-        depth = len(self._heap)
+        if _opt.object_pool:
+            # Inlined FreeList.grab + Event._reuse (this is the hottest
+            # allocation site; the re-init mirrors Event.__init__
+            # exactly, including the _seq draw).
+            items = _event_pool.items
+            if items:
+                _event_pool.hits += 1
+                ev = items.pop()
+                ev.time = float(time)
+                ev.priority = int(priority)
+                ev.seq = next(_event_seq)
+                ev.value = None
+                ev._fired = False
+                ev._cancelled = False
+                ev.name = name
+            else:
+                _event_pool.misses += 1
+                ev = Event(time, priority, name=name)
+        else:
+            ev = Event(time, priority, name=name)
+        if self._batch_time == time:
+            # Scheduled at the very instant being drained: the event
+            # belongs in the live batch, ordered by (priority, seq)
+            # among the entries not yet reached — exactly where the
+            # reference heap would pop it next.
+            insort(self._batch, (ev.time, ev.priority, ev.seq, ev),
+                   lo=self._batch_index + 1)
+            self._batch_pending += 1
+            depth = len(self._agenda) + self._batch_pending
+        else:
+            depth = self._agenda_push(ev) + self._batch_pending
         if depth > self.peak_agenda_depth:
             self.peak_agenda_depth = depth
         return ev
@@ -93,16 +154,54 @@ class Simulator:
         """Call ``fn(*args)`` at absolute simulated ``time``."""
         ev = self.schedule_at(time, priority, name=name or getattr(
             fn, "__name__", "call"))
-        ev.add_callback(lambda _ev: fn(*args))
+        # Direct (fn, args) storage fires in the same position the old
+        # first-callback lambda did, without the closure allocation.
+        ev._fn = fn
+        ev._args = args
         return ev
 
     def call_in(self, delay: float, fn: Callable[..., Any], *args: Any,
                 priority: int = NORMAL, name: Optional[str] = None) -> Event:
-        """Call ``fn(*args)`` after ``delay`` simulated seconds."""
+        """Call ``fn(*args)`` after ``delay`` simulated seconds.
+
+        This is the hottest scheduling entry point, so the whole
+        ``schedule_at`` body is inlined here (pool grab, live-batch
+        insort, agenda push, peak-depth tracking) — one frame instead of
+        three.  ``delay >= 0`` implies ``time >= now``, so the absolute
+        time check in ``schedule_at`` is vacuous and dropped.
+        """
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, fn, *args,
-                            priority=priority, name=name)
+        time = self._now + delay
+        if _opt.object_pool:
+            items = _event_pool.items
+            if items:
+                _event_pool.hits += 1
+                ev = items.pop()
+                ev.time = float(time)
+                ev.priority = int(priority)
+                ev.seq = next(_event_seq)
+                ev.value = None
+                ev._fired = False
+                ev._cancelled = False
+            else:
+                _event_pool.misses += 1
+                ev = Event(time, priority)
+        else:
+            ev = Event(time, priority)
+        ev.name = name or getattr(fn, "__name__", "call")
+        ev._fn = fn
+        ev._args = args
+        if self._batch_time == time:
+            insort(self._batch, (ev.time, ev.priority, ev.seq, ev),
+                   lo=self._batch_index + 1)
+            self._batch_pending += 1
+            depth = len(self._agenda) + self._batch_pending
+        else:
+            depth = self._agenda_push(ev) + self._batch_pending
+        if depth > self.peak_agenda_depth:
+            self.peak_agenda_depth = depth
+        return ev
 
     def every(self, interval: float, fn: Callable[..., Any], *args: Any,
               start: Optional[float] = None, jitter: float = 0.0,
@@ -118,31 +217,34 @@ class Simulator:
     # -- execution --------------------------------------------------------
     def peek(self) -> float:
         """Time of the next pending event, or ``float('inf')``."""
-        while self._heap and not self._heap[0].pending:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else float("inf")
+        if self._batch_time is not None and self._batch_pending:
+            for entry in self._batch[self._batch_index + 1:]:
+                ev = entry[3]
+                if not (ev._fired or ev._cancelled):
+                    return self._batch_time
+        return self._agenda.next_time()
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if not ev.pending:
-                continue
-            self._now = ev.time
-            flight = self._flight
-            if flight is not None:
-                flight.note_event(ev.time, ev.name)
-            prof = self._profiler
-            if prof is not None:
-                t0 = prof.clock()
-                ev.fire()
-                prof.record(ev.name or "event", prof.clock() - t0,
-                            len(self._heap))
-            else:
-                ev.fire()
-            self.events_executed += 1
-            return True
-        return False
+        ev = self._agenda.pop_next()
+        if ev is None:
+            return False
+        self._now = ev.time
+        flight = self._flight
+        if flight is not None:
+            flight.note_event(ev.time, ev.name)
+        prof = self._profiler
+        if prof is not None:
+            t0 = prof.clock()
+            ev.fire()
+            prof.record(ev.name or "event", prof.clock() - t0,
+                        len(self._agenda))
+        else:
+            ev.fire()
+        self.events_executed += 1
+        if _opt.object_pool and _refcount(ev) == 2:
+            _event_pool.put(ev._recycle())
+        return True
 
     def profile(self, top: int = 10) -> Dict[str, Any]:
         """Kernel profile summary (per-handler wall time, queue depth,
@@ -175,22 +277,30 @@ class Simulator:
                 f"run(until={until}) is in the past (now={self._now})")
         try:
             if _opt.kernel_fast_loop:
-                self._run_fast(until, max_events)
+                if _opt.batch_delivery:
+                    self._run_batched(until, max_events)
+                else:
+                    self._run_fast(until, max_events)
             else:
                 self._run_reference(until, max_events)
         finally:
             self._running = False
+            self._batch_time = None
+            self._batch_pending = 0
+            tally_absorb(self._agenda, self._stats_mark, self.max_batch)
+            if self.obs.on:
+                self.obs.sync_kernel_stats()
         return self._now
 
     def _run_reference(self, until: Optional[float],
                        max_events: Optional[int]) -> None:
         """The original peek()/step() loop, kept as the semantic oracle
-        for the fast loop (``perf.switches.kernel_fast_loop = False``)."""
+        for the fast loops (``perf.switches.kernel_fast_loop = False``)."""
         executed = 0
         budget_hit = False
         while not self._stopped:
             nxt = self.peek()
-            if nxt == float("inf"):
+            if nxt == _INF:
                 break
             if until is not None and nxt > until:
                 self._now = until
@@ -212,35 +322,33 @@ class Simulator:
 
     def _run_fast(self, until: Optional[float],
                   max_events: Optional[int]) -> None:
-        """Inlined event loop: one purge-and-pop per event.
+        """Inlined event loop: one purge-and-peek and one pop per event.
 
         Semantically identical to :meth:`_run_reference` — same purge
         points, same check order (until before max_events), same
         trailing clamp of ``_now`` to ``until`` (skipped after a
         ``max_events`` break, where pending events at times <= ``until``
-        remain) — but it touches the heap once per event instead of
-        twice (``peek`` then ``step``) and hoists the method/attribute
-        lookups out of the loop.
+        remain) — but it hoists the method/attribute lookups out of the
+        loop and recycles consumed events when the pool is on.
         """
-        heap = self._heap
-        heappop = heapq.heappop
+        agenda = self._agenda
+        next_time = agenda.next_time
+        pop_next = agenda.pop_next
+        pool_on = _opt.object_pool
+        put_event = _event_pool.put
         executed = 0
         budget_hit = False
         while not self._stopped:
-            # Single lazy-cancellation purge (the reference path purges
-            # in peek() and then re-checks pending in step()).
-            while heap and (heap[0]._fired or heap[0]._cancelled):
-                heappop(heap)
-            if not heap:
+            nxt = next_time()
+            if nxt == _INF:
                 break
-            ev = heap[0]
-            if until is not None and ev.time > until:
+            if until is not None and nxt > until:
                 self._now = until
                 break
             if max_events is not None and executed >= max_events:
                 budget_hit = True
                 break
-            heappop(heap)
+            ev = pop_next()
             self._now = ev.time
             flight = self._flight
             if flight is not None:
@@ -250,11 +358,193 @@ class Simulator:
                 t0 = prof.clock()
                 ev.fire()
                 prof.record(ev.name or "event", prof.clock() - t0,
-                            len(heap))
+                            len(agenda))
             else:
                 ev.fire()
             self.events_executed += 1
             executed += 1
+            if pool_on and _refcount(ev) == 2:
+                put_event(ev._recycle())
+        if (until is not None and self._now < until
+                and not self._stopped and not budget_hit):
+            self._now = until
+
+    def _run_batched(self, until: Optional[float],
+                     max_events: Optional[int]) -> None:
+        """Batched fast loop: drain all events at the head timestamp.
+
+        Event order, purge boundaries, and depth accounting are
+        byte-identical to the reference loop:
+
+        * The drained batch preserves ``(priority, seq)`` order; events
+          scheduled *at the batch instant* by a firing callback are
+          insorted into the not-yet-reached suffix (schedule_at), which
+          is exactly where the reference heap would pop them.
+        * Dead entries ride in the batch and are discarded when the
+          cursor reaches them — the same boundary (after the previous
+          fire, before the next) at which the reference purge drops
+          them — so combined depth matches at every push point.
+        * A ``stop()`` or ``max_events`` break re-inserts the untouched
+          batch suffix, leaving the agenda exactly as the reference
+          loop's heap would stand.
+        """
+        agenda = self._agenda
+        next_time = agenda.next_time
+        pop_run = agenda.pop_run
+        pool_on = _opt.object_pool
+        put_event = _event_pool.put
+        pool_items = _event_pool.items
+        pool_cap = _event_pool.capacity
+        # Sentinels collapse the per-iteration None checks into single
+        # comparisons: ``nxt > _INF`` is never true, ``executed == -1``
+        # is never true.
+        horizon = _INF if until is None else until
+        budget = -1 if max_events is None else max_events
+        executed = 0
+        budget_hit = False
+        max_batch = self.max_batch
+        batch = self._batch
+        del batch[:]
+        # Attaching a flight recorder or profiler is a run-boundary
+        # operation, so the hooks are hoisted out of the loop.
+        flight = self._flight
+        prof = self._profiler
+        while not self._stopped:
+            if executed == budget:
+                # Replicate the reference check order (inf, until,
+                # budget) at this once-per-run boundary: the budget
+                # break must not fire when the reference would have
+                # stopped on an empty agenda or clamped at a horizon
+                # first.
+                nxt = next_time()
+                if nxt == _INF:
+                    break
+                if nxt > horizon:
+                    self._now = until
+                    break
+                budget_hit = True
+                break
+            ret = pop_run(batch)
+            if type(ret) is tuple:
+                # Singleton batch (the common case on jittered
+                # schedules): pop_run returned the lone head entry and
+                # left ``batch`` untouched.  The head is pending by
+                # construction (pop_run purged dead heads) and the outer
+                # loop already ran the stop/budget checks, so fire it
+                # without engaging the batch bookkeeping.  A callback
+                # scheduling at exactly this instant pushes into the
+                # agenda, where it is the new head — the same position
+                # the live-batch insort would give it — and combined
+                # depth matches because ``_batch_pending`` stays 0 while
+                # ``len(agenda)`` counts it.
+                t = ret[0]
+                if t > horizon:
+                    # Past the horizon: the entry goes back whole — no
+                    # user code ran, so no push point observes the dip.
+                    agenda.push_entry(ret)
+                    self._now = until
+                    break
+                self._now = t
+                ev = ret[3]
+                ret = None        # drop the entry's ref before recycle
+                if max_batch == 0:
+                    max_batch = 1
+                if flight is not None:
+                    flight.note_event(ev.time, ev.name)
+                if prof is not None:
+                    t0 = prof.clock()
+                    ev.fire()
+                    prof.record(ev.name or "event", prof.clock() - t0,
+                                len(agenda))
+                else:
+                    # Inlined Event.fire: the event is pending by
+                    # construction here, so the cancelled/double-fire
+                    # guards cannot trigger.
+                    ev._fired = True
+                    fn = ev._fn
+                    if fn is not None:
+                        fn(*ev._args)
+                    for cb in ev.callbacks:
+                        cb(ev)
+                self.events_executed += 1
+                executed += 1
+                if pool_on and _refcount(ev) == 2:
+                    # Inlined Event._recycle + FreeList.put.
+                    ev.callbacks.clear()
+                    ev.value = None
+                    ev.name = None
+                    ev._fn = None
+                    ev._args = ()
+                    if len(pool_items) < pool_cap:
+                        pool_items.append(ev)
+                        _event_pool.recycled += 1
+                    else:
+                        _event_pool.dropped += 1
+                continue
+            nxt = ret
+            if nxt == _INF:
+                break
+            if nxt > horizon:
+                # Past the horizon: the drained batch goes back whole.
+                # No user code runs between the drain and the re-push,
+                # so no push point can observe the depth dip; entry
+                # tuples are reused, so no id or RNG state is drawn.
+                for entry in batch:
+                    agenda.push_entry(entry)
+                del batch[:]
+                self._now = until
+                break
+            n = len(batch)
+            if n > max_batch:
+                max_batch = n
+            self._now = nxt
+            self._batch_time = nxt
+            i = 0
+            aborted = False
+            while i < len(batch):       # callbacks may grow the batch
+                entry = batch[i]
+                ev = entry[3]
+                if ev._fired or ev._cancelled:
+                    # Lazy-cancellation disposal at the same boundary
+                    # the reference heap purge would hit it.
+                    agenda.purges += 1
+                    batch[i] = None
+                    i += 1
+                    continue
+                if self._stopped:
+                    aborted = True
+                    break
+                if executed == budget:
+                    budget_hit = True
+                    aborted = True
+                    break
+                self._batch_index = i
+                self._batch_pending = len(batch) - i - 1
+                if flight is not None:
+                    flight.note_event(ev.time, ev.name)
+                if prof is not None:
+                    t0 = prof.clock()
+                    ev.fire()
+                    prof.record(ev.name or "event", prof.clock() - t0,
+                                len(agenda) + len(batch) - i - 1)
+                else:
+                    ev.fire()
+                self.events_executed += 1
+                executed += 1
+                batch[i] = None          # drop the entry's ref first
+                if pool_on and _refcount(ev) == 2:
+                    put_event(ev._recycle())
+                i += 1
+            self._batch_time = None
+            self._batch_index = 0
+            self._batch_pending = 0
+            if aborted:
+                for entry in batch[i:]:
+                    agenda.push_entry(entry)
+                del batch[:]
+                break
+            del batch[:]
+        self.max_batch = max_batch
         if (until is not None and self._now < until
                 and not self._stopped and not budget_hit):
             self._now = until
@@ -265,12 +555,34 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for ev in self._heap if ev.pending)
+        count = self._agenda.pending_count()
+        if self._batch_time is not None:
+            for entry in self._batch[self._batch_index + 1:]:
+                ev = entry[3]
+                if not (ev._fired or ev._cancelled):
+                    count += 1
+        return count
 
     def agenda(self) -> Iterator[Event]:
-        """Pending events in fire order (for debugging/inspection)."""
-        return iter(sorted((ev for ev in self._heap if ev.pending),
-                           key=Event.sort_key))
+        """Pending events in fire order (for debugging/inspection).
+
+        Sorts entry tuples in C instead of calling a Python key per
+        event; cancelled entries are filtered before the sort.
+        """
+        ordered = self._agenda.ordered()
+        if self._batch_time is not None:
+            live = [entry for entry in self._batch[self._batch_index + 1:]
+                    if not (entry[3]._fired or entry[3]._cancelled)]
+            if live:
+                ordered = [e[3] for e in sorted(live)] + ordered
+        return iter(ordered)
+
+    def agenda_stats(self) -> Dict[str, int]:
+        """This simulator's agenda operation counters (diagnostics)."""
+        a = self._agenda
+        return {"kind": a.kind, "inserts": a.inserts, "pops": a.pops,
+                "purges": a.purges, "max_batch": self.max_batch,
+                "depth": len(a), "peak_depth": self.peak_agenda_depth}
 
     def __repr__(self) -> str:
         return (f"<Simulator t={self._now:.6g} pending={self.pending_events} "

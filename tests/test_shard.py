@@ -12,7 +12,8 @@ import pickle
 import pytest
 
 from repro.perf.digest import run_digest
-from repro.perf.harness import BenchResult, compare, load_results, run_scenario
+from repro.perf.harness import (BENCH_VERSION, BenchResult, compare,
+                                load_results, run_scenario)
 from repro.perf.scenarios import SCENARIOS, SHARD_WORKLOADS
 from repro.shard import (Handoff, ShardFabric, ShardWorkload,
                          effective_k, partition, run_sharded, run_single,
@@ -511,7 +512,7 @@ class TestHarnessWallTimes:
         assert len(result.wall_times_s) == 3
         assert result.wall_time_s == min(result.wall_times_s)
         payload = result.to_dict()
-        assert payload["version"] == 2
+        assert payload["version"] == BENCH_VERSION
         assert len(payload["wall_times_s"]) == 3
         assert payload["workers"] == 1
 
